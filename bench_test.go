@@ -1,0 +1,272 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adasum"
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Experiment benchmarks: one per table and figure of the paper. Each
+// iteration regenerates the experiment at quick scale; run a single
+// experiment with e.g.
+//
+//	go test -bench=BenchmarkFig4 -benchtime=1x
+
+func BenchmarkFig1Orthogonality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1("resnet", experiments.ScaleQuick)
+		early, late := r.EarlyLate()
+		if late <= early {
+			b.Fatalf("orthogonality did not increase: %v -> %v", early, late)
+		}
+	}
+}
+
+func BenchmarkFig2HessianEmulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2(experiments.ScaleQuick)
+		am, sm := r.MeanErrors()
+		if am >= sm {
+			b.Fatalf("adasum error %v not below sync-sgd %v", am, sm)
+		}
+	}
+}
+
+func BenchmarkFig4RVHLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig4(experiments.ScaleQuick)
+		if ratio := r.MaxRatio(); ratio > 2 {
+			b.Fatalf("AdasumRVH more than 2x slower than ring sum: %v", ratio)
+		}
+	}
+}
+
+func BenchmarkFig5TimeToAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig5(experiments.ScaleQuick)
+		if r.Run("Sum 16k").Converged {
+			b.Fatal("Sum 16k unexpectedly converged")
+		}
+		if !r.Run("Adasum 16k").Converged {
+			b.Fatal("Adasum 16k failed to converge")
+		}
+	}
+}
+
+func BenchmarkFig6LeNetScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig6(experiments.ScaleQuick)
+		big := r.GPUCounts[len(r.GPUCounts)-1]
+		ada := r.Cell("adasum", big, false).Accuracy
+		sum := r.Cell("sum", big, false).Accuracy
+		if ada < sum {
+			b.Fatalf("untuned adasum (%v) below untuned sum (%v) at %d gpus", ada, sum, big)
+		}
+	}
+}
+
+func BenchmarkTable1Partitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable1(experiments.ScaleQuick)
+		if r.With.Microbatch <= r.Without.Microbatch {
+			b.Fatal("partitioning did not grow the microbatch")
+		}
+		if r.With.UpdateSec >= r.Without.UpdateSec {
+			b.Fatal("partitioning did not speed up the model update")
+		}
+	}
+}
+
+func BenchmarkTable2SlowTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable2(experiments.ScaleQuick)
+		local16, local1 := r.Rows[0], r.Rows[1]
+		if local16.MinPerEpoch >= local1.MinPerEpoch {
+			b.Fatal("16 local steps did not reduce epoch time")
+		}
+		if !local16.Converged {
+			b.Fatal("local-SGD at 64K-equivalent batch failed to converge")
+		}
+	}
+}
+
+func BenchmarkTable3BERTIterations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable3(experiments.ScaleQuick)
+		if r.Row("Baseline-Adam").Converged {
+			b.Fatal("scaled-LR Adam unexpectedly converged at 64K-equivalent batch")
+		}
+		lamb := r.Row("Baseline-LAMB")
+		ada := r.Row("Adasum-LAMB")
+		if !lamb.Converged || !ada.Converged {
+			b.Fatal("LAMB rows failed to converge")
+		}
+		if ada.Phase1 >= lamb.Phase1 {
+			b.Fatalf("Adasum-LAMB (%d) not faster than Baseline-LAMB (%d)", ada.Phase1, lamb.Phase1)
+		}
+	}
+}
+
+func BenchmarkTable4BERTScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable4(experiments.ScaleQuick)
+		last := r.Rows[len(r.Rows)-1]
+		if last.SumPH1 <= 1 || last.AdasumPH1 <= 1 {
+			b.Fatal("no scaling at higher GPU counts")
+		}
+		if last.AdasumTimeMin >= last.SumTimeMin {
+			b.Fatal("Adasum total time not below Sum total time")
+		}
+	}
+}
+
+// Micro-benchmarks of the core kernels and collectives.
+
+func randVec(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = rng.Float32() - 0.5
+	}
+	return v
+}
+
+func BenchmarkTensorDot1M(b *testing.B) {
+	x := randVec(1<<20, 1)
+	y := randVec(1<<20, 2)
+	b.SetBytes(1 << 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.Dot(x, y)
+	}
+}
+
+func BenchmarkAdasumCombine1M(b *testing.B) {
+	x := randVec(1<<20, 3)
+	y := randVec(1<<20, 4)
+	dst := make([]float32, 1<<20)
+	b.SetBytes(1 << 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adasum.Combine(dst, x, y)
+	}
+}
+
+func BenchmarkAdasumTreeReduce16x64K(b *testing.B) {
+	grads := make([][]float32, 16)
+	for i := range grads {
+		grads[i] = randVec(1<<16, int64(i))
+	}
+	layout := tensor.FlatLayout(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = adasum.TreeReduce(grads, layout)
+	}
+}
+
+func BenchmarkAdasumRVH16Ranks(b *testing.B) {
+	const ranks, n = 16, 1 << 14
+	layout := tensor.FlatLayout(n)
+	inputs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = randVec(n, int64(100+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := comm.NewWorld(ranks, nil)
+		g := collective.WorldGroup(ranks)
+		w.Run(func(p *comm.Proc) {
+			x := tensor.Clone(inputs[p.Rank()])
+			collective.AdasumRVH(p, g, x, layout)
+		})
+	}
+}
+
+func BenchmarkRingAllreduce16Ranks(b *testing.B) {
+	const ranks, n = 16, 1 << 14
+	inputs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = randVec(n, int64(200+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := comm.NewWorld(ranks, nil)
+		g := collective.WorldGroup(ranks)
+		w.Run(func(p *comm.Proc) {
+			x := tensor.Clone(inputs[p.Rank()])
+			collective.RingAllreduceSum(p, g, x)
+		})
+	}
+}
+
+func BenchmarkMLPForwardBackward(b *testing.B) {
+	net := nn.NewMLP(196, 64, 10)
+	net.Init(rand.New(rand.NewSource(5)))
+	x := randVec(32*196, 6)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Gradient(x, labels, 32)
+	}
+}
+
+func BenchmarkLeNetForwardBackward(b *testing.B) {
+	net := nn.NewLeNet5(14, 14, 10)
+	net.Init(rand.New(rand.NewSource(7)))
+	x := randVec(8*196, 8)
+	labels := make([]int, 8)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Gradient(x, labels, 8)
+	}
+}
+
+// Ablation benchmarks for the DESIGN.md design choices.
+
+func BenchmarkAblationPerLayerVsWhole(b *testing.B) {
+	layout := tensor.NewLayout(
+		[]string{"a", "b", "c", "d"}, []int{1 << 14, 1 << 14, 1 << 14, 1 << 14})
+	x := randVec(layout.TotalSize(), 9)
+	y := randVec(layout.TotalSize(), 10)
+	dst := make([]float32, layout.TotalSize())
+	b.Run("per-layer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			adasum.CombineLayers(dst, x, y, layout)
+		}
+	})
+	b.Run("whole-gradient", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			adasum.Combine(dst, x, y)
+		}
+	})
+}
+
+func BenchmarkAblationTreeVsLinear(b *testing.B) {
+	grads := make([][]float32, 16)
+	for i := range grads {
+		grads[i] = randVec(1<<14, int64(300+i))
+	}
+	layout := tensor.FlatLayout(1 << 14)
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = adasum.TreeReduce(grads, layout)
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = adasum.LinearReduce(grads, layout)
+		}
+	})
+}

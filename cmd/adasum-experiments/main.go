@@ -1,0 +1,67 @@
+// Command adasum-experiments regenerates the paper's tables and figures
+// from the reproduction's synthetic substrates.
+//
+// Usage:
+//
+//	adasum-experiments [-full] [fig1|fig2|fig4|fig5|fig6|table1|table2|table3|table4|all]
+//
+// Quick scale (the default) shrinks worker counts and budgets so the
+// whole suite finishes in minutes; -full runs the DESIGN.md dimensions.
+// Output is a mix of aligned tables and CSV series; EXPERIMENTS.md maps
+// each output to the corresponding paper result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run full-scale experiments (slow)")
+	flag.Parse()
+
+	scale := experiments.ScaleQuick
+	if *full {
+		scale = experiments.ScaleFull
+	}
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+
+	runners := map[string]func(){
+		"fig1": func() {
+			experiments.RunFig1("resnet", scale).Render(os.Stdout)
+			experiments.RunFig1("bert", scale).Render(os.Stdout)
+		},
+		"fig2":   func() { experiments.RunFig2(scale).Render(os.Stdout) },
+		"fig4":   func() { experiments.RunFig4(scale).Render(os.Stdout) },
+		"fig5":   func() { experiments.RunFig5(scale).Render(os.Stdout) },
+		"fig6":   func() { experiments.RunFig6(scale).Render(os.Stdout) },
+		"table1": func() { experiments.RunTable1(scale).Render(os.Stdout) },
+		"table2": func() { experiments.RunTable2(scale).Render(os.Stdout) },
+		"table3": func() { experiments.RunTable3(scale).Render(os.Stdout) },
+		"table4": func() { experiments.RunTable4(scale).Render(os.Stdout) },
+	}
+	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4"}
+
+	if what == "all" {
+		for _, name := range order {
+			fmt.Printf("=== %s (%s scale) ===\n", name, scale)
+			t0 := time.Now()
+			runners[name]()
+			fmt.Printf("(%s finished in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		}
+		return
+	}
+	run, ok := runners[what]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", what, order)
+		os.Exit(2)
+	}
+	run()
+}

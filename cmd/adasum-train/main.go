@@ -1,0 +1,139 @@
+// Command adasum-train runs a data-parallel training job on the
+// simulated cluster, exposing the harness's main knobs on the command
+// line — the quickest way to compare combiners on a synthetic workload:
+//
+//	adasum-train -workers 16 -reduction adasum -optimizer momentum -lr 0.05
+//	adasum-train -workers 16 -reduction sum -lr-scale 16   # scaled-LR baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/trainer"
+)
+
+func main() {
+	var (
+		workers   = flag.Int("workers", 8, "simulated GPUs")
+		micro     = flag.Int("microbatch", 32, "samples per worker per step")
+		local     = flag.Int("local-steps", 1, "local steps between reductions")
+		reduction = flag.String("reduction", "adasum", "adasum | sum")
+		scope     = flag.String("scope", "pre", "pre | post | local-sgd (where the reduction runs)")
+		optName   = flag.String("optimizer", "momentum", "sgd | momentum | adam | lamb | lars")
+		lr        = flag.Float64("lr", 0.05, "base learning rate")
+		lrScale   = flag.Float64("lr-scale", 1, "multiply the schedule (linear-scaling baselines)")
+		epochs    = flag.Int("epochs", 10, "epoch budget")
+		target    = flag.Float64("target", 0, "stop at this test accuracy (0 = run all epochs)")
+		model     = flag.String("model", "mlp", "mlp | resnetproxy | bertproxy | lenet")
+		dataset   = flag.String("dataset", "mnist", "mnist | imagenet | maskedlm")
+		seed      = flag.Int64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	var train, test *data.Dataset
+	switch *dataset {
+	case "mnist":
+		train, test = data.SyntheticMNIST(*seed, 16384, 2048)
+	case "imagenet":
+		train, test = data.SyntheticImageNet(*seed, 16384, 2048)
+	case "maskedlm":
+		train, test = data.SyntheticMaskedLM(*seed, 16384, 2048, 0.15)
+	default:
+		fatal("unknown dataset %q", *dataset)
+	}
+
+	var factory func() *nn.Network
+	switch *model {
+	case "mlp":
+		factory = func() *nn.Network { return nn.NewMLP(train.Dim, 64, train.Classes) }
+	case "resnetproxy":
+		factory = func() *nn.Network { return nn.NewResNetProxy(train.Dim, train.Classes, 96, 3) }
+	case "bertproxy":
+		factory = func() *nn.Network { return nn.NewBERTProxy(train.Dim, train.Classes, 96, 3) }
+	case "lenet":
+		if train.Dim != 196 {
+			fatal("lenet expects the 14x14 mnist dataset")
+		}
+		factory = func() *nn.Network { return nn.NewLeNet5(14, 14, train.Classes) }
+	default:
+		fatal("unknown model %q", *model)
+	}
+
+	layoutProbe := factory()
+	var opt optim.Optimizer
+	switch *optName {
+	case "sgd":
+		opt = optim.NewSGD()
+	case "momentum":
+		opt = optim.NewMomentum(0.9)
+	case "adam":
+		opt = optim.NewAdam()
+	case "lamb":
+		opt = optim.NewLAMB(layoutProbe.Layout())
+	case "lars":
+		opt = optim.NewLARS(layoutProbe.Layout(), 0.9, 0.001)
+	default:
+		fatal("unknown optimizer %q", *optName)
+	}
+
+	red := trainer.ReduceAdasum
+	if *reduction == "sum" {
+		red = trainer.ReduceSum
+	}
+	var sc trainer.Scope
+	switch *scope {
+	case "pre":
+		sc = trainer.PreOptimizer
+	case "post":
+		sc = trainer.PostOptimizer
+	case "local-sgd":
+		sc = trainer.LocalSGD
+	default:
+		fatal("unknown scope %q", *scope)
+	}
+
+	sched := optim.Schedule(optim.Constant{Base: *lr})
+	if *lrScale != 1 {
+		sched = optim.Scaled{Inner: sched, Factor: *lrScale}
+	}
+
+	cfg := trainer.Config{
+		Workers:        *workers,
+		Microbatch:     *micro,
+		LocalSteps:     *local,
+		Reduction:      red,
+		Scope:          sc,
+		PerLayer:       true,
+		Model:          factory,
+		Optimizer:      opt,
+		Schedule:       sched,
+		Train:          train,
+		Test:           test,
+		MaxEpochs:      *epochs,
+		TargetAccuracy: *target,
+		Seed:           *seed,
+		Parallel:       true,
+	}
+	fmt.Printf("training %s on %s: %s, optimizer %s, lr %g x%g\n",
+		*model, *dataset, cfg.String(), opt.Name(), *lr, *lrScale)
+	res := trainer.Run(cfg)
+	for _, e := range res.Epochs {
+		fmt.Printf("epoch %3d  steps %5d  loss %.4f  test acc %.4f\n",
+			e.Epoch, e.Steps, e.TrainLoss, e.TestAccuracy)
+	}
+	if res.Converged {
+		fmt.Printf("reached target %.4f in %d epochs (%d steps)\n",
+			*target, res.EpochsToTarget, res.StepsToTarget)
+	}
+	fmt.Printf("final accuracy: %.4f\n", res.FinalAccuracy)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Scaling
+// Distributed Training with Adaptive Summation" (Maleki et al.,
+// MLSys 2021): the Adasum gradient combiner, the recursive
+// vector-halving allreduce that carries it (Algorithm 1), a
+// deterministic simulated cluster with an alpha-beta cost model, a small
+// neural-network framework, the Momentum/Adam/LARS/LAMB optimizer zoo,
+// and runners that regenerate every table and figure of the paper's
+// evaluation on synthetic substitutes for its hardware and datasets.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitution record, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmark harness in bench_test.go regenerates each experiment:
+//
+//	go test -bench=. -benchmem
+package repro

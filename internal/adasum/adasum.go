@@ -1,0 +1,251 @@
+// Package adasum implements the paper's primary contribution: the
+// adaptive-sum gradient combiner
+//
+//	Adasum(g1, g2) = (1 - g1·g2 / (2‖g1‖²))·g1 + (1 - g1·g2 / (2‖g2‖²))·g2
+//
+// together with its per-layer application (§3.6), host-side recursive tree
+// reduction over any number of gradients (§3.4), the orthogonality metric
+// used in Figure 1, and an fp16 path whose dot products accumulate in
+// float64 (§4.4.1).
+//
+// Properties (verified by the test suite):
+//   - orthogonal gradients are summed: Adasum(a, b) = a + b when a·b = 0;
+//   - parallel gradients are averaged: Adasum(g, g) = g;
+//   - the operator is symmetric and has no hyperparameters.
+package adasum
+
+import (
+	"repro/internal/float16"
+	"repro/internal/tensor"
+)
+
+// Coefficients returns the two scalars (ca, cb) such that
+// Adasum(a, b) = ca·a + cb·b, given dot = a·b, na = ‖a‖², nb = ‖b‖².
+//
+// Degenerate inputs are handled the way the Horovod implementation does:
+// a zero-norm operand contributes nothing and must not poison the other
+// side with a 0/0, so its partner's coefficient degrades to 1 (plain sum
+// with a zero vector).
+func Coefficients(dot, na, nb float64) (ca, cb float64) {
+	ca, cb = 1, 1
+	if na > 0 {
+		ca = 1 - dot/(2*na)
+	}
+	if nb > 0 {
+		cb = 1 - dot/(2*nb)
+	}
+	return ca, cb
+}
+
+// Combine writes Adasum(a, b) into dst, treating the full vectors as a
+// single segment. dst may alias a or b. Dot products and norms accumulate
+// in float64.
+func Combine(dst, a, b []float32) {
+	dot := tensor.Dot(a, b)
+	na := tensor.Norm2(a)
+	nb := tensor.Norm2(b)
+	ca, cb := Coefficients(dot, na, nb)
+	tensor.ScaledCombine(dst, float32(ca), a, float32(cb), b)
+}
+
+// CombineLayers writes the per-layer Adasum of a and b into dst: each
+// segment of the layout is combined with its own dot product and norms.
+// This is the per-layer mode of §3.6, which the paper found important
+// because layers decorrelate at different rates during training. dst may
+// alias a or b.
+func CombineLayers(dst, a, b []float32, layout tensor.Layout) {
+	if layout.TotalSize() != len(a) || len(a) != len(b) || len(dst) != len(a) {
+		panic("adasum: CombineLayers size mismatch")
+	}
+	for i := 0; i < layout.NumLayers(); i++ {
+		lo, hi := layout.Bounds(i)
+		Combine(dst[lo:hi], a[lo:hi], b[lo:hi])
+	}
+}
+
+// PartialDots holds the three per-segment partial reductions exchanged by
+// the distributed algorithm (line 15 of Algorithm 1): a·b, ‖a‖², ‖b‖².
+// In the distributed setting each rank holds only a slice of the logical
+// vector, so these are summed across the rank group before the combine.
+type PartialDots struct {
+	Dot, NormA, NormB float64
+}
+
+// LayerDots computes per-layer partial dot products for the (local slices
+// of) vectors a and b under layout. The result must be allreduced across
+// the ranks sharing the logical vector before ApplyWithDots.
+func LayerDots(a, b []float32, layout tensor.Layout) []PartialDots {
+	if layout.TotalSize() != len(a) || len(a) != len(b) {
+		panic("adasum: LayerDots size mismatch")
+	}
+	dots := make([]PartialDots, layout.NumLayers())
+	for i := range dots {
+		lo, hi := layout.Bounds(i)
+		dots[i] = PartialDots{
+			Dot:   tensor.Dot(a[lo:hi], b[lo:hi]),
+			NormA: tensor.Norm2(a[lo:hi]),
+			NormB: tensor.Norm2(b[lo:hi]),
+		}
+	}
+	return dots
+}
+
+// ApplyWithDots performs the per-layer combine of a and b into dst using
+// externally reduced dot products (line 18 of Algorithm 1). This is the
+// second phase of the two-phase distributed Adasum: dots were computed on
+// slices and summed across the group, so each rank applies coefficients
+// consistent with the full logical vectors.
+func ApplyWithDots(dst, a, b []float32, layout tensor.Layout, dots []PartialDots) {
+	if len(dots) != layout.NumLayers() {
+		panic("adasum: ApplyWithDots dots/layout mismatch")
+	}
+	for i := range dots {
+		lo, hi := layout.Bounds(i)
+		ca, cb := Coefficients(dots[i].Dot, dots[i].NormA, dots[i].NormB)
+		tensor.ScaledCombine(dst[lo:hi], float32(ca), a[lo:hi], float32(cb), b[lo:hi])
+	}
+}
+
+// FlattenDots serializes per-layer partials into a float64 triple-list
+// [dot0, na0, nb0, dot1, ...] so they can travel through a generic
+// small-vector allreduce.
+func FlattenDots(dots []PartialDots) []float64 {
+	out := make([]float64, 3*len(dots))
+	for i, d := range dots {
+		out[3*i] = d.Dot
+		out[3*i+1] = d.NormA
+		out[3*i+2] = d.NormB
+	}
+	return out
+}
+
+// UnflattenDots is the inverse of FlattenDots.
+func UnflattenDots(flat []float64) []PartialDots {
+	if len(flat)%3 != 0 {
+		panic("adasum: UnflattenDots length not a multiple of 3")
+	}
+	dots := make([]PartialDots, len(flat)/3)
+	for i := range dots {
+		dots[i] = PartialDots{Dot: flat[3*i], NormA: flat[3*i+1], NormB: flat[3*i+2]}
+	}
+	return dots
+}
+
+// TreeReduce applies Adasum recursively over any number of gradients on a
+// single host, halving the set at each level (§3.4's bandwidth-optimal
+// recursion: Adasum(g[0,n]) = Adasum(Adasum(g[0,n/2)), Adasum(g[n/2,n]))).
+// Odd leftovers pass through a level unchanged, so any n ≥ 1 is accepted.
+// The inputs are not modified; the result is freshly allocated.
+func TreeReduce(grads [][]float32, layout tensor.Layout) []float32 {
+	if len(grads) == 0 {
+		panic("adasum: TreeReduce needs at least one gradient")
+	}
+	work := make([][]float32, len(grads))
+	for i, g := range grads {
+		work[i] = tensor.Clone(g)
+	}
+	for len(work) > 1 {
+		half := make([][]float32, 0, (len(work)+1)/2)
+		for i := 0; i+1 < len(work); i += 2 {
+			CombineLayers(work[i], work[i], work[i+1], layout)
+			half = append(half, work[i])
+		}
+		if len(work)%2 == 1 {
+			half = append(half, work[len(work)-1])
+		}
+		work = half
+	}
+	return work[0]
+}
+
+// LinearReduce applies Adasum left to right: ((g0 ⊕ g1) ⊕ g2) ⊕ ...
+// This is the "linear" application order of §4.2.3; it produces a
+// different (but equally valid) combination than TreeReduce and is kept
+// for the ordering ablation.
+func LinearReduce(grads [][]float32, layout tensor.Layout) []float32 {
+	if len(grads) == 0 {
+		panic("adasum: LinearReduce needs at least one gradient")
+	}
+	acc := tensor.Clone(grads[0])
+	for _, g := range grads[1:] {
+		CombineLayers(acc, acc, g, layout)
+	}
+	return acc
+}
+
+// SumReduce returns the elementwise sum of the gradients — the
+// synchronous-SGD baseline combiner.
+func SumReduce(grads [][]float32) []float32 {
+	if len(grads) == 0 {
+		panic("adasum: SumReduce needs at least one gradient")
+	}
+	acc := tensor.Clone(grads[0])
+	for _, g := range grads[1:] {
+		tensor.Axpy(1, g, acc)
+	}
+	return acc
+}
+
+// MeanReduce returns the elementwise average of the gradients.
+func MeanReduce(grads [][]float32) []float32 {
+	acc := SumReduce(grads)
+	tensor.Scale(1/float32(len(grads)), acc)
+	return acc
+}
+
+// Orthogonality computes the Figure 1 metric for one layer:
+//
+//	‖Adasum(g1..gn)‖² / Σᵢ ‖gᵢ‖²
+//
+// which is 1 when the gradients are mutually orthogonal and 1/n when they
+// are parallel with equal norms. grads are whole-layer slices.
+func Orthogonality(grads [][]float32) float64 {
+	layout := tensor.FlatLayout(len(grads[0]))
+	combined := TreeReduce(grads, layout)
+	var sum float64
+	for _, g := range grads {
+		sum += tensor.Norm2(g)
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return tensor.Norm2(combined) / sum
+}
+
+// OrthogonalityPerLayer computes the Figure 1 metric for every layer of
+// the layout plus the all-layer average (the bold red line in the
+// figure). It returns (perLayer, average).
+func OrthogonalityPerLayer(grads [][]float32, layout tensor.Layout) ([]float64, float64) {
+	per := make([]float64, layout.NumLayers())
+	var total float64
+	for i := 0; i < layout.NumLayers(); i++ {
+		lo, hi := layout.Bounds(i)
+		slices := make([][]float32, len(grads))
+		for j, g := range grads {
+			slices[j] = g[lo:hi]
+		}
+		per[i] = Orthogonality(slices)
+		total += per[i]
+	}
+	if layout.NumLayers() > 0 {
+		total /= float64(layout.NumLayers())
+	}
+	return per, total
+}
+
+// CombineF16 performs the pairwise combine on half-precision buffers:
+// dots accumulate in float64, coefficients are applied in float32, and
+// the result is re-quantized to fp16. dst may alias a or b.
+func CombineF16(dst, a, b []float16.Bits) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("adasum: CombineF16 length mismatch")
+	}
+	dot := float16.Dot(a, b)
+	na := float16.Norm2(a)
+	nb := float16.Norm2(b)
+	ca, cb := Coefficients(dot, na, nb)
+	for i := range dst {
+		v := float32(ca)*float16.ToFloat32(a[i]) + float32(cb)*float16.ToFloat32(b[i])
+		dst[i] = float16.FromFloat32(v)
+	}
+}

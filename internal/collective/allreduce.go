@@ -1,0 +1,316 @@
+package collective
+
+import (
+	"repro/internal/adasum"
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// RingAllreduceSum performs the classic bandwidth-optimal ring allreduce
+// with elementwise sum over the group: a ring reduce-scatter followed by
+// a ring allgather, each moving (n-1)/n of the vector. This is the
+// reproduction's stand-in for "NCCL's sum operation", the baseline of
+// Figure 4. x is reduced in place.
+func RingAllreduceSum(p *comm.Proc, g Group, x []float32) {
+	if len(g) == 1 {
+		return
+	}
+	ranges := equalRanges(len(x), len(g))
+	reduceScatterVRing(p, g, x, ranges)
+	allgatherVRing(p, g, x, ranges)
+}
+
+// RingAllreduceMean is RingAllreduceSum followed by division by the group
+// size, the combiner synchronous SGD actually applies.
+func RingAllreduceMean(p *comm.Proc, g Group, x []float32) {
+	RingAllreduceSum(p, g, x)
+	tensor.Scale(1/float32(len(g)), x)
+}
+
+// RVHAllreduceSum performs recursive vector halving-and-doubling with
+// elementwise sum: log p halving exchange steps (reduce-scatter), then
+// log p doubling steps (allgather). The group size must be a power of
+// two. x is reduced in place. This is the unmodified baseline algorithm
+// that Algorithm 1 extends.
+func RVHAllreduceSum(p *comm.Proc, g Group, x []float32) {
+	if !g.IsPowerOfTwo() {
+		panic("collective: RVHAllreduceSum requires a power-of-two group")
+	}
+	if len(g) == 1 {
+		return
+	}
+	res := rvhSumRec(p, g, x, 1)
+	copy(x, res)
+}
+
+func rvhSumRec(p *comm.Proc, g Group, x []float32, d int) []float32 {
+	mid := tensor.HalfSplit(len(x))
+	gpos := g.Pos(p.Rank())
+	left := (gpos/d)%2 == 0
+	var mine, theirs []float32
+	var nghr int
+	if left {
+		nghr = gpos + d
+		p.Send(g[nghr], x[mid:])
+		mine = x[:mid]
+		theirs = p.Recv(g[nghr])
+	} else {
+		nghr = gpos - d
+		p.Send(g[nghr], x[:mid])
+		theirs = p.Recv(g[nghr])
+		mine = x[mid:]
+	}
+	for i := range mine {
+		mine[i] += theirs[i]
+	}
+	p.ComputeReduce(len(mine) * 4)
+	res := mine
+	if 2*d < len(g) {
+		res = rvhSumRec(p, g, res, 2*d)
+	}
+	p.Send(g[nghr], res)
+	y := p.Recv(g[nghr])
+	out := make([]float32, 0, len(res)+len(y))
+	if left {
+		out = append(append(out, res...), y...)
+	} else {
+		out = append(append(out, y...), res...)
+	}
+	return out
+}
+
+// AdasumRVH is Algorithm 1: recursive vector halving where each level's
+// reduction is the Adasum combine, made possible by an extra small-vector
+// allreduce that completes the per-layer dot products across the ranks
+// sharing slices of the same logical vectors. The group size must be a
+// power of two. layout gives the per-layer segmentation of x (§3.6); pass
+// tensor.FlatLayout(len(x)) for whole-gradient Adasum. x is reduced in
+// place on every rank.
+func AdasumRVH(p *comm.Proc, g Group, x []float32, layout tensor.Layout) {
+	if !g.IsPowerOfTwo() {
+		panic("collective: AdasumRVH requires a power-of-two group")
+	}
+	if layout.TotalSize() != len(x) {
+		panic("collective: AdasumRVH layout does not cover x")
+	}
+	if len(g) == 1 {
+		return
+	}
+	res := adasumRVHRec(p, g, x, 0, 1, layout)
+	copy(x, res)
+}
+
+// adasumRVHRec runs one level of Algorithm 1. x is this rank's slice of
+// the level's logical vector, covering elements [off, off+len(x)) of the
+// original vector. d is the neighbor distance. Returns this rank's fully
+// assembled copy for its level, unwinding the allgather phase.
+func adasumRVHRec(p *comm.Proc, g Group, x []float32, off, d int, layout tensor.Layout) []float32 {
+	mid := tensor.HalfSplit(len(x)) // line 2
+	gpos := g.Pos(p.Rank())
+	left := (gpos/d)%2 == 0
+
+	var a, b []float32
+	var nghr, newOff int
+	if left { // lines 3-7: keep left half, receive neighbor's left half
+		nghr = gpos + d
+		p.Send(g[nghr], x[mid:])
+		a = x[:mid]
+		b = p.Recv(g[nghr])
+		newOff = off
+	} else { // lines 8-13: keep right half, receive neighbor's right half
+		nghr = gpos - d
+		p.Send(g[nghr], x[:mid])
+		a = p.Recv(g[nghr])
+		b = x[mid:]
+		newOff = off + mid
+	}
+
+	d2 := 2 * d // line 14
+
+	// Lines 15-17: per-layer partial dot products over this rank's
+	// window, summed across the contiguous block of d2 group positions
+	// that collectively hold the two logical vectors.
+	v := windowLayerDots(a, b, newOff, layout)
+	p.ComputeReduce(3 * len(a) * 4)
+	base := gpos / d2 * d2
+	allreduceF64RD(p, g, base, d2, v)
+
+	// Line 18: apply the combine with the completed dot products.
+	applyWindowCombine(a, a, b, newOff, layout, v)
+	p.ComputeReduce(2 * len(a) * 4)
+
+	res := a
+	if d2 < len(g) { // lines 19-21
+		res = adasumRVHRec(p, g, res, newOff, d2, layout)
+	}
+
+	// Lines 22-24: allgather unwind.
+	p.Send(g[nghr], res)
+	y := p.Recv(g[nghr])
+	out := make([]float32, 0, len(res)+len(y))
+	if left {
+		out = append(append(out, res...), y...)
+	} else {
+		out = append(append(out, y...), res...)
+	}
+	return out
+}
+
+// windowLayerDots computes flattened per-layer partials [dot, ‖a‖², ‖b‖²]
+// for the window [off, off+len(a)) of the original vector, indexed by the
+// global layer list so that ranks holding different windows can sum their
+// partials elementwise. Layers outside the window contribute zeros.
+func windowLayerDots(a, b []float32, off int, layout tensor.Layout) []float64 {
+	v := make([]float64, 3*layout.NumLayers())
+	hi := off + len(a)
+	for l := 0; l < layout.NumLayers(); l++ {
+		llo, lhi := layout.Bounds(l)
+		clo, chi := maxOf(llo, off), minOf(lhi, hi)
+		if clo >= chi {
+			continue
+		}
+		as := a[clo-off : chi-off]
+		bs := b[clo-off : chi-off]
+		v[3*l] = tensor.Dot(as, bs)
+		v[3*l+1] = tensor.Norm2(as)
+		v[3*l+2] = tensor.Norm2(bs)
+	}
+	return v
+}
+
+// applyWindowCombine writes the Adasum combine of a and b into dst using
+// globally completed per-layer dot products, restricted to the window
+// [off, off+len(a)).
+func applyWindowCombine(dst, a, b []float32, off int, layout tensor.Layout, v []float64) {
+	hi := off + len(a)
+	for l := 0; l < layout.NumLayers(); l++ {
+		llo, lhi := layout.Bounds(l)
+		clo, chi := maxOf(llo, off), minOf(lhi, hi)
+		if clo >= chi {
+			continue
+		}
+		ca, cb := adasum.Coefficients(v[3*l], v[3*l+1], v[3*l+2])
+		tensor.ScaledCombine(dst[clo-off:chi-off], float32(ca), a[clo-off:chi-off], float32(cb), b[clo-off:chi-off])
+	}
+}
+
+// LinearAdasum applies the Adasum combine in a chain: rank 0 folds in
+// every other rank's gradient left to right, then broadcasts the result.
+// This is the linear application order of §3.4/§4.2.3 — O(p) latency and
+// serialized bandwidth, kept as the ordering ablation and to mirror the
+// paper's finding that the tree (RVH) variant is faster on these
+// topologies. Works for any group size. x is reduced in place.
+func LinearAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout) {
+	if len(g) == 1 {
+		return
+	}
+	me := g.Pos(p.Rank())
+	if me == 0 {
+		for i := 1; i < len(g); i++ {
+			got := p.Recv(g[i])
+			adasum.CombineLayers(x, x, got, layout)
+			p.ComputeReduce(5 * len(x) * 4)
+		}
+	} else {
+		p.Send(g[0], x)
+	}
+	Broadcast(p, g, 0, x)
+}
+
+// HierarchicalAdasum implements the HOROVOD_HIERARCHICAL_ALLREDUCE scheme
+// of §4.2.2: a local reduce-scatter with sum inside each node (the NCCL
+// phase — summing node-local microbatch gradients), AdasumRVH across
+// corresponding local ranks of different nodes on layer-aligned shards,
+// and a local allgather. gpusPerNode must divide the group size, the node
+// count must be a power of two, and shards are layer-aligned so per-layer
+// dot products complete within each cross-node group.
+//
+// Semantics: gradients within a node are summed (larger effective local
+// batch), gradients across nodes are Adasum-combined — exactly the
+// behaviour of Horovod's hierarchical Adasum.
+func HierarchicalAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout, gpusPerNode int) {
+	n := len(g)
+	if n%gpusPerNode != 0 {
+		panic("collective: group size not divisible by gpusPerNode")
+	}
+	nodes := n / gpusPerNode
+	if nodes&(nodes-1) != 0 {
+		panic("collective: HierarchicalAdasum needs a power-of-two node count")
+	}
+	me := g.Pos(p.Rank())
+	node := me / gpusPerNode
+	local := me % gpusPerNode
+
+	localGroup := make(Group, gpusPerNode)
+	for i := range localGroup {
+		localGroup[i] = g[node*gpusPerNode+i]
+	}
+	crossGroup := make(Group, nodes)
+	for i := range crossGroup {
+		crossGroup[i] = g[i*gpusPerNode+local]
+	}
+
+	ranges := layout.SplitLayerAligned(gpusPerNode)
+
+	// Phase 1: intra-node reduce-scatter (sum) over layer-aligned shards.
+	shard := reduceScatterVRing(p, localGroup, x, ranges)
+
+	// Phase 2: cross-node AdasumRVH on this rank's shard. The windowed
+	// layout keeps per-layer dots exact because shards are layer-aligned.
+	lo, hi := ranges[local][0], ranges[local][1]
+	if nodes > 1 && hi > lo {
+		sub := layout.Window(lo, hi)
+		AdasumRVH(p, crossGroup, shard, sub)
+	} else if nodes > 1 {
+		// Empty shard: still participate in the collective to keep the
+		// power-of-two exchange pattern aligned.
+		AdasumRVH(p, crossGroup, shard, tensor.FlatLayout(0))
+	}
+
+	// Phase 3: intra-node allgather of finished shards.
+	allgatherVRing(p, localGroup, x, ranges)
+}
+
+// HierarchicalSum is the baseline counterpart of HierarchicalAdasum:
+// local reduce-scatter (sum), cross-node ring allreduce (sum), local
+// allgather. Used for like-for-like system-efficiency comparisons.
+func HierarchicalSum(p *comm.Proc, g Group, x []float32, gpusPerNode int) {
+	n := len(g)
+	if n%gpusPerNode != 0 {
+		panic("collective: group size not divisible by gpusPerNode")
+	}
+	nodes := n / gpusPerNode
+	me := g.Pos(p.Rank())
+	node := me / gpusPerNode
+	local := me % gpusPerNode
+
+	localGroup := make(Group, gpusPerNode)
+	for i := range localGroup {
+		localGroup[i] = g[node*gpusPerNode+i]
+	}
+	crossGroup := make(Group, nodes)
+	for i := range crossGroup {
+		crossGroup[i] = g[i*gpusPerNode+local]
+	}
+
+	ranges := equalRanges(len(x), gpusPerNode)
+	shard := reduceScatterVRing(p, localGroup, x, ranges)
+	if nodes > 1 {
+		RingAllreduceSum(p, crossGroup, shard)
+	}
+	allgatherVRing(p, localGroup, x, ranges)
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minOf(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

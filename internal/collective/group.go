@@ -1,0 +1,62 @@
+// Package collective implements the allreduce algorithms that carry
+// Adasum in Horovod's backend (§4.2 of the paper):
+//
+//   - ring allreduce with elementwise sum — the "NCCL sum" baseline of
+//     Figure 4;
+//   - recursive vector halving/doubling with elementwise sum;
+//   - AdasumRVH, the modified recursive-vector-halving algorithm of
+//     Algorithm 1, which inserts a small-vector allreduce of per-layer
+//     dot products between the halving exchange and the combine;
+//   - a linear (chained) Adasum, the latency-suboptimal variant §4.2.3
+//     found slower than RVH;
+//   - the hierarchical scheme of §4.2.2: intra-node reduce-scatter (sum),
+//     cross-node AdasumRVH on layer-aligned shards, intra-node allgather.
+//
+// All collectives run on comm.Proc endpoints and operate within a Group,
+// an ordered subset of world ranks, so hierarchical variants can build
+// sub-communicators.
+package collective
+
+import "fmt"
+
+// Group is an ordered list of world ranks forming a sub-communicator.
+// A rank's position in the slice is its "group rank".
+type Group []int
+
+// WorldGroup returns the group [0, 1, ..., size-1].
+func WorldGroup(size int) Group {
+	g := make(Group, size)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// Pos returns the group rank of world rank r, panicking if r is not a
+// member.
+func (g Group) Pos(r int) int {
+	for i, v := range g {
+		if v == r {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("collective: rank %d not in group %v", r, g))
+}
+
+// Contains reports whether world rank r is a member of the group.
+func (g Group) Contains(r int) bool {
+	for _, v := range g {
+		if v == r {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPowerOfTwo reports whether the group size is a power of two, a
+// requirement of the recursive-vector-halving algorithms (Algorithm 1
+// assumes "size > 2 is a power-of-two"; we additionally accept 1 and 2).
+func (g Group) IsPowerOfTwo() bool {
+	n := len(g)
+	return n > 0 && n&(n-1) == 0
+}

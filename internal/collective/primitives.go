@@ -1,0 +1,156 @@
+package collective
+
+import (
+	"repro/internal/comm"
+)
+
+// allreduceF64RD sums float64 vectors across a contiguous block of group
+// positions [base, base+size) by recursive doubling. size must be a power
+// of two. v is updated in place with the blockwise sum. This implements
+// the ALLREDUCE(v, +, group) primitive on line 17 of Algorithm 1, which
+// completes the partial dot products.
+func allreduceF64RD(p *comm.Proc, g Group, base, size int, v []float64) {
+	if size <= 1 {
+		return
+	}
+	if size&(size-1) != 0 {
+		panic("collective: dot-product group size must be a power of two")
+	}
+	gpos := g.Pos(p.Rank())
+	rel := gpos - base
+	for mask := 1; mask < size; mask <<= 1 {
+		peer := g[base+(rel^mask)]
+		got := p.SendRecvMeta(peer, v)
+		for i := range v {
+			v[i] += got[i]
+		}
+	}
+}
+
+// Broadcast distributes root's vector to every rank in the group using a
+// binomial tree. root is a group position, not a world rank. Non-root
+// callers pass their (correctly sized) buffer in x and receive into it;
+// the root's x is sent. x is returned for convenience.
+func Broadcast(p *comm.Proc, g Group, root int, x []float32) []float32 {
+	n := len(g)
+	if n == 1 {
+		return x
+	}
+	gpos := g.Pos(p.Rank())
+	// Rotate so root behaves as position 0.
+	rel := (gpos - root + n) % n
+	// Find the highest power of two <= n covering all positions; use
+	// simple doubling rounds: in round k, positions < 2^k send to
+	// position + 2^k (if it exists).
+	received := rel == 0
+	for step := 1; step < n; step <<= 1 {
+		if rel < step && rel+step < n {
+			if !received {
+				panic("collective: broadcast internal ordering error")
+			}
+			p.Send(g[(root+rel+step)%n], x)
+		} else if rel >= step && rel < 2*step {
+			src := g[(root+rel-step)%n]
+			got := p.Recv(src)
+			copy(x, got)
+			received = true
+		}
+	}
+	return x
+}
+
+// Gather collects every group member's vector at root (a group
+// position). All vectors must have the same length. Only the root's
+// return value is meaningful; it holds the vectors indexed by group rank.
+func Gather(p *comm.Proc, g Group, root int, x []float32) [][]float32 {
+	gpos := g.Pos(p.Rank())
+	if gpos != root {
+		p.Send(g[root], x)
+		return nil
+	}
+	out := make([][]float32, len(g))
+	for i := range g {
+		if i == root {
+			out[i] = append([]float32(nil), x...)
+			continue
+		}
+		out[i] = p.Recv(g[i])
+	}
+	return out
+}
+
+// reduceScatterVRing performs a ring reduce-scatter with elementwise sum
+// over unequal contiguous chunks. ranges[i] is the [lo, hi) element range
+// that group rank i owns at the end. x is the caller's full vector; on
+// return, x[ranges[me]] holds the group-wide sum of that range, and the
+// function returns that slice. Other regions of x are clobbered with
+// partial sums.
+func reduceScatterVRing(p *comm.Proc, g Group, x []float32, ranges [][2]int) []float32 {
+	n := len(g)
+	me := g.Pos(p.Rank())
+	if n == 1 {
+		return x[ranges[0][0]:ranges[0][1]]
+	}
+	next := g[(me+1)%n]
+	prev := g[(me-1+n)%n]
+	// Step s: send chunk (me-s-1) mod n to next, receive chunk (me-s-2)
+	// mod n from prev and accumulate into x. With this phase shift, rank
+	// me finishes owning the fully reduced chunk me.
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((me-s-1)%n + n) % n
+		recvIdx := ((me-s-2)%n + n) % n
+		sr := ranges[sendIdx]
+		p.Send(next, x[sr[0]:sr[1]])
+		rr := ranges[recvIdx]
+		got := p.Recv(prev)
+		dst := x[rr[0]:rr[1]]
+		for i := range dst {
+			dst[i] += got[i]
+		}
+		p.ComputeReduce((rr[1] - rr[0]) * 4)
+	}
+	mr := ranges[me]
+	return x[mr[0]:mr[1]]
+}
+
+// allgatherVRing performs a ring allgather over unequal contiguous
+// chunks: on entry x[ranges[me]] is this rank's finished chunk; on return
+// every range of x is filled with its owner's chunk.
+func allgatherVRing(p *comm.Proc, g Group, x []float32, ranges [][2]int) {
+	n := len(g)
+	if n == 1 {
+		return
+	}
+	me := g.Pos(p.Rank())
+	next := g[(me+1)%n]
+	prev := g[(me-1+n)%n]
+	// Step s: pass chunk (me-s) mod n along, receiving (me-s-1) mod n;
+	// rank me starts by sending the chunk it owns.
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((me-s)%n + n) % n
+		recvIdx := ((me-s-1)%n + n) % n
+		sr := ranges[sendIdx]
+		p.Send(next, x[sr[0]:sr[1]])
+		rr := ranges[recvIdx]
+		got := p.Recv(prev)
+		copy(x[rr[0]:rr[1]], got)
+	}
+}
+
+// equalRanges splits n elements into parts contiguous near-equal ranges
+// (the classic ring-allreduce chunking).
+func equalRanges(n, parts int) [][2]int {
+	ranges := make([][2]int, parts)
+	base := n / parts
+	rem := n % parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		ranges[i] = [2]int{lo, lo + sz}
+		lo += sz
+	}
+	return ranges
+}

@@ -1,0 +1,233 @@
+// Package comm is the message-passing substrate the collectives run on.
+// It plays the role MPI/NCCL play for Horovod: a World of ranks that
+// exchange float32 vectors point-to-point. Ranks are goroutines inside
+// one process; channels carry the payloads.
+//
+// Every Proc owns a virtual clock. A message carries the sender's clock
+// at send time plus the link cost from the simnet model; Recv advances
+// the receiver's clock to max(local, sender departure + transfer). Local
+// compute advances the clock explicitly. Because the collective
+// algorithms here are deterministic bulk-synchronous programs, this
+// conservative virtual-time scheme yields exact critical-path times —
+// this is how the reproduction measures "latency" (Figure 4) and
+// "throughput" (Tables 2/4) without the paper's hardware.
+//
+// Channels are buffered so a Send never blocks; matched SendRecv
+// exchanges therefore cannot deadlock.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// message is one point-to-point payload plus its arrival metadata.
+type message struct {
+	data    []float32
+	meta    []float64 // secondary channel for dot-product partials
+	arrival float64   // sender clock + transfer cost
+}
+
+// World is a communicator over a fixed set of ranks.
+type World struct {
+	size  int
+	model *simnet.Model
+	// chans[src][dst] is the FIFO from src to dst.
+	chans [][]chan message
+}
+
+// NewWorld creates a communicator of the given size using the cost model
+// for clock accounting. model may be nil, in which case all communication
+// is free (pure correctness mode).
+func NewWorld(size int, model *simnet.Model) *World {
+	if size <= 0 {
+		panic("comm: world size must be positive")
+	}
+	w := &World{size: size, model: model}
+	w.chans = make([][]chan message, size)
+	for s := range w.chans {
+		w.chans[s] = make([]chan message, size)
+		for d := range w.chans[s] {
+			w.chans[s][d] = make(chan message, 1024)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Proc returns the handle rank r uses to communicate. Each rank must use
+// its own Proc from a single goroutine.
+func (w *World) Proc(r int) *Proc {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", r, w.size))
+	}
+	return &Proc{world: w, rank: r}
+}
+
+// transferCost returns the simulated seconds to move n float32s (plus a
+// small float64 side payload) from src to dst.
+func (w *World) transferCost(src, dst, nFloats, nMeta int) float64 {
+	if w.model == nil {
+		return 0
+	}
+	return w.model.Transfer(src, dst, nFloats*4+nMeta*8)
+}
+
+// Proc is one rank's endpoint: its identity, its channels, and its
+// virtual clock.
+type Proc struct {
+	world *World
+	rank  int
+	clock float64
+}
+
+// Rank returns this process's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.size }
+
+// Model returns the cost model, or nil in free mode.
+func (p *Proc) Model() *simnet.Model { return p.world.model }
+
+// Clock returns the current virtual time of this rank in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// SetClock overrides the virtual time (used by harnesses that account
+// compute outside the comm layer).
+func (p *Proc) SetClock(t float64) { p.clock = t }
+
+// Compute advances this rank's clock by dt seconds of local work.
+func (p *Proc) Compute(dt float64) { p.clock += dt }
+
+// ComputeReduce advances the clock by the model cost of reducing n bytes.
+func (p *Proc) ComputeReduce(bytes int) {
+	if m := p.world.model; m != nil {
+		p.clock += m.Reduce(bytes)
+	}
+}
+
+// ComputeMemCopy advances the clock by the model cost of copying n bytes.
+func (p *Proc) ComputeMemCopy(bytes int) {
+	if m := p.world.model; m != nil {
+		p.clock += m.MemCopy(bytes)
+	}
+}
+
+// Send transmits data to rank dst. The slice is copied, so the caller may
+// reuse it immediately.
+func (p *Proc) Send(dst int, data []float32) {
+	p.send(dst, data, nil)
+}
+
+// SendMeta transmits a float64 side payload (dot-product partials) to dst.
+func (p *Proc) SendMeta(dst int, meta []float64) {
+	p.send(dst, nil, meta)
+}
+
+func (p *Proc) send(dst int, data []float32, meta []float64) {
+	if dst == p.rank {
+		panic("comm: send to self")
+	}
+	var dc []float32
+	if data != nil {
+		dc = make([]float32, len(data))
+		copy(dc, data)
+	}
+	var mc []float64
+	if meta != nil {
+		mc = make([]float64, len(meta))
+		copy(mc, meta)
+	}
+	cost := p.world.transferCost(p.rank, dst, len(data), len(meta))
+	p.world.chans[p.rank][dst] <- message{data: dc, meta: mc, arrival: p.clock + cost}
+}
+
+// Recv blocks until a message from src arrives and returns its payload,
+// advancing the virtual clock to the arrival time.
+func (p *Proc) Recv(src int) []float32 {
+	d, _ := p.recv(src)
+	return d
+}
+
+// RecvMeta receives a float64 side payload from src.
+func (p *Proc) RecvMeta(src int) []float64 {
+	_, m := p.recv(src)
+	return m
+}
+
+func (p *Proc) recv(src int) ([]float32, []float64) {
+	msg := <-p.world.chans[src][p.rank]
+	if msg.arrival > p.clock {
+		p.clock = msg.arrival
+	}
+	return msg.data, msg.meta
+}
+
+// SendRecv exchanges vectors with a peer: sends sendBuf, receives and
+// returns the peer's vector. Both sides must call it with each other as
+// peer.
+func (p *Proc) SendRecv(peer int, sendBuf []float32) []float32 {
+	p.Send(peer, sendBuf)
+	return p.Recv(peer)
+}
+
+// SendRecvMeta exchanges float64 side payloads with a peer.
+func (p *Proc) SendRecvMeta(peer int, sendBuf []float64) []float64 {
+	p.SendMeta(peer, sendBuf)
+	return p.RecvMeta(peer)
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them. Per-rank panics are re-raised on the caller with rank context.
+func (w *World) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	errs := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					errs[rank] = fmt.Sprintf("rank %d: %v", rank, e)
+				}
+			}()
+			body(w.Proc(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			panic(e)
+		}
+	}
+}
+
+// RunCollect runs body on every rank and returns the per-rank results.
+func RunCollect[T any](w *World, body func(p *Proc) T) []T {
+	out := make([]T, w.size)
+	w.Run(func(p *Proc) {
+		out[p.Rank()] = body(p)
+	})
+	return out
+}
+
+// MaxClock runs body on every rank and returns the largest final virtual
+// clock — the simulated wall-clock completion time of the collective.
+func MaxClock(w *World, body func(p *Proc)) float64 {
+	clocks := RunCollect(w, func(p *Proc) float64 {
+		body(p)
+		return p.Clock()
+	})
+	var m float64
+	for _, c := range clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

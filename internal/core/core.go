@@ -1,0 +1,193 @@
+// Package core is the reproduction's public API, shaped after Horovod's
+// (§4.1 of the paper): an Allreduce with a selectable reduction op
+// (Sum, Average, or Adasum) and a DistributedOptimizer wrapper,
+//
+//	opt = hvd.DistributedOptimizer(opt, op=hvd.Adasum)
+//
+// becomes
+//
+//	dopt := core.NewDistributedOptimizer(opt, core.OpAdasum, core.Options{})
+//	dopt.Step(proc, group, net, lr)
+//
+// For OpAdasum the wrapper implements the Figure 3 pattern: the inner
+// optimizer runs locally on each rank's gradient, and the allreduce
+// combines the resulting model deltas ("effective gradients") — which is
+// why Adasum composes with Adam and LAMB without increasing their
+// effective minibatch.
+//
+// The distributed collectives (AdasumRVH of Algorithm 1, ring sum,
+// hierarchical variants), tensor fusion, fp16 quantization and dynamic
+// loss scaling all hang off Options.
+package core
+
+import (
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/float16"
+	"repro/internal/fusion"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/scaling"
+	"repro/internal/tensor"
+)
+
+// Op selects the reduction applied by Allreduce.
+type Op int
+
+// Reduction operations.
+const (
+	// OpSum is the elementwise sum — Horovod's default.
+	OpSum Op = iota
+	// OpAverage is the elementwise mean.
+	OpAverage
+	// OpAdasum is the adaptive sum of the paper.
+	OpAdasum
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAverage:
+		return "average"
+	case OpAdasum:
+		return "adasum"
+	default:
+		return "sum"
+	}
+}
+
+// Options tunes the communication path.
+type Options struct {
+	// Hierarchical enables the §4.2.2 scheme: intra-node reduce-scatter
+	// (sum), cross-node reduction, intra-node allgather. Requires
+	// GPUsPerNode to divide the group size.
+	Hierarchical bool
+	// GPUsPerNode is the node width for Hierarchical mode.
+	GPUsPerNode int
+	// FusionThresholdBytes caps fused buffer sizes for AllreduceTensors
+	// (§4.4.3). Zero selects the 64 MB default.
+	FusionThresholdBytes int
+	// FP16 quantizes payloads through binary16 before and after the
+	// reduction, modeling half-precision communication (§4.4.1). Dot
+	// products still accumulate in float64.
+	FP16 bool
+	// Scaler, when set with FP16, applies dynamic loss scaling around
+	// the quantization.
+	Scaler *scaling.LossScaler
+}
+
+// Allreduce reduces x in place across the group with the chosen op.
+// layout provides per-layer boundaries for Adasum (§3.6); pass
+// tensor.FlatLayout(len(x)) for whole-gradient semantics. Adasum
+// requires a power-of-two group (or node count in hierarchical mode);
+// non-power-of-two groups fall back to the linear chain, which is valid
+// for any size.
+func Allreduce(p *comm.Proc, g collective.Group, x []float32, layout tensor.Layout, op Op, o Options) {
+	if o.FP16 {
+		quantize(x, o.Scaler)
+	}
+	switch op {
+	case OpSum:
+		if o.Hierarchical && o.GPUsPerNode > 1 {
+			collective.HierarchicalSum(p, g, x, o.GPUsPerNode)
+		} else {
+			collective.RingAllreduceSum(p, g, x)
+		}
+	case OpAverage:
+		if o.Hierarchical && o.GPUsPerNode > 1 {
+			collective.HierarchicalSum(p, g, x, o.GPUsPerNode)
+			tensor.Scale(1/float32(len(g)), x)
+		} else {
+			collective.RingAllreduceMean(p, g, x)
+		}
+	case OpAdasum:
+		switch {
+		case o.Hierarchical && o.GPUsPerNode > 1:
+			collective.HierarchicalAdasum(p, g, x, layout, o.GPUsPerNode)
+		case g.IsPowerOfTwo():
+			collective.AdasumRVH(p, g, x, layout)
+		default:
+			collective.LinearAdasum(p, g, x, layout)
+		}
+	}
+	if o.FP16 {
+		quantize(x, nil) // result travels back as fp16 too
+	}
+}
+
+// AllreduceTensors fuses the named tensors into buffers bounded by the
+// fusion threshold, reduces each fused buffer (per-layer boundaries are
+// the member tensors), and scatters results back — the full §4.4.3 path.
+func AllreduceTensors(p *comm.Proc, g collective.Group, tensors [][]float32, names []string, op Op, o Options) {
+	groups := fusion.Fuse(tensors, names, o.FusionThresholdBytes)
+	for i := range groups {
+		p.ComputeMemCopy(groups[i].Bytes())
+		Allreduce(p, g, groups[i].Data, groups[i].Layout, op, o)
+		p.ComputeMemCopy(groups[i].Bytes())
+	}
+	fusion.UnfuseAll(groups, tensors)
+}
+
+// quantize round-trips x through binary16, optionally applying the loss
+// scale first (and unscaling after) so small gradients survive the
+// narrower exponent range.
+func quantize(x []float32, s *scaling.LossScaler) {
+	if s != nil {
+		s.ScaleGrads(x)
+	}
+	for i, v := range x {
+		x[i] = float16.ToFloat32(float16.FromFloat32(v))
+	}
+	if s != nil {
+		s.Unscale(x)
+	}
+}
+
+// DistributedOptimizer wraps a local optimizer with the distributed
+// reduction, mirroring hvd.DistributedOptimizer.
+type DistributedOptimizer struct {
+	inner optim.Optimizer
+	op    Op
+	opts  Options
+
+	start []float32 // scratch: pre-step parameter snapshot (Figure 3)
+	delta []float32
+}
+
+// NewDistributedOptimizer wraps inner with reduction op.
+func NewDistributedOptimizer(inner optim.Optimizer, op Op, opts Options) *DistributedOptimizer {
+	return &DistributedOptimizer{inner: inner, op: op, opts: opts}
+}
+
+// Inner returns the wrapped optimizer.
+func (d *DistributedOptimizer) Inner() optim.Optimizer { return d.inner }
+
+// Step performs one distributed update of net on rank p:
+//
+//   - Sum/Average ops reduce the gradients first, then run the inner
+//     optimizer once — synchronous SGD;
+//   - Adasum runs the inner optimizer on the local gradient, computes the
+//     effective gradient (current - start), Adasum-allreduces it, and
+//     rewinds the model to start + combined delta (Figure 3).
+func (d *DistributedOptimizer) Step(p *comm.Proc, g collective.Group, net *nn.Network, lr float64) {
+	params := net.Params()
+	grads := net.Grads()
+	layout := net.Layout()
+	switch d.op {
+	case OpSum, OpAverage:
+		Allreduce(p, g, grads, layout, OpAverage, d.opts)
+		d.inner.Step(params, grads, lr)
+	case OpAdasum:
+		if cap(d.start) < len(params) {
+			d.start = make([]float32, len(params))
+			d.delta = make([]float32, len(params))
+		}
+		d.start = d.start[:len(params)]
+		d.delta = d.delta[:len(params)]
+		copy(d.start, params)
+		d.inner.Step(params, grads, lr)
+		tensor.Sub(d.delta, params, d.start)
+		Allreduce(p, g, d.delta, layout, OpAdasum, d.opts)
+		copy(params, d.start)
+		tensor.Axpy(1, d.delta, params)
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adasum"
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/scaling"
+	"repro/internal/tensor"
+)
+
+func randInputs(seed int64, ranks, n int) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, ranks)
+	for i := range out {
+		v := make([]float32, n)
+		for j := range v {
+			v[j] = rng.Float32()*2 - 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestAllreduceSumAverage(t *testing.T) {
+	ranks, n := 4, 50
+	inputs := randInputs(1, ranks, n)
+	want := adasum.SumReduce(inputs)
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	layout := tensor.FlatLayout(n)
+
+	sums := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		x := tensor.Clone(inputs[p.Rank()])
+		Allreduce(p, g, x, layout, OpSum, Options{})
+		return x
+	})
+	for _, s := range sums {
+		if !tensor.Equal(s, want, 1e-4) {
+			t.Fatal("OpSum mismatch")
+		}
+	}
+
+	w2 := comm.NewWorld(ranks, nil)
+	avgWant := tensor.Clone(want)
+	tensor.Scale(0.25, avgWant)
+	avgs := comm.RunCollect(w2, func(p *comm.Proc) []float32 {
+		x := tensor.Clone(inputs[p.Rank()])
+		Allreduce(p, g, x, layout, OpAverage, Options{})
+		return x
+	})
+	for _, s := range avgs {
+		if !tensor.Equal(s, avgWant, 1e-4) {
+			t.Fatal("OpAverage mismatch")
+		}
+	}
+}
+
+func TestAllreduceAdasumMatchesHostTree(t *testing.T) {
+	ranks, n := 8, 64
+	inputs := randInputs(2, ranks, n)
+	layout := tensor.NewLayout([]string{"a", "b"}, []int{40, 24})
+	want := adasum.TreeReduce(inputs, layout)
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		x := tensor.Clone(inputs[p.Rank()])
+		Allreduce(p, g, x, layout, OpAdasum, Options{})
+		return x
+	})
+	for _, v := range got {
+		if !tensor.Equal(v, want, 1e-4) {
+			t.Fatal("OpAdasum mismatch with host tree")
+		}
+	}
+}
+
+func TestAllreduceAdasumNonPowerOfTwoFallsBack(t *testing.T) {
+	ranks, n := 3, 20
+	inputs := randInputs(3, ranks, n)
+	layout := tensor.FlatLayout(n)
+	want := adasum.LinearReduce(inputs, layout)
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		x := tensor.Clone(inputs[p.Rank()])
+		Allreduce(p, g, x, layout, OpAdasum, Options{})
+		return x
+	})
+	for _, v := range got {
+		if !tensor.Equal(v, want, 1e-4) {
+			t.Fatal("non-power-of-two fallback mismatch")
+		}
+	}
+}
+
+func TestAllreduceHierarchicalAdasum(t *testing.T) {
+	gpus, nodes := 2, 2
+	ranks := gpus * nodes
+	n := 30
+	inputs := randInputs(4, ranks, n)
+	layout := tensor.FlatLayout(n)
+	nodeSums := make([][]float32, nodes)
+	for nd := 0; nd < nodes; nd++ {
+		nodeSums[nd] = adasum.SumReduce(inputs[nd*gpus : (nd+1)*gpus])
+	}
+	want := adasum.TreeReduce(nodeSums, layout)
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		x := tensor.Clone(inputs[p.Rank()])
+		Allreduce(p, g, x, layout, OpAdasum, Options{Hierarchical: true, GPUsPerNode: gpus})
+		return x
+	})
+	for _, v := range got {
+		if !tensor.Equal(v, want, 1e-4) {
+			t.Fatal("hierarchical adasum mismatch")
+		}
+	}
+}
+
+func TestAllreduceFP16Quantizes(t *testing.T) {
+	ranks, n := 2, 16
+	inputs := randInputs(5, ranks, n)
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	layout := tensor.FlatLayout(n)
+	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		x := tensor.Clone(inputs[p.Rank()])
+		Allreduce(p, g, x, layout, OpSum, Options{FP16: true})
+		return x
+	})
+	want := adasum.SumReduce(inputs)
+	for _, v := range got {
+		// Quantization error bounded by fp16 resolution of values ~2.
+		if !tensor.Equal(v, want, 5e-3) {
+			t.Fatal("fp16 sum too far from fp32 sum")
+		}
+		if tensor.Equal(v, want, 0) {
+			t.Fatal("fp16 path appears to be a no-op (no quantization)")
+		}
+	}
+}
+
+func TestAllreduceFP16WithScaler(t *testing.T) {
+	// Tiny gradients that underflow fp16 must survive when scaled.
+	ranks, n := 2, 8
+	small := make([]float32, n)
+	for i := range small {
+		small[i] = 3e-8 // below fp16 min subnormal
+	}
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	layout := tensor.FlatLayout(n)
+	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		x := tensor.Clone(small)
+		s := scaling.NewLossScaler()
+		Allreduce(p, g, x, layout, OpSum, Options{FP16: true, Scaler: s})
+		return x
+	})
+	for _, v := range got {
+		if v[0] == 0 {
+			t.Fatal("scaled fp16 path lost small gradients to underflow")
+		}
+	}
+}
+
+func TestAllreduceTensorsFusionRoundTrip(t *testing.T) {
+	ranks := 4
+	sizes := []int{10, 3, 25, 7}
+	names := []string{"conv1", "bn1", "fc1", "fc2"}
+	perRank := make([][][]float32, ranks)
+	for r := 0; r < ranks; r++ {
+		flat := randInputs(int64(10+r), 1, 45)[0]
+		split := make([][]float32, len(sizes))
+		off := 0
+		for i, s := range sizes {
+			split[i] = flat[off : off+s]
+			off += s
+		}
+		perRank[r] = split
+	}
+	// Host reference: per-tensor adasum tree.
+	want := make([][]float32, len(sizes))
+	for i, s := range sizes {
+		ins := make([][]float32, ranks)
+		for r := 0; r < ranks; r++ {
+			ins[r] = perRank[r][i]
+		}
+		want[i] = adasum.TreeReduce(ins, tensor.FlatLayout(s))
+	}
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	got := comm.RunCollect(w, func(p *comm.Proc) [][]float32 {
+		mine := make([][]float32, len(sizes))
+		for i := range sizes {
+			mine[i] = tensor.Clone(perRank[p.Rank()][i])
+		}
+		AllreduceTensors(p, g, mine, names, OpAdasum, Options{FusionThresholdBytes: 1 << 20})
+		return mine
+	})
+	for _, rankOut := range got {
+		for i := range sizes {
+			if !tensor.Equal(rankOut[i], want[i], 1e-4) {
+				t.Fatalf("fused tensor %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestDistributedOptimizerAdasumFigure3Semantics(t *testing.T) {
+	// Final params must be start + TreeReduce(per-rank deltas).
+	ranks := 4
+	train := data.Generate(data.Config{N: 64, Dim: 8, Classes: 3, Noise: 0.5, Seed: 6})
+	mkNet := func() *nn.Network { return nn.NewMLP(8, 6, 3) }
+	proto := mkNet()
+	proto.Init(rand.New(rand.NewSource(7)))
+	start := tensor.Clone(proto.Params())
+
+	// Host-side expectation.
+	deltas := make([][]float32, ranks)
+	for r := 0; r < ranks; r++ {
+		net := mkNet()
+		net.SetParams(start)
+		shard := train.Shard(r, ranks)
+		x, labels := shard.Batch([]int{0, 1, 2, 3})
+		net.Gradient(x, labels, 4)
+		opt := optim.NewAdam()
+		opt.Step(net.Params(), net.Grads(), 0.01)
+		d := make([]float32, len(start))
+		tensor.Sub(d, net.Params(), start)
+		deltas[r] = d
+	}
+	wantDelta := adasum.TreeReduce(deltas, proto.Layout())
+	want := tensor.Clone(start)
+	tensor.Axpy(1, wantDelta, want)
+
+	// Distributed run.
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		net := mkNet()
+		net.SetParams(start)
+		shard := train.Shard(p.Rank(), ranks)
+		x, labels := shard.Batch([]int{0, 1, 2, 3})
+		net.Gradient(x, labels, 4)
+		dopt := NewDistributedOptimizer(optim.NewAdam(), OpAdasum, Options{})
+		dopt.Step(p, g, net, 0.01)
+		return tensor.Clone(net.Params())
+	})
+	for r, v := range got {
+		if !tensor.Equal(v, want, 1e-5) {
+			t.Fatalf("rank %d: Figure 3 semantics violated", r)
+		}
+	}
+}
+
+func TestDistributedOptimizerSumMatchesSequentialAveragedStep(t *testing.T) {
+	ranks := 4
+	n := 20
+	inputs := randInputs(8, ranks, n)
+	layout := tensor.FlatLayout(n)
+	_ = layout
+	start := randInputs(9, 1, n)[0]
+
+	// Expectation: one SGD step with the averaged gradient.
+	avg := adasum.MeanReduce(inputs)
+	want := tensor.Clone(start)
+	optim.NewSGD().Step(want, avg, 0.1)
+
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		net := nn.NewNetwork(nn.NewDenseNoBias("fc", 4, 5)) // 20 params
+		net.SetParams(start)
+		copy(net.Grads(), inputs[p.Rank()])
+		dopt := NewDistributedOptimizer(optim.NewSGD(), OpSum, Options{})
+		dopt.Step(p, g, net, 0.1)
+		return tensor.Clone(net.Params())
+	})
+	for r, v := range got {
+		if !tensor.Equal(v, want, 1e-5) {
+			t.Fatalf("rank %d: sum optimizer mismatch", r)
+		}
+	}
+}
+
+func TestDistributedTrainingEndToEnd(t *testing.T) {
+	// A full multi-rank training loop through the public API must learn.
+	ranks := 4
+	train, test := data.GeneratePair(data.Config{N: 512, Dim: 12, Classes: 3, Noise: 0.7, Seed: 11}, 128)
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	start := nn.NewMLP(12, 16, 3)
+	start.Init(rand.New(rand.NewSource(12)))
+	init := tensor.Clone(start.Params())
+
+	accs := comm.RunCollect(w, func(p *comm.Proc) float64 {
+		net := nn.NewMLP(12, 16, 3)
+		net.SetParams(init)
+		dopt := NewDistributedOptimizer(optim.NewMomentum(0.9), OpAdasum, Options{})
+		shard := train.Shard(p.Rank(), ranks)
+		it := data.NewIterator(shard.N, 16, int64(100+p.Rank()))
+		for step := 0; step < 120; step++ {
+			idx := it.Next()
+			x, labels := shard.Batch(idx)
+			net.Gradient(x, labels, len(idx))
+			dopt.Step(p, g, net, 0.05)
+		}
+		tx, tl := test.Batch(seqInts(test.N))
+		return net.Accuracy(tx, tl, test.N)
+	})
+	for r, a := range accs {
+		if a < 0.9 {
+			t.Fatalf("rank %d final accuracy %v", r, a)
+		}
+	}
+	// All ranks must hold identical models (they synchronized every step).
+	if accs[0] != accs[1] || accs[1] != accs[2] {
+		t.Fatalf("ranks diverged: %v", accs)
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tb.Add(1, 2.5)
+	tb.Add("x", "y")
+	var buf bytes.Buffer
+	tb.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"## demo", "a", "bb", "x", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCSV(&buf, "curves", []Series{{Label: "s", X: []float64{1, 2}, Y: []float64{3, 4}}})
+	out := buf.String()
+	if !strings.Contains(out, "s,1,3") || !strings.Contains(out, "s,2,4") {
+		t.Fatalf("csv output wrong:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+	s := Sparkline([]float64{0, 1})
+	if len([]rune(s)) != 2 {
+		t.Fatalf("sparkline length: %q", s)
+	}
+}
+
+func TestFig4ShapeQuick(t *testing.T) {
+	r := RunFig4(ScaleQuick)
+	if len(r.Bytes) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// Latency must be monotone non-decreasing with payload size for both
+	// algorithms, and Adasum must stay within 2x of the sum baseline
+	// (the "roughly equal" claim).
+	for i := 1; i < len(r.Bytes); i++ {
+		if r.NCCLms[i] < r.NCCLms[i-1]-1e-9 || r.Adasum[i] < r.Adasum[i-1]-1e-9 {
+			t.Fatalf("latency not monotone at %d bytes", r.Bytes[i])
+		}
+	}
+	if r.MaxRatio() > 2 {
+		t.Fatalf("adasum/nccl ratio %v exceeds 2", r.MaxRatio())
+	}
+	// Bandwidth regime: largest payload must cost much more than the
+	// smallest (we swept 14 doublings).
+	if r.NCCLms[len(r.NCCLms)-1] < 4*r.NCCLms[0] {
+		t.Fatal("sweep never left the latency floor")
+	}
+}
+
+func TestTable1ShapeQuick(t *testing.T) {
+	r := RunTable1(ScaleQuick)
+	if r.With.Microbatch <= r.Without.Microbatch {
+		t.Fatalf("microbatch did not grow: %d -> %d", r.Without.Microbatch, r.With.Microbatch)
+	}
+	if r.With.UpdateSec >= r.Without.UpdateSec {
+		t.Fatalf("update time did not drop: %v -> %v", r.Without.UpdateSec, r.With.UpdateSec)
+	}
+	if r.With.Throughput <= r.Without.Throughput {
+		t.Fatalf("throughput did not improve: %v -> %v", r.Without.Throughput, r.With.Throughput)
+	}
+	// Paper band: ~10% throughput gain, ~1.9x update speedup.
+	if gain := r.With.Throughput / r.Without.Throughput; gain < 1.02 || gain > 1.3 {
+		t.Fatalf("throughput gain %v outside plausible band", gain)
+	}
+}
+
+func TestFig2ShapeQuick(t *testing.T) {
+	r := RunFig2(ScaleQuick)
+	am, sm := r.MeanErrors()
+	if am >= sm {
+		t.Fatalf("adasum mean error %v not below sync-sgd %v", am, sm)
+	}
+	if r.FinalAcc < 0.5 {
+		t.Fatalf("parallel run failed to train: acc %v", r.FinalAcc)
+	}
+	// The paper notes the sync-SGD error decays as H decays; the last
+	// fifth of the trace should sit below the first fifth on average.
+	n := len(r.SumErr.Y)
+	early := mean(r.SumErr.Y[:n/5])
+	late := mean(r.SumErr.Y[n-n/5:])
+	if late >= early {
+		t.Fatalf("sync-sgd error did not decay: early %v late %v", early, late)
+	}
+}
+
+func TestTable4ShapeQuick(t *testing.T) {
+	r := RunTable4(ScaleQuick)
+	if len(r.Rows) < 2 {
+		t.Fatal("need at least two GPU counts")
+	}
+	base := r.Rows[0]
+	if base.SumPH1 < 0.99 || base.SumPH1 > 1.01 {
+		t.Fatalf("baseline row speedup %v != 1", base.SumPH1)
+	}
+	// Adasum's overhead at 64 GPUs is small (paper: <2% ph1, <1% ph2).
+	if base.AdasumPH1 < 0.9 {
+		t.Fatalf("adasum 64-GPU overhead too large: %v", base.AdasumPH1)
+	}
+	for _, row := range r.Rows[1:] {
+		if row.SumPH1 <= base.SumPH1 || row.AdasumPH1 <= base.AdasumPH1 {
+			t.Fatal("no scaling with more GPUs")
+		}
+		// Adasum wins total time thanks to fewer iterations.
+		if row.AdasumTimeMin >= row.SumTimeMin {
+			t.Fatalf("adasum time %v not below sum %v at %d GPUs",
+				row.AdasumTimeMin, row.SumTimeMin, row.GPUs)
+		}
+	}
+	// Baseline throughput calibration (paper: 12.2K / 4.6K samples/s).
+	if r.BaselinePH1Tput < 10_000 || r.BaselinePH1Tput > 14_000 {
+		t.Fatalf("ph1 baseline throughput %v outside the paper band", r.BaselinePH1Tput)
+	}
+}
+
+func TestFig1ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	r := RunFig1("bert", ScaleQuick)
+	early, late := r.EarlyLate()
+	if late <= early {
+		t.Fatalf("orthogonality did not rise: %v -> %v", early, late)
+	}
+	if len(r.PerLayer) == 0 {
+		t.Fatal("no per-layer series recorded")
+	}
+}

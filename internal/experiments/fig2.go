@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/adasum"
+	"repro/internal/data"
+	"repro/internal/hessian"
+	"repro/internal/tensor"
+)
+
+// Fig2Result holds the Figure 2 traces: per communication step, the
+// relative error of the Adasum combination and of the synchronous-SGD
+// sum against the exact-Hessian sequential emulation.
+type Fig2Result struct {
+	AdasumErr Series
+	SumErr    Series
+	FinalAcc  float64
+}
+
+// Fig2Config parameterizes the emulation-error experiment.
+type Fig2Config struct {
+	Workers    int
+	Microbatch int
+	Steps      int
+	Dim        int
+	Classes    int
+}
+
+func fig2Config(scale Scale) Fig2Config {
+	if scale == ScaleFull {
+		// 64 nodes as in the paper; dim reduced from LeNet-5 to keep the
+		// P×P exact Hessian tractable (see DESIGN.md substitutions).
+		return Fig2Config{Workers: 64, Microbatch: 8, Steps: 400, Dim: 24, Classes: 6}
+	}
+	return Fig2Config{Workers: 16, Microbatch: 8, Steps: 50, Dim: 12, Classes: 4}
+}
+
+// RunFig2 reproduces Figure 2: train softmax regression (negative
+// log-likelihood loss, exact analytic Hessian) data-parallel, and at
+// every communication step compare three combinations of the worker
+// gradients — exact-Hessian sequential emulation (the reference), the
+// Adasum operator, and the synchronous-SGD sum — recording the relative
+// error of the latter two. The model advances with the Adasum update at
+// the near-optimal learning rate (α ≈ 1/‖g‖², Appendix A.2) the
+// derivation assumes.
+func RunFig2(scale Scale) *Fig2Result {
+	cfg := fig2Config(scale)
+	// Enough data and noise that the model keeps learning for the whole
+	// step budget (the paper's 400-step LeNet run never saturates); once
+	// the model sits at its noise floor the reference combination
+	// degenerates and the comparison stops being meaningful.
+	train, test := data.GeneratePair(data.Config{
+		N: cfg.Workers * cfg.Microbatch * 32, Dim: cfg.Dim, Classes: cfg.Classes,
+		Noise: 1.3, Seed: 21,
+	}, 512)
+
+	m := hessian.NewSoftmaxModel(cfg.Dim, cfg.Classes)
+	rng := rand.New(rand.NewSource(22))
+	for i := range m.W {
+		m.W[i] = float32(rng.NormFloat64() * 0.01)
+	}
+
+	res := &Fig2Result{
+		AdasumErr: Series{Label: "adasum"},
+		SumErr:    Series{Label: "sync-sgd"},
+	}
+	layout := tensor.FlatLayout(m.NumParams())
+	it := data.NewIterator(train.N, cfg.Workers*cfg.Microbatch, 23)
+	for step := 0; step < cfg.Steps; step++ {
+		idx := it.Next()
+		items := make([]hessian.GradHess, 0, cfg.Workers)
+		grads := make([][]float32, 0, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			lo := w * cfg.Microbatch
+			hi := lo + cfg.Microbatch
+			if lo >= len(idx) {
+				break
+			}
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			x, l := train.Batch(idx[lo:hi])
+			g, h, _ := m.GradientAndHessian(x, l, hi-lo)
+			items = append(items, hessian.GradHess{G: g, H: h})
+			grads = append(grads, g)
+		}
+		alpha := hessian.OptimalAlpha(grads)
+		ref := hessian.SequentialTreeReduce(items, alpha)
+		ada := adasum.TreeReduce(grads, layout)
+		sum := adasum.SumReduce(grads)
+		ae, se := hessian.EmulationErrors(ada, sum, ref.G)
+		res.AdasumErr.X = append(res.AdasumErr.X, float64(step))
+		res.AdasumErr.Y = append(res.AdasumErr.Y, ae)
+		res.SumErr.X = append(res.SumErr.X, float64(step))
+		res.SumErr.Y = append(res.SumErr.Y, se)
+
+		for i := range m.W {
+			m.W[i] -= float32(alpha) * ada[i]
+		}
+	}
+	tx, tl := test.Batch(seqInts(test.N))
+	res.FinalAcc = m.Accuracy(tx, tl, test.N)
+	return res
+}
+
+// MeanErrors returns the average error of each combiner over the run.
+func (r *Fig2Result) MeanErrors() (adasumMean, sumMean float64) {
+	return mean(r.AdasumErr.Y), mean(r.SumErr.Y)
+}
+
+// Render writes the Figure 2 CSV and summary.
+func (r *Fig2Result) Render(w io.Writer) {
+	WriteCSV(w, "Figure 2: approximation error vs exact-Hessian sequential emulation",
+		[]Series{r.AdasumErr, r.SumErr})
+	am, sm := r.MeanErrors()
+	fmt.Fprintf(w, "mean |error|: adasum %.4f   sync-sgd %.4f   (paper: adasum below sync-sgd)\n", am, sm)
+	fmt.Fprintf(w, "adasum trend  %s\n", Sparkline(r.AdasumErr.Y))
+	fmt.Fprintf(w, "syncsgd trend %s\n", Sparkline(r.SumErr.Y))
+	fmt.Fprintf(w, "final parallel-run accuracy: %.4f\n\n", r.FinalAcc)
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// allreduceSeconds measures the simulated wall-clock of one allreduce of
+// logicalBytes across the cluster described by mkModel. Large logical
+// payloads are represented by small real vectors with the per-byte costs
+// scaled up — exact under the linear alpha-beta model (see Fig4Config).
+// kind selects the algorithm: "sum" (hierarchical ring, the NCCL
+// stand-in), "adasum" (AdasumRVH), or "hier-adasum" (§4.2.2).
+func allreduceSeconds(mkModel func(ranks int) *simnet.Model, ranks, gpusPerNode, logicalBytes int, kind string) float64 {
+	const maxReal = 1 << 16
+	realFloats := logicalBytes / 4
+	if realFloats < 1 {
+		realFloats = 1
+	}
+	scaleF := 1.0
+	if realFloats > maxReal {
+		scaleF = float64(realFloats) / float64(maxReal)
+		realFloats = maxReal
+	}
+	model := mkModel(ranks)
+	model.BetaIntra *= scaleF
+	model.BetaInter *= scaleF
+	model.FlopBeta *= scaleF
+	model.MemCopyBeta *= scaleF
+
+	w := comm.NewWorld(ranks, model)
+	g := collective.WorldGroup(ranks)
+	layout := tensor.FlatLayout(realFloats)
+	return comm.MaxClock(w, func(p *comm.Proc) {
+		x := make([]float32, realFloats)
+		for i := range x {
+			x[i] = float32(p.Rank()%7) + 0.25
+		}
+		switch kind {
+		case "sum":
+			collective.HierarchicalSum(p, g, x, gpusPerNode)
+		case "adasum":
+			collective.AdasumRVH(p, g, x, layout)
+		case "hier-adasum":
+			collective.HierarchicalAdasum(p, g, x, layout, gpusPerNode)
+		default:
+			panic("experiments: unknown allreduce kind " + kind)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package float16 implements IEEE-754 binary16 ("half precision") in
+// software. The paper's Adasum implementation supports fp16 gradients for
+// compute and communication efficiency (§4.4.1); since Go has no native
+// half type, values are stored as uint16 bit patterns and converted
+// to/from float32 for arithmetic. Conversions implement round-to-nearest-
+// even, subnormals, infinities and NaN propagation.
+package float16
+
+import "math"
+
+// Bits is the raw binary16 bit pattern of a half-precision float.
+type Bits uint16
+
+const (
+	signMask     = 0x8000
+	expMask      = 0x7C00
+	fracMask     = 0x03FF
+	expBias      = 15
+	maxExp       = 0x1F
+	PositiveInf  = Bits(0x7C00)
+	NegativeInf  = Bits(0xFC00)
+	NaN          = Bits(0x7E00)
+	MaxValue     = 65504.0 // largest finite half
+	MinNormal    = 6.103515625e-05
+	MinSubnormal = 5.9604644775390625e-08
+)
+
+// FromFloat32 converts a float32 to the nearest binary16, with
+// round-to-nearest-even. Values beyond ±65504 become infinities.
+func FromFloat32(f float32) Bits {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if frac != 0 {
+			// Preserve a quiet NaN with some payload bits.
+			return Bits(sign | expMask | 0x0200 | uint16(frac>>13))
+		}
+		return Bits(sign | expMask)
+	case exp == 0 && frac == 0: // signed zero
+		return Bits(sign)
+	}
+
+	// Unbias, rebias for half.
+	e := exp - 127 + expBias
+	switch {
+	case e >= maxExp: // overflow -> inf
+		return Bits(sign | expMask)
+	case e >= 1: // normal half
+		half := (uint32(e) << 10) | (frac >> 13)
+		// Round to nearest even on the 13 truncated bits.
+		round := frac & 0x1FFF
+		if round > 0x1000 || (round == 0x1000 && half&1 == 1) {
+			half++ // may carry into exponent; that is correct rounding
+		}
+		return Bits(sign | uint16(half))
+	case e >= -10: // subnormal half
+		// Add the implicit leading 1 and shift right by (1 - e) extra.
+		frac |= 0x800000
+		shift := uint32(14 - e) // total shift from 23-bit frac to 10-bit
+		half := frac >> shift
+		rem := frac & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return Bits(sign | uint16(half))
+	default: // underflow -> signed zero
+		return Bits(sign)
+	}
+}
+
+// ToFloat32 converts a binary16 bit pattern to float32 exactly (every
+// half value is representable in single precision).
+func ToFloat32(h Bits) float32 {
+	sign := uint32(h&signMask) << 16
+	exp := uint32(h&expMask) >> 10
+	frac := uint32(h & fracMask)
+
+	switch exp {
+	case 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - expBias + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= fracMask
+		return math.Float32frombits(sign | (e << 23) | (frac << 13))
+	case maxExp:
+		if frac == 0 {
+			return math.Float32frombits(sign | 0x7F800000) // inf
+		}
+		return math.Float32frombits(sign | 0x7F800000 | (frac << 13) | 0x400000) // quiet NaN
+	default:
+		e := exp - expBias + 127
+		return math.Float32frombits(sign | (e << 23) | (frac << 13))
+	}
+}
+
+// IsNaN reports whether h encodes a NaN.
+func (h Bits) IsNaN() bool { return h&expMask == expMask && h&fracMask != 0 }
+
+// IsInf reports whether h encodes ±infinity.
+func (h Bits) IsInf() bool { return h&expMask == expMask && h&fracMask == 0 }
+
+// IsFinite reports whether h is neither NaN nor infinite.
+func (h Bits) IsFinite() bool { return h&expMask != expMask }
+
+// Encode converts a float32 slice into a freshly allocated half slice.
+func Encode(src []float32) []Bits {
+	dst := make([]Bits, len(src))
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+	return dst
+}
+
+// EncodeInto converts src into dst, which must have the same length.
+func EncodeInto(dst []Bits, src []float32) {
+	if len(dst) != len(src) {
+		panic("float16: EncodeInto length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+}
+
+// Decode converts a half slice into a freshly allocated float32 slice.
+func Decode(src []Bits) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = ToFloat32(v)
+	}
+	return dst
+}
+
+// DecodeInto converts src into dst, which must have the same length.
+func DecodeInto(dst []float32, src []Bits) {
+	if len(dst) != len(src) {
+		panic("float16: DecodeInto length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = ToFloat32(v)
+	}
+}
+
+// AnyNonFinite reports whether the slice contains a NaN or infinity,
+// signalling fp16 overflow to the dynamic loss scaler.
+func AnyNonFinite(src []Bits) bool {
+	for _, v := range src {
+		if !v.IsFinite() {
+			return true
+		}
+	}
+	return false
+}
+
+// Dot computes the inner product of two half slices with float64
+// accumulation, the precision discipline §4.4.1 calls out as "crucial for
+// the improved convergence of Adasum".
+func Dot(a, b []Bits) float64 {
+	if len(a) != len(b) {
+		panic("float16: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += float64(ToFloat32(a[i])) * float64(ToFloat32(b[i]))
+	}
+	return s
+}
+
+// Norm2 computes the squared norm of a half slice with float64
+// accumulation.
+func Norm2(a []Bits) float64 {
+	var s float64
+	for _, v := range a {
+		f := float64(ToFloat32(v))
+		s += f * f
+	}
+	return s
+}

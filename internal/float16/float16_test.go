@@ -1,0 +1,202 @@
+package float16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		b Bits
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF}, // max finite half
+		{-65504, 0xFBFF},
+		{6.103515625e-05, 0x0400},        // min normal
+		{5.9604644775390625e-08, 0x0001}, // min subnormal
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.b {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.b)
+		}
+		if got := ToFloat32(c.b); got != c.f {
+			t.Errorf("ToFloat32(%#04x) = %v, want %v", c.b, got, c.f)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	nz := FromFloat32(float32(math.Copysign(0, -1)))
+	if nz != 0x8000 {
+		t.Fatalf("negative zero = %#04x", nz)
+	}
+	back := ToFloat32(nz)
+	if back != 0 || !math.Signbit(float64(back)) {
+		t.Fatalf("negative zero round trip = %v", back)
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if got := FromFloat32(70000); got != PositiveInf {
+		t.Fatalf("70000 -> %#04x, want +inf", got)
+	}
+	if got := FromFloat32(-70000); got != NegativeInf {
+		t.Fatalf("-70000 -> %#04x, want -inf", got)
+	}
+	// 65520 is the rounding boundary: anything >= 65520 rounds to inf.
+	if got := FromFloat32(65520); got != PositiveInf {
+		t.Fatalf("65520 -> %#04x, want +inf (round to even)", got)
+	}
+	if got := FromFloat32(65519.996); got != Bits(0x7BFF) {
+		t.Fatalf("65519.996 -> %#04x, want max finite", got)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if got := FromFloat32(1e-10); got != 0 {
+		t.Fatalf("1e-10 -> %#04x, want +0", got)
+	}
+	if got := FromFloat32(-1e-10); got != 0x8000 {
+		t.Fatalf("-1e-10 -> %#04x, want -0", got)
+	}
+}
+
+func TestInfNaN(t *testing.T) {
+	if got := FromFloat32(float32(math.Inf(1))); got != PositiveInf {
+		t.Fatalf("+inf -> %#04x", got)
+	}
+	if got := FromFloat32(float32(math.Inf(-1))); got != NegativeInf {
+		t.Fatalf("-inf -> %#04x", got)
+	}
+	n := FromFloat32(float32(math.NaN()))
+	if !n.IsNaN() {
+		t.Fatalf("NaN -> %#04x, not NaN", n)
+	}
+	if !math.IsNaN(float64(ToFloat32(NaN))) {
+		t.Fatal("ToFloat32(NaN) is not NaN")
+	}
+	if !PositiveInf.IsInf() || NaN.IsInf() {
+		t.Fatal("IsInf misclassification")
+	}
+	if PositiveInf.IsFinite() || NaN.IsFinite() || FromFloat32(1).IsNaN() {
+		t.Fatal("IsFinite/IsNaN misclassification")
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; must round to
+	// even (1.0, frac 0x000).
+	f := float32(1) + float32(math.Exp2(-11))
+	if got := FromFloat32(f); got != 0x3C00 {
+		t.Fatalf("halfway rounds to %#04x, want 0x3C00 (even)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; rounds up to
+	// even frac 0x002.
+	f = float32(1) + 3*float32(math.Exp2(-11))
+	if got := FromFloat32(f); got != 0x3C02 {
+		t.Fatalf("halfway rounds to %#04x, want 0x3C02 (even)", got)
+	}
+}
+
+func TestRoundTripAllHalves(t *testing.T) {
+	// Every finite half must survive half -> float32 -> half exactly.
+	for b := 0; b < 1<<16; b++ {
+		h := Bits(b)
+		if h.IsNaN() {
+			continue
+		}
+		f := ToFloat32(h)
+		back := FromFloat32(f)
+		if back != h {
+			t.Fatalf("round trip failed: %#04x -> %v -> %#04x", h, f, back)
+		}
+	}
+}
+
+func TestFromFloat32Monotonic(t *testing.T) {
+	// Conversion must be monotone non-decreasing over positive floats.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		a := rng.Float32() * 70000
+		b := rng.Float32() * 70000
+		if a > b {
+			a, b = b, a
+		}
+		ha, hb := FromFloat32(a), FromFloat32(b)
+		// Positive halves compare like their bit patterns.
+		if ha&0x8000 == 0 && hb&0x8000 == 0 && ha > hb {
+			t.Fatalf("monotonicity violated: %v->%#04x, %v->%#04x", a, ha, b, hb)
+		}
+	}
+}
+
+func TestConversionErrorBound(t *testing.T) {
+	// For normal-range values, relative error <= 2^-11.
+	f := func(x float32) bool {
+		if x != x || math.Abs(float64(x)) > 65000 || math.Abs(float64(x)) < 1e-4 {
+			return true
+		}
+		y := ToFloat32(FromFloat32(x))
+		rel := math.Abs(float64(y-x)) / math.Abs(float64(x))
+		return rel <= math.Exp2(-11)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceCodecs(t *testing.T) {
+	src := []float32{0, 1, -2, 0.25, 1000}
+	enc := Encode(src)
+	dec := Decode(enc)
+	for i := range src {
+		if dec[i] != src[i] {
+			t.Fatalf("codec[%d] = %v, want %v", i, dec[i], src[i])
+		}
+	}
+	dst := make([]Bits, len(src))
+	EncodeInto(dst, src)
+	out := make([]float32, len(src))
+	DecodeInto(out, dst)
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("Into codec[%d] = %v, want %v", i, out[i], src[i])
+		}
+	}
+}
+
+func TestAnyNonFinite(t *testing.T) {
+	if AnyNonFinite(Encode([]float32{1, 2, 3})) {
+		t.Fatal("false positive")
+	}
+	if !AnyNonFinite([]Bits{FromFloat32(1), PositiveInf}) {
+		t.Fatal("missed inf")
+	}
+	if !AnyNonFinite([]Bits{NaN}) {
+		t.Fatal("missed NaN")
+	}
+}
+
+func TestDotNorm2Float64Accumulation(t *testing.T) {
+	// 4096 halves of value 0.25 dotted with themselves: each term is
+	// 0.0625, total 256. A half accumulator would saturate resolution;
+	// the float64 accumulator is exact.
+	n := 4096
+	a := make([]Bits, n)
+	for i := range a {
+		a[i] = FromFloat32(0.25)
+	}
+	if got := Dot(a, a); got != 256 {
+		t.Fatalf("Dot = %v, want 256", got)
+	}
+	if got := Norm2(a); got != 256 {
+		t.Fatalf("Norm2 = %v, want 256", got)
+	}
+}

@@ -1,0 +1,89 @@
+// Package fusion implements Horovod's tensor-fusion optimization
+// (§4.4.3): when several layer tensors are ready to reduce, they are
+// packed into one contiguous buffer so a single allreduce amortizes
+// per-call latency. Adasum needs extra bookkeeping — the fused buffer
+// keeps a tensor.Layout marking each member's boundaries so per-layer dot
+// products are still computed per original tensor. Because every rank
+// fuses the same tensors in the same order, the bookkeeping is local and
+// adds no communication (as the paper notes).
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Group is one fused buffer: the packed data, the layout of member
+// tensors inside it, and the indices of the original tensors it holds.
+type Group struct {
+	Data    []float32
+	Layout  tensor.Layout
+	Members []int // indices into the original tensor list
+}
+
+// Bytes returns the payload size of the fused buffer.
+func (g *Group) Bytes() int { return len(g.Data) * 4 }
+
+// Fuse packs the named tensors into groups of at most thresholdBytes
+// each (a single tensor larger than the threshold gets its own group,
+// like Horovod's fusion buffer overflow behaviour). Order is preserved.
+func Fuse(tensors [][]float32, names []string, thresholdBytes int) []Group {
+	if len(tensors) != len(names) {
+		panic("fusion: tensors/names length mismatch")
+	}
+	if thresholdBytes <= 0 {
+		thresholdBytes = 64 << 20 // Horovod's upper default
+	}
+	var groups []Group
+	var curNames []string
+	var curSizes []int
+	var curMembers []int
+	curBytes := 0
+
+	flush := func() {
+		if len(curMembers) == 0 {
+			return
+		}
+		layout := tensor.NewLayout(curNames, curSizes)
+		data := make([]float32, layout.TotalSize())
+		for i, m := range curMembers {
+			lo, _ := layout.Bounds(i)
+			copy(data[lo:lo+len(tensors[m])], tensors[m])
+		}
+		groups = append(groups, Group{Data: data, Layout: layout, Members: curMembers})
+		curNames, curSizes, curMembers, curBytes = nil, nil, nil, 0
+	}
+
+	for i, t := range tensors {
+		b := len(t) * 4
+		if curBytes > 0 && curBytes+b > thresholdBytes {
+			flush()
+		}
+		curNames = append(curNames, names[i])
+		curSizes = append(curSizes, len(t))
+		curMembers = append(curMembers, i)
+		curBytes += b
+	}
+	flush()
+	return groups
+}
+
+// Unfuse copies the group's (reduced) data back into the original
+// tensors.
+func (g *Group) Unfuse(tensors [][]float32) {
+	for i, m := range g.Members {
+		lo, hi := g.Layout.Bounds(i)
+		if len(tensors[m]) != hi-lo {
+			panic(fmt.Sprintf("fusion: member %d size changed (%d != %d)", m, len(tensors[m]), hi-lo))
+		}
+		copy(tensors[m], g.Data[lo:hi])
+	}
+}
+
+// UnfuseAll copies every group back into the tensor list.
+func UnfuseAll(groups []Group, tensors [][]float32) {
+	for i := range groups {
+		groups[i].Unfuse(tensors)
+	}
+}

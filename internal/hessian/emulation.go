@@ -1,0 +1,85 @@
+package hessian
+
+import (
+	"repro/internal/tensor"
+)
+
+// GradHess pairs a minibatch gradient with the exact Hessian of the same
+// minibatch loss, the state carried through the sequential-emulation
+// reference reduction.
+type GradHess struct {
+	G []float32
+	H []float64 // P×P row-major
+}
+
+// SequentialPairCombine implements the exact two-gradient sequential
+// emulation the paper derives in §3.1-3.3 but with the true Hessian
+// instead of the Fisher approximation. Averaging both visit orders
+// (Equation before §3.4):
+//
+//	g = g1 + g2 - (α/2)(H2·g1 + H1·g2)
+//
+// The combined Hessian is the average (the Hessian of the mean loss of
+// the union of the two minibatches), which lets the combine recurse in
+// the same binary tree as Adasum.
+func SequentialPairCombine(a, b GradHess, alpha float64) GradHess {
+	p := len(a.G)
+	h2g1 := MatVec(b.H, a.G)
+	h1g2 := MatVec(a.H, b.G)
+	g := make([]float32, p)
+	half := float32(alpha / 2)
+	for i := range g {
+		g[i] = a.G[i] + b.G[i] - half*(h2g1[i]+h1g2[i])
+	}
+	h := make([]float64, len(a.H))
+	for i := range h {
+		h[i] = 0.5 * (a.H[i] + b.H[i])
+	}
+	return GradHess{G: g, H: h}
+}
+
+// SequentialTreeReduce applies SequentialPairCombine in the same binary
+// tree order as adasum.TreeReduce, producing the exact-Hessian reference
+// gradient that Figure 2 measures Adasum and synchronous SGD against.
+// Inputs are consumed.
+func SequentialTreeReduce(items []GradHess, alpha float64) GradHess {
+	if len(items) == 0 {
+		panic("hessian: SequentialTreeReduce needs at least one input")
+	}
+	work := items
+	for len(work) > 1 {
+		next := make([]GradHess, 0, (len(work)+1)/2)
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, SequentialPairCombine(work[i], work[i+1], alpha))
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0]
+}
+
+// EmulationErrors computes the Figure 2 y-values for one communication
+// step: the relative error of the Adasum combination and of the
+// synchronous-SGD combination (plain sum) against the exact-Hessian
+// sequential emulation reference.
+func EmulationErrors(adasumG, sumG, refG []float32) (adasumErr, sumErr float64) {
+	return tensor.RelErr(adasumG, refG), tensor.RelErr(sumG, refG)
+}
+
+// OptimalAlpha estimates the "optimally chosen" learning rate of
+// Appendix A.2, α = 1/‖∇L(w)‖², generalized to a set of worker gradients
+// as the reciprocal of their mean squared norm. The Figure 2 experiment
+// evaluates the combiners in this regime because the paper's entire
+// derivation (Equation 4) assumes it.
+func OptimalAlpha(grads [][]float32) float64 {
+	var total float64
+	for _, g := range grads {
+		total += tensor.Norm2(g)
+	}
+	if total <= 0 {
+		return 0
+	}
+	return float64(len(grads)) / total
+}

@@ -1,0 +1,208 @@
+// Package hessian provides the exact-Hessian machinery behind the
+// paper's Figure 2 experiment (§3.7): a multinomial logistic-regression
+// model whose loss is a negative log likelihood — the class of models for
+// which the paper's Fisher-information Hessian approximation (Appendix
+// A.1) is stated — with an analytic gradient AND analytic exact Hessian,
+// plus the sequential-emulation reference combiner of Equations 1-2 and a
+// finite-difference Hessian checker.
+//
+// The paper used LeNet-5 with PyTorch autograd Hessians; a conv net's
+// exact Hessian is out of reach without autograd, so we use softmax
+// regression (documented in DESIGN.md): it keeps the property that
+// matters — H is exact, the loss is an NLL, and H ≈ E[g gᵀ] holds — while
+// making the Hessian closed-form:
+//
+//	H = (1/B) Σ_samples (diag(p) - p pᵀ) ⊗ (x xᵀ)
+package hessian
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxModel is multinomial logistic regression with weights W[c][d]
+// stored row-major, no bias. Its parameter count is C*D.
+type SoftmaxModel struct {
+	D, C int
+	W    []float32
+}
+
+// NewSoftmaxModel allocates a zero-initialized model (zero init is the
+// symmetric start softmax regression tolerates fine).
+func NewSoftmaxModel(d, c int) *SoftmaxModel {
+	return &SoftmaxModel{D: d, C: c, W: make([]float32, c*d)}
+}
+
+// NumParams returns C*D.
+func (m *SoftmaxModel) NumParams() int { return m.C * m.D }
+
+// Clone returns a deep copy.
+func (m *SoftmaxModel) Clone() *SoftmaxModel {
+	return &SoftmaxModel{D: m.D, C: m.C, W: tensor.Clone(m.W)}
+}
+
+// probs computes softmax(Wx) for one sample into p.
+func (m *SoftmaxModel) probs(x []float32, p []float64) {
+	maxv := math.Inf(-1)
+	for c := 0; c < m.C; c++ {
+		row := m.W[c*m.D : (c+1)*m.D]
+		p[c] = tensor.Dot(row, x)
+		if p[c] > maxv {
+			maxv = p[c]
+		}
+	}
+	var sum float64
+	for c := range p {
+		p[c] = math.Exp(p[c] - maxv)
+		sum += p[c]
+	}
+	for c := range p {
+		p[c] /= sum
+	}
+}
+
+// Gradient computes the mean NLL loss and its gradient over a batch of
+// rows (x is batch*D, labels batch class indices). The gradient buffer is
+// freshly allocated with layout matching W.
+func (m *SoftmaxModel) Gradient(x []float32, labels []int, batch int) ([]float32, float64) {
+	g := make([]float32, m.NumParams())
+	p := make([]float64, m.C)
+	var loss float64
+	inv := 1 / float64(batch)
+	for s := 0; s < batch; s++ {
+		xi := x[s*m.D : (s+1)*m.D]
+		m.probs(xi, p)
+		loss -= math.Log(math.Max(p[labels[s]], 1e-300))
+		for c := 0; c < m.C; c++ {
+			coef := p[c]
+			if c == labels[s] {
+				coef -= 1
+			}
+			coef *= inv
+			row := g[c*m.D : (c+1)*m.D]
+			for d := 0; d < m.D; d++ {
+				row[d] += float32(coef * float64(xi[d]))
+			}
+		}
+	}
+	return g, loss * inv
+}
+
+// Loss computes the mean NLL without a gradient.
+func (m *SoftmaxModel) Loss(x []float32, labels []int, batch int) float64 {
+	p := make([]float64, m.C)
+	var loss float64
+	for s := 0; s < batch; s++ {
+		m.probs(x[s*m.D:(s+1)*m.D], p)
+		loss -= math.Log(math.Max(p[labels[s]], 1e-300))
+	}
+	return loss / float64(batch)
+}
+
+// Accuracy returns the fraction of samples classified correctly.
+func (m *SoftmaxModel) Accuracy(x []float32, labels []int, batch int) float64 {
+	p := make([]float64, m.C)
+	correct := 0
+	for s := 0; s < batch; s++ {
+		m.probs(x[s*m.D:(s+1)*m.D], p)
+		best := 0
+		for c := 1; c < m.C; c++ {
+			if p[c] > p[best] {
+				best = c
+			}
+		}
+		if best == labels[s] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(batch)
+}
+
+// GradientAndHessian computes the mean loss, gradient, and the exact
+// P×P Hessian (row-major float64) of the mean NLL over the batch. The
+// Hessian of softmax regression for one sample is
+// (diag(p) - p pᵀ) ⊗ (x xᵀ), indexed H[(c*D+d), (c'*D+d')].
+func (m *SoftmaxModel) GradientAndHessian(x []float32, labels []int, batch int) (g []float32, h []float64, loss float64) {
+	P := m.NumParams()
+	h = make([]float64, P*P)
+	p := make([]float64, m.C)
+	g = make([]float32, P)
+	inv := 1 / float64(batch)
+	for s := 0; s < batch; s++ {
+		xi := x[s*m.D : (s+1)*m.D]
+		m.probs(xi, p)
+		loss -= math.Log(math.Max(p[labels[s]], 1e-300))
+		for c := 0; c < m.C; c++ {
+			coef := p[c]
+			if c == labels[s] {
+				coef -= 1
+			}
+			coef *= inv
+			row := g[c*m.D : (c+1)*m.D]
+			for d := 0; d < m.D; d++ {
+				row[d] += float32(coef * float64(xi[d]))
+			}
+		}
+		// Hessian accumulation: A[c][c'] = p_c (1{c=c'} - p_c'), scaled
+		// by x_d x_d'.
+		for c := 0; c < m.C; c++ {
+			for c2 := 0; c2 < m.C; c2++ {
+				a := -p[c] * p[c2]
+				if c == c2 {
+					a += p[c]
+				}
+				a *= inv
+				if a == 0 {
+					continue
+				}
+				for d := 0; d < m.D; d++ {
+					xd := float64(xi[d]) * a
+					if xd == 0 {
+						continue
+					}
+					base := (c*m.D + d) * P
+					for d2 := 0; d2 < m.D; d2++ {
+						h[base+c2*m.D+d2] += xd * float64(xi[d2])
+					}
+				}
+			}
+		}
+	}
+	return g, h, loss * inv
+}
+
+// MatVec computes y = H·v for a row-major P×P Hessian.
+func MatVec(h []float64, v []float32) []float32 {
+	p := len(v)
+	y := make([]float32, p)
+	for i := 0; i < p; i++ {
+		row := h[i*p : (i+1)*p]
+		var acc float64
+		for j := 0; j < p; j++ {
+			acc += row[j] * float64(v[j])
+		}
+		y[i] = float32(acc)
+	}
+	return y
+}
+
+// FiniteDiffHessian estimates the Hessian by central differences of the
+// analytic gradient: column j is (g(w+εe_j) - g(w-εe_j)) / 2ε. Used only
+// in tests to validate GradientAndHessian.
+func FiniteDiffHessian(m *SoftmaxModel, x []float32, labels []int, batch int, eps float32) []float64 {
+	P := m.NumParams()
+	h := make([]float64, P*P)
+	for j := 0; j < P; j++ {
+		old := m.W[j]
+		m.W[j] = old + eps
+		gp, _ := m.Gradient(x, labels, batch)
+		m.W[j] = old - eps
+		gm, _ := m.Gradient(x, labels, batch)
+		m.W[j] = old
+		for i := 0; i < P; i++ {
+			h[i*P+j] = float64(gp[i]-gm[i]) / (2 * float64(eps))
+		}
+	}
+	return h
+}

@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Conv2D is a valid (no padding), stride-1 2D convolution over
+// channel-major images: input is [C][H][W] flattened per sample, output
+// is [outC][H-k+1][W-k+1]. Parameters are the kernel
+// [outC][inC][k][k] followed by the per-output-channel bias [outC].
+// Naive loops; the models in this reproduction are small enough.
+type Conv2D struct {
+	name      string
+	inC, h, w int
+	outC, k   int
+	oh, ow    int
+
+	kern, bias []float32
+	gk, gb     []float32
+
+	x    []float32
+	y    []float32
+	dx   []float32
+	last int
+}
+
+// NewConv2D creates a stride-1 valid convolution layer.
+func NewConv2D(name string, inC, h, w, outC, k int) *Conv2D {
+	if k > h || k > w {
+		panic(fmt.Sprintf("nn: Conv2D %s kernel %d larger than input %dx%d", name, k, h, w))
+	}
+	return &Conv2D{
+		name: name, inC: inC, h: h, w: w, outC: outC, k: k,
+		oh: h - k + 1, ow: w - k + 1,
+	}
+}
+
+func (c *Conv2D) Name() string { return c.name }
+func (c *Conv2D) InDim() int   { return c.inC * c.h * c.w }
+func (c *Conv2D) OutDim() int  { return c.outC * c.oh * c.ow }
+
+// OutShape returns the (channels, height, width) of the output feature
+// map, for chaining into pooling layers.
+func (c *Conv2D) OutShape() (ch, h, w int) { return c.outC, c.oh, c.ow }
+
+func (c *Conv2D) ParamSize() int { return c.outC*c.inC*c.k*c.k + c.outC }
+
+func (c *Conv2D) Bind(params, grads []float32) {
+	nk := c.outC * c.inC * c.k * c.k
+	c.kern = params[:nk]
+	c.bias = params[nk:]
+	c.gk = grads[:nk]
+	c.gb = grads[nk:]
+}
+
+func (c *Conv2D) Init(rng *rand.Rand) {
+	fanIn := c.inC * c.k * c.k
+	fanOut := c.outC * c.k * c.k
+	glorotInit(rng, c.kern, fanIn, fanOut)
+	for i := range c.bias {
+		c.bias[i] = 0
+	}
+}
+
+// kidx indexes the kernel weight for (outChannel, inChannel, ky, kx).
+func (c *Conv2D) kidx(oc, ic, ky, kx int) int {
+	return ((oc*c.inC+ic)*c.k+ky)*c.k + kx
+}
+
+func (c *Conv2D) Forward(x []float32, batch int) []float32 {
+	if len(x) != batch*c.InDim() {
+		panic(fmt.Sprintf("nn: Conv2D %s forward size mismatch", c.name))
+	}
+	c.x = x
+	c.last = batch
+	c.y = buf(c.y, batch*c.OutDim())
+	inPlane := c.h * c.w
+	outPlane := c.oh * c.ow
+	for s := 0; s < batch; s++ {
+		xin := x[s*c.InDim() : (s+1)*c.InDim()]
+		yout := c.y[s*c.OutDim() : (s+1)*c.OutDim()]
+		for oc := 0; oc < c.outC; oc++ {
+			bo := c.bias[oc]
+			for oy := 0; oy < c.oh; oy++ {
+				for ox := 0; ox < c.ow; ox++ {
+					acc := bo
+					for ic := 0; ic < c.inC; ic++ {
+						plane := xin[ic*inPlane:]
+						for ky := 0; ky < c.k; ky++ {
+							rowIn := plane[(oy+ky)*c.w+ox:]
+							rowK := c.kern[c.kidx(oc, ic, ky, 0):]
+							for kx := 0; kx < c.k; kx++ {
+								acc += rowK[kx] * rowIn[kx]
+							}
+						}
+					}
+					yout[oc*outPlane+oy*c.ow+ox] = acc
+				}
+			}
+		}
+	}
+	return c.y
+}
+
+func (c *Conv2D) Backward(dy []float32, batch int) []float32 {
+	if batch != c.last {
+		panic(fmt.Sprintf("nn: Conv2D %s backward batch mismatch", c.name))
+	}
+	c.dx = buf(c.dx, batch*c.InDim())
+	inPlane := c.h * c.w
+	outPlane := c.oh * c.ow
+	for s := 0; s < batch; s++ {
+		xin := c.x[s*c.InDim() : (s+1)*c.InDim()]
+		din := c.dx[s*c.InDim() : (s+1)*c.InDim()]
+		dout := dy[s*c.OutDim() : (s+1)*c.OutDim()]
+		for oc := 0; oc < c.outC; oc++ {
+			for oy := 0; oy < c.oh; oy++ {
+				for ox := 0; ox < c.ow; ox++ {
+					g := dout[oc*outPlane+oy*c.ow+ox]
+					if g == 0 {
+						continue
+					}
+					c.gb[oc] += g
+					for ic := 0; ic < c.inC; ic++ {
+						plane := xin[ic*inPlane:]
+						dplane := din[ic*inPlane:]
+						for ky := 0; ky < c.k; ky++ {
+							rowIn := plane[(oy+ky)*c.w+ox:]
+							dRowIn := dplane[(oy+ky)*c.w+ox:]
+							kbase := c.kidx(oc, ic, ky, 0)
+							for kx := 0; kx < c.k; kx++ {
+								c.gk[kbase+kx] += g * rowIn[kx]
+								dRowIn[kx] += g * c.kern[kbase+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return c.dx
+}
+
+// MaxPool2 is a 2x2, stride-2 max pooling over channel-major feature
+// maps. Odd trailing rows/columns are dropped (floor semantics).
+type MaxPool2 struct {
+	name    string
+	c, h, w int
+	oh, ow  int
+
+	argmax []int32
+	y      []float32
+	dx     []float32
+	last   int
+}
+
+// NewMaxPool2 creates a 2x2/stride-2 max-pooling layer.
+func NewMaxPool2(name string, c, h, w int) *MaxPool2 {
+	return &MaxPool2{name: name, c: c, h: h, w: w, oh: h / 2, ow: w / 2}
+}
+
+func (m *MaxPool2) Name() string { return m.name }
+func (m *MaxPool2) InDim() int   { return m.c * m.h * m.w }
+func (m *MaxPool2) OutDim() int  { return m.c * m.oh * m.ow }
+
+// OutShape returns the (channels, height, width) of the pooled map.
+func (m *MaxPool2) OutShape() (ch, h, w int) { return m.c, m.oh, m.ow }
+
+func (m *MaxPool2) ParamSize() int      { return 0 }
+func (m *MaxPool2) Bind(_, _ []float32) {}
+func (m *MaxPool2) Init(_ *rand.Rand)   {}
+
+func (m *MaxPool2) Forward(x []float32, batch int) []float32 {
+	m.last = batch
+	m.y = buf(m.y, batch*m.OutDim())
+	if cap(m.argmax) < batch*m.OutDim() {
+		m.argmax = make([]int32, batch*m.OutDim())
+	}
+	m.argmax = m.argmax[:batch*m.OutDim()]
+	inPlane := m.h * m.w
+	outPlane := m.oh * m.ow
+	for s := 0; s < batch; s++ {
+		xin := x[s*m.InDim() : (s+1)*m.InDim()]
+		for c := 0; c < m.c; c++ {
+			plane := xin[c*inPlane:]
+			for oy := 0; oy < m.oh; oy++ {
+				for ox := 0; ox < m.ow; ox++ {
+					base := (2*oy)*m.w + 2*ox
+					bi := base
+					bv := plane[base]
+					for _, off := range [3]int{1, m.w, m.w + 1} {
+						if v := plane[base+off]; v > bv {
+							bv = v
+							bi = base + off
+						}
+					}
+					oidx := s*m.OutDim() + c*outPlane + oy*m.ow + ox
+					m.y[oidx] = bv
+					m.argmax[oidx] = int32(s*m.InDim() + c*inPlane + bi)
+				}
+			}
+		}
+	}
+	return m.y
+}
+
+func (m *MaxPool2) Backward(dy []float32, batch int) []float32 {
+	m.dx = buf(m.dx, batch*m.InDim())
+	for i, g := range dy {
+		m.dx[m.argmax[i]] += g
+	}
+	return m.dx
+}

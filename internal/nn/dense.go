@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dense is a fully connected layer: y = xW^T + b, with W stored row-major
+// [out][in] followed by the bias [out] in the flat parameter slice.
+type Dense struct {
+	name     string
+	in, out  int
+	withBias bool
+
+	w, b   []float32 // views into the bound parameter slice
+	gw, gb []float32 // views into the bound gradient slice
+
+	x    []float32 // cached input for backward
+	y    []float32 // output buffer
+	dx   []float32 // input-gradient buffer
+	last int       // batch of the cached forward
+}
+
+// NewDense creates a fully connected layer with bias.
+func NewDense(name string, in, out int) *Dense {
+	return &Dense{name: name, in: in, out: out, withBias: true}
+}
+
+// NewDenseNoBias creates a fully connected layer without bias.
+func NewDenseNoBias(name string, in, out int) *Dense {
+	return &Dense{name: name, in: in, out: out, withBias: false}
+}
+
+func (d *Dense) Name() string { return d.name }
+func (d *Dense) InDim() int   { return d.in }
+func (d *Dense) OutDim() int  { return d.out }
+
+func (d *Dense) ParamSize() int {
+	n := d.in * d.out
+	if d.withBias {
+		n += d.out
+	}
+	return n
+}
+
+func (d *Dense) Bind(params, grads []float32) {
+	if len(params) != d.ParamSize() || len(grads) != d.ParamSize() {
+		panic(fmt.Sprintf("nn: Dense %s bind size mismatch", d.name))
+	}
+	d.w = params[:d.in*d.out]
+	d.gw = grads[:d.in*d.out]
+	if d.withBias {
+		d.b = params[d.in*d.out:]
+		d.gb = grads[d.in*d.out:]
+	}
+}
+
+func (d *Dense) Init(rng *rand.Rand) {
+	glorotInit(rng, d.w, d.in, d.out)
+	for i := range d.b {
+		d.b[i] = 0
+	}
+}
+
+func (d *Dense) Forward(x []float32, batch int) []float32 {
+	if len(x) != batch*d.in {
+		panic(fmt.Sprintf("nn: Dense %s forward got %d values, want %d", d.name, len(x), batch*d.in))
+	}
+	d.x = x
+	d.last = batch
+	d.y = buf(d.y, batch*d.out)
+	for s := 0; s < batch; s++ {
+		xi := x[s*d.in : (s+1)*d.in]
+		yi := d.y[s*d.out : (s+1)*d.out]
+		for o := 0; o < d.out; o++ {
+			row := d.w[o*d.in : (o+1)*d.in]
+			var acc float32
+			i := 0
+			for ; i+4 <= d.in; i += 4 {
+				acc += row[i]*xi[i] + row[i+1]*xi[i+1] + row[i+2]*xi[i+2] + row[i+3]*xi[i+3]
+			}
+			for ; i < d.in; i++ {
+				acc += row[i] * xi[i]
+			}
+			if d.withBias {
+				acc += d.b[o]
+			}
+			yi[o] = acc
+		}
+	}
+	return d.y
+}
+
+func (d *Dense) Backward(dy []float32, batch int) []float32 {
+	if batch != d.last {
+		panic(fmt.Sprintf("nn: Dense %s backward batch %d != forward batch %d", d.name, batch, d.last))
+	}
+	d.dx = buf(d.dx, batch*d.in)
+	for s := 0; s < batch; s++ {
+		xi := d.x[s*d.in : (s+1)*d.in]
+		dyi := dy[s*d.out : (s+1)*d.out]
+		dxi := d.dx[s*d.in : (s+1)*d.in]
+		for o := 0; o < d.out; o++ {
+			g := dyi[o]
+			if g == 0 {
+				continue
+			}
+			row := d.w[o*d.in : (o+1)*d.in]
+			grow := d.gw[o*d.in : (o+1)*d.in]
+			for i := 0; i < d.in; i++ {
+				dxi[i] += g * row[i]
+				grow[i] += g * xi[i]
+			}
+			if d.withBias {
+				d.gb[o] += g
+			}
+		}
+	}
+	return d.dx
+}

@@ -1,0 +1,66 @@
+package nn
+
+import "math"
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// against integer labels, and the gradient dLoss/dLogits (softmax(p) -
+// onehot, scaled by 1/batch so the resulting parameter gradient is the
+// batch mean). The returned gradient buffer is freshly allocated.
+func SoftmaxCrossEntropy(logits []float32, labels []int, batch, classes int) (float64, []float32) {
+	return softmaxCE(logits, labels, batch, classes, true)
+}
+
+func softmaxCE(logits []float32, labels []int, batch, classes int, wantGrad bool) (float64, []float32) {
+	if len(logits) != batch*classes || len(labels) != batch {
+		panic("nn: SoftmaxCrossEntropy size mismatch")
+	}
+	var grad []float32
+	if wantGrad {
+		grad = make([]float32, batch*classes)
+	}
+	var total float64
+	inv := 1 / float64(batch)
+	for s := 0; s < batch; s++ {
+		row := logits[s*classes : (s+1)*classes]
+		// Stable softmax.
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		lbl := labels[s]
+		logp := float64(row[lbl]-maxv) - math.Log(sum)
+		total -= logp
+		if wantGrad {
+			g := grad[s*classes : (s+1)*classes]
+			for c := 0; c < classes; c++ {
+				p := math.Exp(float64(row[c]-maxv)) / sum
+				g[c] = float32(p * inv)
+			}
+			g[lbl] -= float32(inv)
+		}
+	}
+	return total * inv, grad
+}
+
+// MSE computes the mean squared error 0.5*mean(‖y-target‖²) and its
+// gradient dLoss/dY = (y-target)/batch.
+func MSE(y, target []float32, batch, dim int) (float64, []float32) {
+	if len(y) != batch*dim || len(target) != batch*dim {
+		panic("nn: MSE size mismatch")
+	}
+	grad := make([]float32, len(y))
+	var total float64
+	inv := 1 / float64(batch)
+	for i := range y {
+		d := float64(y[i]) - float64(target[i])
+		total += 0.5 * d * d
+		grad[i] = float32(d * inv)
+	}
+	return total * inv, grad
+}

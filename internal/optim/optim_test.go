@@ -1,0 +1,264 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// quadGrad returns the gradient of f(w) = 0.5*Σ a_i w_i² at w.
+func quadGrad(a, w []float32) []float32 {
+	g := make([]float32, len(w))
+	for i := range w {
+		g[i] = a[i] * w[i]
+	}
+	return g
+}
+
+func quadLoss(a, w []float32) float64 {
+	var s float64
+	for i := range w {
+		s += 0.5 * float64(a[i]) * float64(w[i]) * float64(w[i])
+	}
+	return s
+}
+
+func optimizeQuad(opt Optimizer, lr float64, steps int) float64 {
+	a := []float32{1, 2, 0.5, 4}
+	w := []float32{1, -1, 2, 0.5}
+	for i := 0; i < steps; i++ {
+		opt.Step(w, quadGrad(a, w), lr)
+	}
+	return quadLoss(a, w)
+}
+
+func TestSGDStep(t *testing.T) {
+	w := []float32{1, 2}
+	g := []float32{0.5, -1}
+	NewSGD().Step(w, g, 0.1)
+	if !tensor.Equal(w, []float32{0.95, 2.1}, 1e-6) {
+		t.Fatalf("SGD step = %v", w)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	s := &SGD{WeightDecay: 0.1}
+	w := []float32{1}
+	s.Step(w, []float32{0}, 1)
+	if math.Abs(float64(w[0])-0.9) > 1e-6 {
+		t.Fatalf("decayed weight = %v, want 0.9", w[0])
+	}
+}
+
+func TestAllOptimizersReduceQuadraticLoss(t *testing.T) {
+	layout := tensor.FlatLayout(4)
+	cases := []struct {
+		name string
+		opt  Optimizer
+		lr   float64
+	}{
+		{"sgd", NewSGD(), 0.1},
+		{"momentum", NewMomentum(0.9), 0.02},
+		{"adam", NewAdam(), 0.05},
+		{"lars", NewLARS(layout, 0.9, 0.02), 1.0},
+		{"lamb", NewLAMB(layout), 0.05},
+	}
+	start := quadLoss([]float32{1, 2, 0.5, 4}, []float32{1, -1, 2, 0.5})
+	for _, c := range cases {
+		end := optimizeQuad(c.opt, c.lr, 200)
+		if end > start/10 {
+			t.Errorf("%s: loss %v -> %v (insufficient progress)", c.name, start, end)
+		}
+		if math.IsNaN(end) {
+			t.Errorf("%s: NaN loss", c.name)
+		}
+	}
+}
+
+func TestMomentumAcceleratesOverSGD(t *testing.T) {
+	// On an ill-conditioned quadratic, momentum with a modest rate beats
+	// plain SGD at the same rate for the same step count.
+	sgdLoss := optimizeQuad(NewSGD(), 0.02, 100)
+	momLoss := optimizeQuad(NewMomentum(0.9), 0.02, 100)
+	if momLoss >= sgdLoss {
+		t.Fatalf("momentum (%v) not faster than SGD (%v)", momLoss, sgdLoss)
+	}
+}
+
+func TestAdamBiasCorrection(t *testing.T) {
+	// First step of Adam with g=1 must move by ~lr regardless of betas
+	// (bias correction makes mhat=g, vhat=g²).
+	a := NewAdam()
+	w := []float32{0}
+	a.Step(w, []float32{1}, 0.1)
+	if math.Abs(float64(w[0])+0.1) > 1e-4 {
+		t.Fatalf("first Adam step = %v, want -0.1", w[0])
+	}
+}
+
+func TestAdamInvariantToGradientScale(t *testing.T) {
+	// Adam's per-element normalization makes the first step direction
+	// independent of gradient magnitude.
+	a1, a2 := NewAdam(), NewAdam()
+	w1 := []float32{0}
+	w2 := []float32{0}
+	a1.Step(w1, []float32{1e-3}, 0.1)
+	a2.Step(w2, []float32{1e3}, 0.1)
+	if math.Abs(float64(w1[0]-w2[0])) > 1e-5 {
+		t.Fatalf("Adam scale invariance broken: %v vs %v", w1[0], w2[0])
+	}
+}
+
+func TestLAMBTrustRatioScalesStep(t *testing.T) {
+	// Two layers with identical gradients but very different weight
+	// norms: the large-norm layer must take a larger absolute step.
+	layout := tensor.NewLayout([]string{"small", "big"}, []int{2, 2})
+	l := NewLAMB(layout)
+	l.WeightDecay = 0
+	w := []float32{0.01, 0.01, 10, 10}
+	g := []float32{1, 1, 1, 1}
+	before := append([]float32(nil), w...)
+	l.Step(w, g, 0.1)
+	smallStep := math.Abs(float64(before[0] - w[0]))
+	bigStep := math.Abs(float64(before[2] - w[2]))
+	if bigStep <= smallStep {
+		t.Fatalf("LAMB trust ratio inactive: small %v, big %v", smallStep, bigStep)
+	}
+}
+
+func TestLARSTrustRatio(t *testing.T) {
+	layout := tensor.FlatLayout(2)
+	l := NewLARS(layout, 0, 0.001)
+	w := []float32{3, 4} // ‖w‖ = 5
+	g := []float32{0.6, 0.8}
+	before := append([]float32(nil), w...)
+	l.Step(w, g, 1)
+	// trust = 0.001*5/1 = 0.005; step = lr*trust*g = 0.005*g.
+	wantStep0 := 0.005 * 0.6
+	got := float64(before[0] - w[0])
+	if math.Abs(got-wantStep0) > 1e-6 {
+		t.Fatalf("LARS step = %v, want %v", got, wantStep0)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	layout := tensor.FlatLayout(2)
+	opts := []Optimizer{NewSGD(), NewMomentum(0.9), NewAdam(), NewLARS(layout, 0.9, 0.01), NewLAMB(layout)}
+	for _, opt := range opts {
+		w1 := []float32{1, 1}
+		opt.Step(w1, []float32{1, 1}, 0.1)
+		c := opt.Clone()
+		w2 := []float32{1, 1}
+		w3 := []float32{1, 1}
+		c.Step(w2, []float32{1, 1}, 0.1)
+		// A fresh instance must behave like the clone.
+		f := opt.Clone()
+		f.Step(w3, []float32{1, 1}, 0.1)
+		if !tensor.Equal(w2, w3, 1e-7) {
+			t.Errorf("%s: clone state leaked: %v vs %v", opt.Name(), w2, w3)
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	m := NewMomentum(0.9)
+	w := []float32{1}
+	m.Step(w, []float32{1}, 0.1)
+	m.Reset()
+	w2 := []float32{1}
+	m.Step(w2, []float32{1}, 0.1)
+	fresh := NewMomentum(0.9)
+	w3 := []float32{1}
+	fresh.Step(w3, []float32{1}, 0.1)
+	if w2[0] != w3[0] {
+		t.Fatalf("reset incomplete: %v vs %v", w2[0], w3[0])
+	}
+}
+
+func TestStateSize(t *testing.T) {
+	layout := tensor.FlatLayout(1)
+	if NewSGD().StateSize() != 0 || NewMomentum(0.9).StateSize() != 1 ||
+		NewAdam().StateSize() != 2 || NewLAMB(layout).StateSize() != 2 {
+		t.Fatal("StateSize mismatch")
+	}
+}
+
+func TestLinearWarmupDecay(t *testing.T) {
+	s := LinearWarmupDecay{Base: 1, WarmupSteps: 10, TotalSteps: 110}
+	if got := s.LR(0); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("LR(0) = %v", got)
+	}
+	if got := s.LR(9); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("LR(9) = %v", got)
+	}
+	if got := s.LR(60); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("LR(60) = %v", got)
+	}
+	if got := s.LR(110); got != 0 {
+		t.Fatalf("LR(end) = %v", got)
+	}
+	if got := s.LR(500); got != 0 {
+		t.Fatalf("LR(past end) = %v", got)
+	}
+}
+
+func TestMultiStep(t *testing.T) {
+	s := MultiStep{Base: 1, Milestones: []int{10, 20}, Gamma: 0.1}
+	if s.LR(5) != 1 || math.Abs(s.LR(15)-0.1) > 1e-12 || math.Abs(s.LR(25)-0.01) > 1e-12 {
+		t.Fatalf("MultiStep schedule wrong: %v %v %v", s.LR(5), s.LR(15), s.LR(25))
+	}
+}
+
+func TestPolynomialWarmup(t *testing.T) {
+	s := PolynomialWarmup{Base: 2, WarmupSteps: 4, TotalSteps: 104, Power: 1}
+	if math.Abs(s.LR(3)-2) > 1e-9 {
+		t.Fatalf("LR(3) = %v", s.LR(3))
+	}
+	if math.Abs(s.LR(54)-1) > 1e-9 {
+		t.Fatalf("LR(54) = %v", s.LR(54))
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled{Inner: Constant{Base: 0.5}, Factor: 8}
+	if s.LR(0) != 4 {
+		t.Fatalf("Scaled LR = %v", s.LR(0))
+	}
+}
+
+func TestOptimizersDeterministic(t *testing.T) {
+	// Same seed and inputs => identical trajectories (no hidden global
+	// randomness).
+	layout := tensor.FlatLayout(8)
+	mk := func() []Optimizer {
+		return []Optimizer{NewMomentum(0.9), NewAdam(), NewLAMB(layout)}
+	}
+	rng := rand.New(rand.NewSource(99))
+	grads := make([][]float32, 20)
+	for i := range grads {
+		g := make([]float32, 8)
+		for j := range g {
+			g[j] = rng.Float32() - 0.5
+		}
+		grads[i] = g
+	}
+	run := func(opt Optimizer) []float32 {
+		w := make([]float32, 8)
+		for i := range w {
+			w[i] = 1
+		}
+		for _, g := range grads {
+			opt.Step(w, g, 0.01)
+		}
+		return w
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		wa, wb := run(a[i]), run(b[i])
+		if !tensor.Equal(wa, wb, 0) {
+			t.Fatalf("%s not deterministic", a[i].Name())
+		}
+	}
+}

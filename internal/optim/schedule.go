@@ -1,0 +1,98 @@
+package optim
+
+import "math"
+
+// Schedule maps a global step index to a learning rate. Schedules are
+// what Figure 1 attributes orthogonality drops to ("these drops happen
+// exactly at boundaries of learning rate schedule change") and what the
+// LeNet-5 case study (§5.4) stresses with an aggressive warmup/decay.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// Constant always returns Base.
+type Constant struct{ Base float64 }
+
+// LR implements Schedule.
+func (c Constant) LR(int) float64 { return c.Base }
+
+// LinearWarmupDecay ramps linearly from zero to Base over WarmupSteps,
+// then decays linearly back to zero at TotalSteps — the "linear warmup
+// and decay from zero to zero" schedule of §5.4.
+type LinearWarmupDecay struct {
+	Base        float64
+	WarmupSteps int
+	TotalSteps  int
+}
+
+// LR implements Schedule.
+func (s LinearWarmupDecay) LR(step int) float64 {
+	if step < 0 {
+		return 0
+	}
+	if step < s.WarmupSteps {
+		return s.Base * float64(step+1) / float64(s.WarmupSteps)
+	}
+	if step >= s.TotalSteps {
+		return 0
+	}
+	rem := float64(s.TotalSteps-step) / float64(s.TotalSteps-s.WarmupSteps)
+	return s.Base * rem
+}
+
+// MultiStep keeps Base until each milestone step, multiplying by Gamma at
+// every milestone — the classic ResNet-50 step schedule whose boundaries
+// produce the orthogonality drops in Figure 1.
+type MultiStep struct {
+	Base       float64
+	Milestones []int
+	Gamma      float64
+}
+
+// LR implements Schedule.
+func (s MultiStep) LR(step int) float64 {
+	lr := s.Base
+	for _, m := range s.Milestones {
+		if step >= m {
+			lr *= s.Gamma
+		}
+	}
+	return lr
+}
+
+// PolynomialWarmup is the BERT pretraining schedule: linear warmup to
+// Base over WarmupSteps, then polynomial decay with the given Power
+// until TotalSteps.
+type PolynomialWarmup struct {
+	Base        float64
+	WarmupSteps int
+	TotalSteps  int
+	Power       float64
+}
+
+// LR implements Schedule.
+func (s PolynomialWarmup) LR(step int) float64 {
+	if step < 0 {
+		return 0
+	}
+	if step < s.WarmupSteps {
+		return s.Base * float64(step+1) / float64(s.WarmupSteps)
+	}
+	if step >= s.TotalSteps {
+		return 0
+	}
+	frac := float64(s.TotalSteps-step) / float64(s.TotalSteps-s.WarmupSteps)
+	return s.Base * math.Pow(frac, s.Power)
+}
+
+// Scaled wraps a schedule, multiplying every rate by Factor — how the
+// Sum baselines scale the learning rate linearly with effective batch
+// size ("it is common to increase the learning rate proportional to the
+// increased effective batch size", §3).
+type Scaled struct {
+	Inner  Schedule
+	Factor float64
+}
+
+// LR implements Schedule.
+func (s Scaled) LR(step int) float64 { return s.Factor * s.Inner.LR(step) }

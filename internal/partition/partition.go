@@ -1,0 +1,142 @@
+// Package partition implements the Marian-inspired optimizer-state and
+// effective-gradient partitioning of §4.3: instead of every local GPU
+// holding the full optimizer state and running the full model update,
+// the flat parameter vector is split into layer-aligned shards, each
+// local GPU updates only its shard (with its shard of the optimizer
+// state), runs the cross-node Adasum on that shard only, and broadcasts
+// the finished shard to its node peers. Layer alignment means the
+// underlying optimizer's per-layer logic (LAMB/LARS trust ratios) is
+// untouched — "we do not have to modify the code of the underlying
+// optimizer".
+//
+// The package provides both the numerical machinery (a partitioned
+// optimizer step that must match the monolithic step exactly) and the
+// memory/time model behind Table 1.
+package partition
+
+import (
+	"repro/internal/optim"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// Partitioner owns the layer-aligned split of a parameter vector across
+// a node's local GPUs.
+type Partitioner struct {
+	Layout tensor.Layout
+	Parts  int
+	Ranges [][2]int
+}
+
+// New builds a layer-aligned partitioner over `parts` local GPUs.
+func New(layout tensor.Layout, parts int) *Partitioner {
+	return &Partitioner{
+		Layout: layout,
+		Parts:  parts,
+		Ranges: layout.SplitLayerAligned(parts),
+	}
+}
+
+// ShardLayout returns the windowed per-layer layout of shard i, suitable
+// for a per-layer optimizer or per-layer Adasum over just that shard.
+func (p *Partitioner) ShardLayout(i int) tensor.Layout {
+	r := p.Ranges[i]
+	return p.Layout.Window(r[0], r[1])
+}
+
+// OptimizerFactory builds a per-shard optimizer given the shard's
+// layout. LAMB/LARS need the layout; element-wise optimizers ignore it.
+type OptimizerFactory func(shard tensor.Layout) optim.Optimizer
+
+// PartitionedOptimizer runs one logical optimizer update split across
+// local GPUs. Because shards are layer-aligned, its result is
+// numerically identical to the monolithic optimizer (verified by tests).
+type PartitionedOptimizer struct {
+	part *Partitioner
+	opts []optim.Optimizer
+}
+
+// NewPartitionedOptimizer creates per-shard optimizer instances.
+func NewPartitionedOptimizer(part *Partitioner, factory OptimizerFactory) *PartitionedOptimizer {
+	opts := make([]optim.Optimizer, part.Parts)
+	for i := range opts {
+		opts[i] = factory(part.ShardLayout(i))
+	}
+	return &PartitionedOptimizer{part: part, opts: opts}
+}
+
+// Step applies the update shard by shard. On real hardware the shards
+// run concurrently on different GPUs; numerically the order is
+// irrelevant because shards are disjoint.
+func (po *PartitionedOptimizer) Step(params, grads []float32, lr float64) {
+	for i, r := range po.part.Ranges {
+		if r[1] == r[0] {
+			continue
+		}
+		po.opts[i].Step(params[r[0]:r[1]], grads[r[0]:r[1]], lr)
+	}
+}
+
+// MaxShardElems returns the largest shard size, which bounds the
+// simulated parallel update time.
+func (p *Partitioner) MaxShardElems() int {
+	max := 0
+	for _, r := range p.Ranges {
+		if s := r[1] - r[0]; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// MemoryModel captures the per-GPU memory budget behind Table 1's
+// microbatch column: parameters and gradients are always replicated,
+// optimizer state is either replicated (baseline) or 1/parts of it
+// (partitioned), and whatever remains feeds activations.
+type MemoryModel struct {
+	GPUBytes        int     // total memory per GPU
+	ReservedBytes   int     // framework/workspace overhead
+	ParamBytes      int     // model parameters
+	GradBytes       int     // gradient buffer
+	StatePerParam   float64 // optimizer state bytes per parameter byte
+	ActivationBytes int     // activation bytes per microbatch sample
+}
+
+// MaxMicrobatch returns the largest microbatch that fits, with the
+// optimizer state divided across `parts` GPUs (parts=1 is the
+// unpartitioned baseline).
+func (m MemoryModel) MaxMicrobatch(parts int) int {
+	state := int(float64(m.ParamBytes) * m.StatePerParam)
+	if parts > 1 {
+		state = (state + parts - 1) / parts
+		// The effective_gradient buffer of Figure 3 is partitioned too.
+		state += m.GradBytes / parts
+	} else {
+		state += m.GradBytes
+	}
+	free := m.GPUBytes - m.ReservedBytes - m.ParamBytes - m.GradBytes - state
+	if free <= 0 || m.ActivationBytes <= 0 {
+		return 0
+	}
+	return free / m.ActivationBytes
+}
+
+// UpdateTime returns the simulated model-update latency (the "Model
+// update" row of Table 1). The update has an Amdahl serial fraction
+// (cm.OptimizerSerialFrac) that partitioning cannot touch; the rest
+// parallelizes across the local GPUs. Partitioning also adds the local
+// broadcast of finished shards, overlapped with the next layer's Adasum
+// as §4.3 describes (modeled as a 25% exposure of the broadcast cost).
+func UpdateTime(cm simnet.ComputeModel, model *simnet.Model, paramBytes, parts int) float64 {
+	full := cm.OptimizerUpdateTime(paramBytes)
+	t := full
+	if parts > 1 {
+		serial := cm.OptimizerSerialFrac
+		t = full * (serial + (1-serial)/float64(parts))
+		// Broadcast this GPU's shard to the other local GPUs, mostly
+		// hidden behind the next layer's reduction.
+		share := (paramBytes + parts - 1) / parts
+		t += model.Transfer(0, 1, share) * float64(parts-1) * 0.25
+	}
+	return t
+}

@@ -1,0 +1,82 @@
+// Package scaling implements dynamic loss scaling for fp16 training
+// (§4.4.1, citing Micikevicius et al. [25]): gradients are multiplied by
+// a scale to keep them inside fp16's dynamic range; when an overflow
+// (NaN/Inf) appears the step is skipped and the scale backs off; after a
+// window of clean steps the scale grows again. The paper applies this to
+// the tensors Adasum introduces, such as the effective_gradient of
+// Figure 3.
+package scaling
+
+import "repro/internal/tensor"
+
+// LossScaler is a dynamic fp16 gradient scaler.
+type LossScaler struct {
+	// Scale is the current multiplier applied to the loss (and therefore
+	// to gradients).
+	Scale float64
+	// GrowthFactor multiplies Scale after GrowthInterval clean steps.
+	GrowthFactor float64
+	// BackoffFactor multiplies Scale on overflow.
+	BackoffFactor float64
+	// GrowthInterval is the number of consecutive overflow-free steps
+	// before the scale grows.
+	GrowthInterval int
+	// MinScale and MaxScale clamp the scale.
+	MinScale, MaxScale float64
+
+	goodSteps int
+	skipped   int
+}
+
+// NewLossScaler returns a scaler with the conventional defaults
+// (initial scale 2^15, grow 2x every 2000 clean steps, halve on
+// overflow).
+func NewLossScaler() *LossScaler {
+	return &LossScaler{
+		Scale:          32768,
+		GrowthFactor:   2,
+		BackoffFactor:  0.5,
+		GrowthInterval: 2000,
+		MinScale:       1,
+		MaxScale:       1 << 24,
+	}
+}
+
+// ScaleGrads multiplies the gradient vector by the current scale (in
+// real mixed-precision training the loss is scaled before backward; on
+// this simulator scaling the gradient is equivalent).
+func (s *LossScaler) ScaleGrads(g []float32) {
+	tensor.Scale(float32(s.Scale), g)
+}
+
+// Unscale divides the gradient vector by the current scale.
+func (s *LossScaler) Unscale(g []float32) {
+	tensor.Scale(float32(1/s.Scale), g)
+}
+
+// Update inspects the gradient for overflow and advances the scaler
+// state. It returns true when the step must be skipped (overflow
+// detected); the scale has already been backed off in that case.
+func (s *LossScaler) Update(g []float32) (skip bool) {
+	if tensor.HasNaNOrInf(g) {
+		s.Scale *= s.BackoffFactor
+		if s.Scale < s.MinScale {
+			s.Scale = s.MinScale
+		}
+		s.goodSteps = 0
+		s.skipped++
+		return true
+	}
+	s.goodSteps++
+	if s.goodSteps >= s.GrowthInterval {
+		s.Scale *= s.GrowthFactor
+		if s.Scale > s.MaxScale {
+			s.Scale = s.MaxScale
+		}
+		s.goodSteps = 0
+	}
+	return false
+}
+
+// SkippedSteps reports how many steps were skipped due to overflow.
+func (s *LossScaler) SkippedSteps() int { return s.skipped }

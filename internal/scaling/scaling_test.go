@@ -1,0 +1,101 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScaleUnscaleRoundTrip(t *testing.T) {
+	s := NewLossScaler()
+	g := []float32{1, -2, 0.5}
+	s.ScaleGrads(g)
+	if g[0] != 32768 {
+		t.Fatalf("scaled g[0] = %v", g[0])
+	}
+	s.Unscale(g)
+	if g[0] != 1 || g[1] != -2 || g[2] != 0.5 {
+		t.Fatalf("round trip = %v", g)
+	}
+}
+
+func TestOverflowBacksOff(t *testing.T) {
+	s := NewLossScaler()
+	before := s.Scale
+	skip := s.Update([]float32{1, float32(math.Inf(1))})
+	if !skip {
+		t.Fatal("overflow not detected")
+	}
+	if s.Scale != before/2 {
+		t.Fatalf("scale = %v, want %v", s.Scale, before/2)
+	}
+	if s.SkippedSteps() != 1 {
+		t.Fatalf("skipped = %d", s.SkippedSteps())
+	}
+}
+
+func TestGrowthAfterInterval(t *testing.T) {
+	s := NewLossScaler()
+	s.GrowthInterval = 3
+	before := s.Scale
+	for i := 0; i < 3; i++ {
+		if s.Update([]float32{1}) {
+			t.Fatal("clean step flagged as overflow")
+		}
+	}
+	if s.Scale != before*2 {
+		t.Fatalf("scale = %v, want %v after growth", s.Scale, before*2)
+	}
+}
+
+func TestOverflowResetsGrowthCounter(t *testing.T) {
+	s := NewLossScaler()
+	s.GrowthInterval = 2
+	s.Update([]float32{1})
+	s.Update([]float32{float32(math.NaN())}) // resets counter, halves
+	afterOverflow := s.Scale
+	s.Update([]float32{1})
+	if s.Scale != afterOverflow {
+		t.Fatal("grew before a full clean interval after overflow")
+	}
+	s.Update([]float32{1})
+	if s.Scale != afterOverflow*2 {
+		t.Fatal("did not grow after full clean interval")
+	}
+}
+
+func TestMinScaleClamp(t *testing.T) {
+	s := NewLossScaler()
+	s.Scale = 1
+	s.Update([]float32{float32(math.Inf(-1))})
+	if s.Scale < s.MinScale {
+		t.Fatalf("scale %v fell below min %v", s.Scale, s.MinScale)
+	}
+}
+
+func TestMaxScaleClamp(t *testing.T) {
+	s := NewLossScaler()
+	s.Scale = s.MaxScale
+	s.GrowthInterval = 1
+	s.Update([]float32{1})
+	if s.Scale > s.MaxScale {
+		t.Fatalf("scale %v exceeded max %v", s.Scale, s.MaxScale)
+	}
+}
+
+func TestRecoveryScenario(t *testing.T) {
+	// A burst of overflows followed by clean steps: the scaler must
+	// stabilize at a usable scale and stop skipping.
+	s := NewLossScaler()
+	s.GrowthInterval = 10
+	for i := 0; i < 5; i++ {
+		s.Update([]float32{float32(math.Inf(1))})
+	}
+	for i := 0; i < 50; i++ {
+		if s.Update([]float32{0.001}) {
+			t.Fatal("skipped a clean step")
+		}
+	}
+	if s.Scale < 1024 {
+		t.Fatalf("scale %v did not recover", s.Scale)
+	}
+}

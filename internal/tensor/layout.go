@@ -1,0 +1,145 @@
+package tensor
+
+import "fmt"
+
+// Layout describes how a flat parameter or gradient buffer decomposes into
+// named per-layer segments. Adasum is applied per layer (§3.6 of the
+// paper), and the tensor-fusion buffer (§4.4.3) must track these
+// boundaries so that fused reductions still compute per-layer dot
+// products.
+//
+// A Layout is immutable after construction.
+type Layout struct {
+	names   []string
+	offsets []int // len == len(names)+1; offsets[len(names)] == total size
+}
+
+// NewLayout builds a Layout from parallel name/size slices.
+func NewLayout(names []string, sizes []int) Layout {
+	if len(names) != len(sizes) {
+		panic("tensor: NewLayout names/sizes length mismatch")
+	}
+	offsets := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: NewLayout negative size for %q", names[i]))
+		}
+		offsets[i+1] = offsets[i] + s
+	}
+	n := make([]string, len(names))
+	copy(n, names)
+	return Layout{names: n, offsets: offsets}
+}
+
+// FlatLayout returns a single-segment layout covering n elements, used
+// when per-layer structure is unavailable or deliberately ignored (the
+// whole-gradient ablation).
+func FlatLayout(n int) Layout {
+	return NewLayout([]string{"flat"}, []int{n})
+}
+
+// NumLayers returns the number of segments.
+func (l Layout) NumLayers() int { return len(l.names) }
+
+// TotalSize returns the total number of elements covered by the layout.
+func (l Layout) TotalSize() int {
+	if len(l.offsets) == 0 {
+		return 0
+	}
+	return l.offsets[len(l.offsets)-1]
+}
+
+// Name returns the name of segment i.
+func (l Layout) Name(i int) string { return l.names[i] }
+
+// Bounds returns the [lo, hi) element range of segment i.
+func (l Layout) Bounds(i int) (lo, hi int) { return l.offsets[i], l.offsets[i+1] }
+
+// Size returns the number of elements in segment i.
+func (l Layout) Size(i int) int { return l.offsets[i+1] - l.offsets[i] }
+
+// Slice returns the sub-slice of x holding segment i.
+func (l Layout) Slice(x []float32, i int) []float32 {
+	return x[l.offsets[i]:l.offsets[i+1]]
+}
+
+// Window returns a new Layout describing the portion of this layout that
+// overlaps the element range [lo, hi). Segments partially inside the
+// window are clipped. Offsets in the returned layout are relative to lo.
+// This is how the distributed recursive-vector-halving reduction keeps
+// per-layer dot products correct while operating on half-vectors
+// (Algorithm 1), and how hierarchical/partitioned reductions carve
+// layer-aligned shards.
+func (l Layout) Window(lo, hi int) Layout {
+	if lo < 0 || hi > l.TotalSize() || lo > hi {
+		panic(fmt.Sprintf("tensor: Window [%d,%d) out of range [0,%d)", lo, hi, l.TotalSize()))
+	}
+	var names []string
+	var sizes []int
+	for i := 0; i < l.NumLayers(); i++ {
+		slo, shi := l.Bounds(i)
+		clo, chi := maxInt(slo, lo), minInt(shi, hi)
+		if clo >= chi {
+			continue
+		}
+		names = append(names, l.names[i])
+		sizes = append(sizes, chi-clo)
+	}
+	return NewLayout(names, sizes)
+}
+
+// SplitLayerAligned partitions the layout into parts contiguous shards
+// whose boundaries coincide with layer boundaries, balancing element
+// counts greedily. This implements the layer-aligned partitioning of
+// §4.3 ("we partition to ensure that state corresponding to one neural
+// network layer falls in the same partition"). It returns the element
+// ranges [lo, hi) of each shard; shards may be empty when there are more
+// parts than layers.
+func (l Layout) SplitLayerAligned(parts int) [][2]int {
+	if parts <= 0 {
+		panic("tensor: SplitLayerAligned needs parts > 0")
+	}
+	total := l.TotalSize()
+	ranges := make([][2]int, parts)
+	target := float64(total) / float64(parts)
+	layer := 0
+	cursor := 0
+	for p := 0; p < parts; p++ {
+		lo := cursor
+		// Give this shard layers until it reaches the running target.
+		for layer < l.NumLayers() {
+			_, hi := l.Bounds(layer)
+			// Remaining shards must each be able to stay non-degenerate;
+			// stop when this shard has met its proportional target.
+			if float64(hi) > target*float64(p+1) && cursor > lo {
+				break
+			}
+			cursor = hi
+			layer++
+		}
+		if p == parts-1 {
+			cursor = total
+			layer = l.NumLayers()
+		}
+		ranges[p] = [2]int{lo, cursor}
+	}
+	return ranges
+}
+
+// HalfSplit returns the midpoint used by recursive vector halving:
+// floor(n/2), matching line 2 of Algorithm 1.
+func HalfSplit(n int) int { return n / 2 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

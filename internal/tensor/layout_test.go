@@ -1,0 +1,160 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLayoutBasics(t *testing.T) {
+	l := NewLayout([]string{"conv1", "conv2", "fc"}, []int{10, 20, 5})
+	if l.NumLayers() != 3 {
+		t.Fatalf("NumLayers = %d", l.NumLayers())
+	}
+	if l.TotalSize() != 35 {
+		t.Fatalf("TotalSize = %d", l.TotalSize())
+	}
+	lo, hi := l.Bounds(1)
+	if lo != 10 || hi != 30 {
+		t.Fatalf("Bounds(1) = [%d,%d)", lo, hi)
+	}
+	if l.Size(2) != 5 {
+		t.Fatalf("Size(2) = %d", l.Size(2))
+	}
+	if l.Name(0) != "conv1" {
+		t.Fatalf("Name(0) = %q", l.Name(0))
+	}
+}
+
+func TestLayoutSlice(t *testing.T) {
+	l := NewLayout([]string{"a", "b"}, []int{2, 3})
+	x := []float32{1, 2, 3, 4, 5}
+	if got := l.Slice(x, 1); !Equal(got, []float32{3, 4, 5}, 0) {
+		t.Fatalf("Slice = %v", got)
+	}
+}
+
+func TestFlatLayout(t *testing.T) {
+	l := FlatLayout(7)
+	if l.NumLayers() != 1 || l.TotalSize() != 7 {
+		t.Fatalf("FlatLayout: %d layers, %d total", l.NumLayers(), l.TotalSize())
+	}
+}
+
+func TestLayoutZeroSizedLayer(t *testing.T) {
+	l := NewLayout([]string{"a", "empty", "b"}, []int{3, 0, 2})
+	if l.TotalSize() != 5 {
+		t.Fatalf("TotalSize = %d", l.TotalSize())
+	}
+	lo, hi := l.Bounds(1)
+	if lo != 3 || hi != 3 {
+		t.Fatalf("empty layer bounds = [%d,%d)", lo, hi)
+	}
+}
+
+func TestWindowClipsLayers(t *testing.T) {
+	l := NewLayout([]string{"a", "b", "c"}, []int{4, 4, 4})
+	w := l.Window(2, 10)
+	// Window covers a[2:4], b[4:8], c[8:10] -> sizes 2, 4, 2.
+	if w.NumLayers() != 3 {
+		t.Fatalf("Window layers = %d", w.NumLayers())
+	}
+	if w.Size(0) != 2 || w.Size(1) != 4 || w.Size(2) != 2 {
+		t.Fatalf("Window sizes = %d,%d,%d", w.Size(0), w.Size(1), w.Size(2))
+	}
+	if w.TotalSize() != 8 {
+		t.Fatalf("Window total = %d", w.TotalSize())
+	}
+}
+
+func TestWindowFull(t *testing.T) {
+	l := NewLayout([]string{"a", "b"}, []int{3, 5})
+	w := l.Window(0, 8)
+	if w.NumLayers() != 2 || w.TotalSize() != 8 {
+		t.Fatalf("full window mismatch: %d layers %d total", w.NumLayers(), w.TotalSize())
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	l := NewLayout([]string{"a"}, []int{4})
+	w := l.Window(2, 2)
+	if w.NumLayers() != 0 || w.TotalSize() != 0 {
+		t.Fatalf("empty window: %d layers %d total", w.NumLayers(), w.TotalSize())
+	}
+}
+
+func TestWindowOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLayout([]string{"a"}, []int{4}).Window(0, 5)
+}
+
+func TestSplitLayerAlignedCoversEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(20) + 1
+		names := make([]string, n)
+		sizes := make([]int, n)
+		for i := range sizes {
+			names[i] = "l"
+			sizes[i] = rng.Intn(100) + 1
+		}
+		l := NewLayout(names, sizes)
+		parts := rng.Intn(8) + 1
+		ranges := l.SplitLayerAligned(parts)
+		if len(ranges) != parts {
+			t.Fatalf("parts = %d, got %d ranges", parts, len(ranges))
+		}
+		// Contiguous cover of [0, total).
+		cursor := 0
+		for _, r := range ranges {
+			if r[0] != cursor {
+				t.Fatalf("gap: range starts at %d, cursor %d", r[0], cursor)
+			}
+			if r[1] < r[0] {
+				t.Fatalf("negative range %v", r)
+			}
+			cursor = r[1]
+		}
+		if cursor != l.TotalSize() {
+			t.Fatalf("cover ends at %d, total %d", cursor, l.TotalSize())
+		}
+		// Every boundary must be a layer boundary.
+		boundaries := map[int]bool{0: true, l.TotalSize(): true}
+		for i := 0; i < l.NumLayers(); i++ {
+			_, hi := l.Bounds(i)
+			boundaries[hi] = true
+		}
+		for _, r := range ranges {
+			if !boundaries[r[0]] || !boundaries[r[1]] {
+				t.Fatalf("range %v not layer-aligned", r)
+			}
+		}
+	}
+}
+
+func TestSplitLayerAlignedBalance(t *testing.T) {
+	// With many equal layers, shards should be near-balanced.
+	names := make([]string, 64)
+	sizes := make([]int, 64)
+	for i := range sizes {
+		names[i] = "l"
+		sizes[i] = 100
+	}
+	l := NewLayout(names, sizes)
+	ranges := l.SplitLayerAligned(4)
+	for _, r := range ranges {
+		sz := r[1] - r[0]
+		if sz < 1200 || sz > 2000 {
+			t.Fatalf("unbalanced shard %v (size %d)", r, sz)
+		}
+	}
+}
+
+func TestHalfSplit(t *testing.T) {
+	if HalfSplit(5) != 2 || HalfSplit(4) != 2 || HalfSplit(0) != 0 {
+		t.Fatal("HalfSplit mismatch with floor(n/2)")
+	}
+}

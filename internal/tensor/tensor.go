@@ -1,0 +1,219 @@
+// Package tensor provides the flat-vector math kernels used throughout the
+// Adasum reproduction: dot products and squared norms accumulated in
+// float64 (the paper stresses this for fp16 stability, §4.4.1), scaled
+// additions, and layer-structured views over flat parameter/gradient
+// buffers.
+//
+// All kernels operate on []float32, the working precision of the simulated
+// training stack. Reductions (Dot, Norm2, Sum) always accumulate in
+// float64 regardless of input precision. The inner loops are manually
+// unrolled four wide, standing in for the SIMD vectorization described in
+// §4.4.2 of the paper.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b accumulated in float64.
+// It panics if the lengths differ.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	for ; i < n; i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm2 returns the squared Euclidean norm of a, accumulated in float64.
+func Norm2(a []float32) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += float64(a[i]) * float64(a[i])
+		s1 += float64(a[i+1]) * float64(a[i+1])
+		s2 += float64(a[i+2]) * float64(a[i+2])
+		s3 += float64(a[i+3]) * float64(a[i+3])
+	}
+	for ; i < n; i++ {
+		s0 += float64(a[i]) * float64(a[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float64 { return math.Sqrt(Norm2(a)) }
+
+// Sum returns the sum of the elements of a accumulated in float64.
+func Sum(a []float32) float64 {
+	var s float64
+	for _, v := range a {
+		s += float64(v)
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place. It panics on length mismatch.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale computes x *= alpha in place.
+func Scale(alpha float32, x []float32) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x[i] *= alpha
+		x[i+1] *= alpha
+		x[i+2] *= alpha
+		x[i+3] *= alpha
+	}
+	for ; i < n; i++ {
+		x[i] *= alpha
+	}
+}
+
+// Add computes dst[i] = a[i] + b[i]. dst may alias a or b.
+func Add(dst, a, b []float32) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst[i] = a[i] - b[i]. dst may alias a or b.
+func Sub(dst, a, b []float32) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// ScaledCombine computes dst[i] = ca*a[i] + cb*b[i]. This is the inner
+// kernel of the Adasum combiner (line 18 of Algorithm 1). dst may alias
+// a or b.
+func ScaledCombine(dst []float32, ca float32, a []float32, cb float32, b []float32) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: ScaledCombine length mismatch")
+	}
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] = ca*a[i] + cb*b[i]
+		dst[i+1] = ca*a[i+1] + cb*b[i+1]
+		dst[i+2] = ca*a[i+2] + cb*b[i+2]
+		dst[i+3] = ca*a[i+3] + cb*b[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] = ca*a[i] + cb*b[i]
+	}
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Clone returns a freshly allocated copy of x.
+func Clone(x []float32) []float32 {
+	c := make([]float32, len(x))
+	copy(c, x)
+	return c
+}
+
+// MaxAbs returns the largest absolute element of x, or 0 for empty x.
+func MaxAbs(x []float32) float32 {
+	var m float32
+	for _, v := range x {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// HasNaNOrInf reports whether x contains a NaN or an infinity. It is used
+// by the dynamic loss scaler to detect fp16 overflow (§4.4.1).
+func HasNaNOrInf(x []float32) bool {
+	for _, v := range x {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether a and b are elementwise equal within tol.
+func Equal(a, b []float32, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i])-float64(b[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// RelErr returns ||a-b|| / max(||b||, eps), a scale-free distance used by
+// the Figure 2 emulation-error experiment.
+func RelErr(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: RelErr length mismatch")
+	}
+	var num, den float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		num += d * d
+		den += float64(b[i]) * float64(b[i])
+	}
+	if den < 1e-300 {
+		den = 1e-300
+	}
+	return math.Sqrt(num / den)
+}
