@@ -141,10 +141,35 @@ func BenchmarkTensorDot1M(b *testing.B) {
 	x := randVec(1<<20, 1)
 	y := randVec(1<<20, 2)
 	b.SetBytes(1 << 22)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = tensor.Dot(x, y)
 	}
+}
+
+// BenchmarkDotNormsFusedVsSeparate contrasts the fused single-pass
+// reduction against the three separate passes it replaces (the seed
+// implementation of the Adasum combine's reduction phase).
+func BenchmarkDotNormsFusedVsSeparate(b *testing.B) {
+	x := randVec(1<<20, 1)
+	y := randVec(1<<20, 2)
+	b.Run("fused", func(b *testing.B) {
+		b.SetBytes(1 << 23)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _, _ = tensor.DotNorms(x, y)
+		}
+	})
+	b.Run("separate", func(b *testing.B) {
+		b.SetBytes(1 << 23)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = tensor.Dot(x, y)
+			_ = tensor.Norm2(x)
+			_ = tensor.Norm2(y)
+		}
+	})
 }
 
 func BenchmarkAdasumCombine1M(b *testing.B) {
@@ -152,9 +177,29 @@ func BenchmarkAdasumCombine1M(b *testing.B) {
 	y := randVec(1<<20, 4)
 	dst := make([]float32, 1<<20)
 	b.SetBytes(1 << 22)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		adasum.Combine(dst, x, y)
+	}
+}
+
+// BenchmarkAdasumCombine1MUnfused is the seed's four-pass combine
+// (Dot + Norm2 + Norm2 + ScaledCombine), kept as the reference point for
+// the fused kernel speedup recorded in BENCH_1.json.
+func BenchmarkAdasumCombine1MUnfused(b *testing.B) {
+	x := randVec(1<<20, 3)
+	y := randVec(1<<20, 4)
+	dst := make([]float32, 1<<20)
+	b.SetBytes(1 << 22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dot := tensor.Dot(x, y)
+		na := tensor.Norm2(x)
+		nb := tensor.Norm2(y)
+		ca, cb := adasum.Coefficients(dot, na, nb)
+		tensor.ScaledCombine(dst, float32(ca), x, float32(cb), y)
 	}
 }
 
@@ -164,9 +209,11 @@ func BenchmarkAdasumTreeReduce16x64K(b *testing.B) {
 		grads[i] = randVec(1<<16, int64(i))
 	}
 	layout := tensor.FlatLayout(1 << 16)
+	red := adasum.NewReducer() // workspace allocated once, reused every op
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = adasum.TreeReduce(grads, layout)
+		_ = red.TreeReduce(grads, layout)
 	}
 }
 
@@ -174,35 +221,46 @@ func BenchmarkAdasumRVH16Ranks(b *testing.B) {
 	const ranks, n = 16, 1 << 14
 	layout := tensor.FlatLayout(n)
 	inputs := make([][]float32, ranks)
+	xs := make([][]float32, ranks)
 	for i := range inputs {
 		inputs[i] = randVec(n, int64(100+i))
+		xs[i] = make([]float32, n)
 	}
+	// World (and its buffer pool) is constructed once; each op is one
+	// full collective across all ranks, which in steady state draws every
+	// transport buffer from the pool.
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		w := comm.NewWorld(ranks, nil)
-		g := collective.WorldGroup(ranks)
-		w.Run(func(p *comm.Proc) {
-			x := tensor.Clone(inputs[p.Rank()])
+	w.Run(func(p *comm.Proc) {
+		x := xs[p.Rank()]
+		for i := 0; i < b.N; i++ {
+			copy(x, inputs[p.Rank()])
 			collective.AdasumRVH(p, g, x, layout)
-		})
-	}
+		}
+	})
 }
 
 func BenchmarkRingAllreduce16Ranks(b *testing.B) {
 	const ranks, n = 16, 1 << 14
 	inputs := make([][]float32, ranks)
+	xs := make([][]float32, ranks)
 	for i := range inputs {
 		inputs[i] = randVec(n, int64(200+i))
+		xs[i] = make([]float32, n)
 	}
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		w := comm.NewWorld(ranks, nil)
-		g := collective.WorldGroup(ranks)
-		w.Run(func(p *comm.Proc) {
-			x := tensor.Clone(inputs[p.Rank()])
+	w.Run(func(p *comm.Proc) {
+		x := xs[p.Rank()]
+		for i := 0; i < b.N; i++ {
+			copy(x, inputs[p.Rank()])
 			collective.RingAllreduceSum(p, g, x)
-		})
-	}
+		}
+	})
 }
 
 func BenchmarkMLPForwardBackward(b *testing.B) {
@@ -242,11 +300,13 @@ func BenchmarkAblationPerLayerVsWhole(b *testing.B) {
 	y := randVec(layout.TotalSize(), 10)
 	dst := make([]float32, layout.TotalSize())
 	b.Run("per-layer", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			adasum.CombineLayers(dst, x, y, layout)
 		}
 	})
 	b.Run("whole-gradient", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			adasum.Combine(dst, x, y)
 		}
@@ -259,14 +319,17 @@ func BenchmarkAblationTreeVsLinear(b *testing.B) {
 		grads[i] = randVec(1<<14, int64(300+i))
 	}
 	layout := tensor.FlatLayout(1 << 14)
+	red := adasum.NewReducer()
 	b.Run("tree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = adasum.TreeReduce(grads, layout)
+			_ = red.TreeReduce(grads, layout)
 		}
 	})
 	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = adasum.LinearReduce(grads, layout)
+			_ = red.LinearReduce(grads, layout)
 		}
 	})
 }

@@ -7,9 +7,15 @@
 // and runners that regenerate every table and figure of the paper's
 // evaluation on synthetic substitutes for its hardware and datasets.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// substitution record, and EXPERIMENTS.md for paper-vs-measured results.
-// The benchmark harness in bench_test.go regenerates each experiment:
+// See DESIGN.md for the design record of the reduction hot path — the
+// fused single-pass dot/norm kernels (with their AVX+FMA fast path), the
+// workspace-owning adasum.Reducer, the pooled communication buffers and
+// the in-place recursive-vector-halving collectives — plus the
+// experiment substitution notes. The benchmark harness in bench_test.go
+// regenerates each experiment and micro-benchmarks the kernels:
 //
 //	go test -bench=. -benchmem
+//
+// scripts/bench.sh records the kernel/collective micro-benchmarks into a
+// BENCH_N.json snapshot so the performance trajectory is tracked per PR.
 package repro

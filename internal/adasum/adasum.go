@@ -12,6 +12,12 @@
 //   - orthogonal gradients are summed: Adasum(a, b) = a + b when a·b = 0;
 //   - parallel gradients are averaged: Adasum(g, g) = g;
 //   - the operator is symmetric and has no hyperparameters.
+//
+// The pairwise combine runs on the fused single-pass reduction
+// tensor.DotNorms (two memory traversals per combine instead of four,
+// §4.4.2), and the host-side reductions are available through a Reducer
+// that owns its workspace so steady-state training steps allocate
+// nothing. See DESIGN.md for the kernel-fusion and workspace design.
 package adasum
 
 import (
@@ -39,13 +45,23 @@ func Coefficients(dot, na, nb float64) (ca, cb float64) {
 
 // Combine writes Adasum(a, b) into dst, treating the full vectors as a
 // single segment. dst may alias a or b. Dot products and norms accumulate
-// in float64.
+// in float64; the three reductions run as one fused pass
+// (tensor.DotNorms) followed by the scaled combine — two memory
+// traversals instead of the four of the naive formulation (§4.4.2).
 func Combine(dst, a, b []float32) {
-	dot := tensor.Dot(a, b)
-	na := tensor.Norm2(a)
-	nb := tensor.Norm2(b)
+	CombineFused(dst, a, b)
+}
+
+// CombineFused is Combine exposing the fused reduction results: it writes
+// Adasum(a, b) into dst and returns the pre-combine statistics a·b, ‖a‖²
+// and ‖b‖² that determined the coefficients. Callers that need the stats
+// anyway (orthogonality probes, logging, distributed partials) get them
+// for free instead of re-reducing. dst may alias a or b.
+func CombineFused(dst, a, b []float32) (dot, na, nb float64) {
+	dot, na, nb = tensor.DotNorms(a, b)
 	ca, cb := Coefficients(dot, na, nb)
 	tensor.ScaledCombine(dst, float32(ca), a, float32(cb), b)
+	return dot, na, nb
 }
 
 // CombineLayers writes the per-layer Adasum of a and b into dst: each
@@ -59,7 +75,7 @@ func CombineLayers(dst, a, b []float32, layout tensor.Layout) {
 	}
 	for i := 0; i < layout.NumLayers(); i++ {
 		lo, hi := layout.Bounds(i)
-		Combine(dst[lo:hi], a[lo:hi], b[lo:hi])
+		CombineFused(dst[lo:hi], a[lo:hi], b[lo:hi])
 	}
 }
 
@@ -81,11 +97,8 @@ func LayerDots(a, b []float32, layout tensor.Layout) []PartialDots {
 	dots := make([]PartialDots, layout.NumLayers())
 	for i := range dots {
 		lo, hi := layout.Bounds(i)
-		dots[i] = PartialDots{
-			Dot:   tensor.Dot(a[lo:hi], b[lo:hi]),
-			NormA: tensor.Norm2(a[lo:hi]),
-			NormB: tensor.Norm2(b[lo:hi]),
-		}
+		d, na, nb := tensor.DotNorms(a[lo:hi], b[lo:hi])
+		dots[i] = PartialDots{Dot: d, NormA: na, NormB: nb}
 	}
 	return dots
 }
@@ -131,50 +144,195 @@ func UnflattenDots(flat []float64) []PartialDots {
 	return dots
 }
 
+// Reducer owns the scratch workspace of the host-side reductions so that
+// repeated steps — the trainer loop calls one reduction per iteration —
+// allocate nothing in steady state. The zero value is ready to use; the
+// workspace grows on first use and is reused (and regrown when a call
+// presents a larger layout) thereafter.
+//
+// A Reducer is not safe for concurrent use, and the slices returned by
+// its non-Into methods are owned by the Reducer: they remain valid only
+// until its next call.
+type Reducer struct {
+	bufs [][]float32 // owned level buffers for the tree recursion
+	work [][]float32 // per-call pointer scratch over bufs
+	out  []float32   // result buffer for the non-Into methods
+}
+
+// NewReducer returns an empty Reducer. Equivalent to new(Reducer); the
+// workspace is lazily sized by the first reduction.
+func NewReducer() *Reducer { return &Reducer{} }
+
+// ensureBufs guarantees k owned buffers of length size each.
+func (r *Reducer) ensureBufs(k, size int) {
+	for len(r.bufs) < k {
+		r.bufs = append(r.bufs, nil)
+	}
+	for i := 0; i < k; i++ {
+		if cap(r.bufs[i]) < size {
+			r.bufs[i] = make([]float32, size)
+		} else {
+			r.bufs[i] = r.bufs[i][:size]
+		}
+	}
+}
+
+// ensureOut guarantees the shared result buffer has length size.
+func (r *Reducer) ensureOut(size int) []float32 {
+	if cap(r.out) < size {
+		r.out = make([]float32, size)
+	}
+	r.out = r.out[:size]
+	return r.out
+}
+
 // TreeReduce applies Adasum recursively over any number of gradients on a
 // single host, halving the set at each level (§3.4's bandwidth-optimal
 // recursion: Adasum(g[0,n]) = Adasum(Adasum(g[0,n/2)), Adasum(g[n/2,n]))).
 // Odd leftovers pass through a level unchanged, so any n ≥ 1 is accepted.
-// The inputs are not modified; the result is freshly allocated.
-func TreeReduce(grads [][]float32, layout tensor.Layout) []float32 {
+// The inputs are not modified. The result lives in the Reducer's
+// workspace and is valid until the next call.
+func (r *Reducer) TreeReduce(grads [][]float32, layout tensor.Layout) []float32 {
 	if len(grads) == 0 {
 		panic("adasum: TreeReduce needs at least one gradient")
 	}
-	work := make([][]float32, len(grads))
-	for i, g := range grads {
-		work[i] = tensor.Clone(g)
+	out := r.ensureOut(len(grads[0]))
+	r.TreeReduceInto(out, grads, layout)
+	return out
+}
+
+// TreeReduceInto is TreeReduce writing the result into dst, which must
+// have the gradients' length and must not alias any input.
+func (r *Reducer) TreeReduceInto(dst []float32, grads [][]float32, layout tensor.Layout) {
+	n := len(grads)
+	if n == 0 {
+		panic("adasum: TreeReduce needs at least one gradient")
 	}
-	for len(work) > 1 {
-		half := make([][]float32, 0, (len(work)+1)/2)
-		for i := 0; i+1 < len(work); i += 2 {
-			CombineLayers(work[i], work[i], work[i+1], layout)
-			half = append(half, work[i])
-		}
-		if len(work)%2 == 1 {
-			half = append(half, work[len(work)-1])
-		}
-		work = half
+	if len(dst) != len(grads[0]) {
+		panic("adasum: TreeReduceInto dst size mismatch")
 	}
-	return work[0]
+	switch n {
+	case 1:
+		copy(dst, grads[0])
+		return
+	case 2:
+		CombineLayers(dst, grads[0], grads[1], layout)
+		return
+	}
+	size := len(grads[0])
+	r.ensureBufs((n+1)/2, size)
+	work := r.work[:0]
+
+	// First level reads the inputs directly, writing each pair's combine
+	// into workspace — no per-input clones (the seed implementation cloned
+	// every gradient). An odd leftover is copied once so later levels may
+	// overwrite it in place.
+	m := 0
+	for i := 0; i+1 < n; i += 2 {
+		CombineLayers(r.bufs[m], grads[i], grads[i+1], layout)
+		work = append(work, r.bufs[m])
+		m++
+	}
+	if n%2 == 1 {
+		copy(r.bufs[m], grads[n-1])
+		work = append(work, r.bufs[m])
+		m++
+	}
+	r.work = work // retain the grown pointer scratch for reuse
+
+	// Higher levels combine in place within the workspace; the final
+	// combine writes straight into dst.
+	for m > 2 {
+		nm := 0
+		for i := 0; i+1 < m; i += 2 {
+			CombineLayers(work[nm], work[i], work[i+1], layout)
+			nm++
+		}
+		if m%2 == 1 {
+			work[nm] = work[m-1]
+			nm++
+		}
+		m = nm
+	}
+	CombineLayers(dst, work[0], work[1], layout)
 }
 
 // LinearReduce applies Adasum left to right: ((g0 ⊕ g1) ⊕ g2) ⊕ ...
 // This is the "linear" application order of §4.2.3; it produces a
 // different (but equally valid) combination than TreeReduce and is kept
-// for the ordering ablation.
+// for the ordering ablation. The result is valid until the Reducer's
+// next call.
+func (r *Reducer) LinearReduce(grads [][]float32, layout tensor.Layout) []float32 {
+	if len(grads) == 0 {
+		panic("adasum: LinearReduce needs at least one gradient")
+	}
+	out := r.ensureOut(len(grads[0]))
+	LinearReduceInto(out, grads, layout)
+	return out
+}
+
+// SumReduce returns the elementwise sum of the gradients — the
+// synchronous-SGD baseline combiner. The result is valid until the
+// Reducer's next call.
+func (r *Reducer) SumReduce(grads [][]float32) []float32 {
+	if len(grads) == 0 {
+		panic("adasum: SumReduce needs at least one gradient")
+	}
+	out := r.ensureOut(len(grads[0]))
+	copy(out, grads[0])
+	for _, g := range grads[1:] {
+		tensor.Axpy(1, g, out)
+	}
+	return out
+}
+
+// MeanReduce returns the elementwise average of the gradients. The result
+// is valid until the Reducer's next call.
+func (r *Reducer) MeanReduce(grads [][]float32) []float32 {
+	out := r.SumReduce(grads)
+	tensor.Scale(1/float32(len(grads)), out)
+	return out
+}
+
+// TreeReduce is the allocating convenience form of Reducer.TreeReduce:
+// the inputs are not modified and the result is freshly allocated. Loops
+// should hold a Reducer instead.
+func TreeReduce(grads [][]float32, layout tensor.Layout) []float32 {
+	if len(grads) == 0 {
+		panic("adasum: TreeReduce needs at least one gradient")
+	}
+	out := make([]float32, len(grads[0]))
+	var r Reducer
+	r.TreeReduceInto(out, grads, layout)
+	return out
+}
+
+// LinearReduceInto applies Adasum left to right into dst, which must not
+// alias any input beyond grads[0] (dst == grads[0] is allowed only if the
+// caller intends in-place accumulation).
+func LinearReduceInto(dst []float32, grads [][]float32, layout tensor.Layout) {
+	if len(grads) == 0 {
+		panic("adasum: LinearReduce needs at least one gradient")
+	}
+	copy(dst, grads[0])
+	for _, g := range grads[1:] {
+		CombineLayers(dst, dst, g, layout)
+	}
+}
+
+// LinearReduce is the allocating convenience form of
+// Reducer.LinearReduce.
 func LinearReduce(grads [][]float32, layout tensor.Layout) []float32 {
 	if len(grads) == 0 {
 		panic("adasum: LinearReduce needs at least one gradient")
 	}
-	acc := tensor.Clone(grads[0])
-	for _, g := range grads[1:] {
-		CombineLayers(acc, acc, g, layout)
-	}
-	return acc
+	out := make([]float32, len(grads[0]))
+	LinearReduceInto(out, grads, layout)
+	return out
 }
 
-// SumReduce returns the elementwise sum of the gradients — the
-// synchronous-SGD baseline combiner.
+// SumReduce returns the freshly allocated elementwise sum of the
+// gradients — the synchronous-SGD baseline combiner.
 func SumReduce(grads [][]float32) []float32 {
 	if len(grads) == 0 {
 		panic("adasum: SumReduce needs at least one gradient")
@@ -186,7 +344,8 @@ func SumReduce(grads [][]float32) []float32 {
 	return acc
 }
 
-// MeanReduce returns the elementwise average of the gradients.
+// MeanReduce returns the freshly allocated elementwise average of the
+// gradients.
 func MeanReduce(grads [][]float32) []float32 {
 	acc := SumReduce(grads)
 	tensor.Scale(1/float32(len(grads)), acc)
@@ -240,9 +399,7 @@ func CombineF16(dst, a, b []float16.Bits) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("adasum: CombineF16 length mismatch")
 	}
-	dot := float16.Dot(a, b)
-	na := float16.Norm2(a)
-	nb := float16.Norm2(b)
+	dot, na, nb := float16.DotNorms(a, b)
 	ca, cb := Coefficients(dot, na, nb)
 	for i := range dst {
 		v := float32(ca)*float16.ToFloat32(a[i]) + float32(cb)*float16.ToFloat32(b[i])

@@ -10,14 +10,16 @@ import (
 // with elementwise sum over the group: a ring reduce-scatter followed by
 // a ring allgather, each moving (n-1)/n of the vector. This is the
 // reproduction's stand-in for "NCCL's sum operation", the baseline of
-// Figure 4. x is reduced in place.
+// Figure 4. x is reduced in place. Chunk bounds are computed
+// arithmetically and transport buffers come from the World pool, so the
+// collective allocates nothing in steady state.
 func RingAllreduceSum(p *comm.Proc, g Group, x []float32) {
 	if len(g) == 1 {
 		return
 	}
-	ranges := equalRanges(len(x), len(g))
-	reduceScatterVRing(p, g, x, ranges)
-	allgatherVRing(p, g, x, ranges)
+	bounds := equalBounds(len(x), len(g))
+	reduceScatterRing(p, g, x, bounds)
+	allgatherRing(p, g, x, bounds)
 }
 
 // RingAllreduceMean is RingAllreduceSum followed by division by the group
@@ -39,44 +41,51 @@ func RVHAllreduceSum(p *comm.Proc, g Group, x []float32) {
 	if len(g) == 1 {
 		return
 	}
-	res := rvhSumRec(p, g, x, 1)
-	copy(x, res)
+	rvhSumRec(p, g, x, 0, len(x), 1)
 }
 
-func rvhSumRec(p *comm.Proc, g Group, x []float32, d int) []float32 {
-	mid := tensor.HalfSplit(len(x))
+// rvhSumRec runs one halving/doubling level over the window [lo, hi) of
+// x, which every rank holds in the same full-size buffer: the reduction
+// happens in place in this rank's half, and the allgather unwind receives
+// the peer's half directly into its home position in x, so no level
+// allocates. Received transport buffers are recycled to the World pool.
+func rvhSumRec(p *comm.Proc, g Group, x []float32, lo, hi, d int) {
+	mid := lo + tensor.HalfSplit(hi-lo)
 	gpos := g.Pos(p.Rank())
 	left := (gpos/d)%2 == 0
-	var mine, theirs []float32
-	var nghr int
+	var nghr, nlo, nhi int
 	if left {
 		nghr = gpos + d
-		p.Send(g[nghr], x[mid:])
-		mine = x[:mid]
-		theirs = p.Recv(g[nghr])
+		p.Send(g[nghr], x[mid:hi])
+		theirs := p.Recv(g[nghr])
+		mine := x[lo:mid]
+		for i := range mine {
+			mine[i] += theirs[i]
+		}
+		p.Release(theirs)
+		nlo, nhi = lo, mid
 	} else {
 		nghr = gpos - d
-		p.Send(g[nghr], x[:mid])
-		theirs = p.Recv(g[nghr])
-		mine = x[mid:]
+		p.Send(g[nghr], x[lo:mid])
+		theirs := p.Recv(g[nghr])
+		mine := x[mid:hi]
+		for i := range mine {
+			mine[i] += theirs[i]
+		}
+		p.Release(theirs)
+		nlo, nhi = mid, hi
 	}
-	for i := range mine {
-		mine[i] += theirs[i]
-	}
-	p.ComputeReduce(len(mine) * 4)
-	res := mine
+	p.ComputeReduce((nhi - nlo) * 4)
 	if 2*d < len(g) {
-		res = rvhSumRec(p, g, res, 2*d)
+		rvhSumRec(p, g, x, nlo, nhi, 2*d)
 	}
-	p.Send(g[nghr], res)
-	y := p.Recv(g[nghr])
-	out := make([]float32, 0, len(res)+len(y))
+	// Doubling unwind: exchange fully reduced halves into place.
+	p.Send(g[nghr], x[nlo:nhi])
 	if left {
-		out = append(append(out, res...), y...)
+		p.RecvInto(g[nghr], x[mid:hi])
 	} else {
-		out = append(append(out, y...), res...)
+		p.RecvInto(g[nghr], x[lo:mid])
 	}
-	return out
 }
 
 // AdasumRVH is Algorithm 1: recursive vector halving where each level's
@@ -96,33 +105,40 @@ func AdasumRVH(p *comm.Proc, g Group, x []float32, layout tensor.Layout) {
 	if len(g) == 1 {
 		return
 	}
-	res := adasumRVHRec(p, g, x, 0, 1, layout)
-	copy(x, res)
+	// One flattened per-layer dot-product scratch serves every recursion
+	// level; it comes from the World pool so repeated collectives reuse
+	// the same allocation.
+	dots := p.ScratchMeta(3 * layout.NumLayers())
+	adasumRVHRec(p, g, x, 0, len(x), 1, layout, dots)
+	p.ReleaseMeta(dots)
 }
 
-// adasumRVHRec runs one level of Algorithm 1. x is this rank's slice of
-// the level's logical vector, covering elements [off, off+len(x)) of the
-// original vector. d is the neighbor distance. Returns this rank's fully
-// assembled copy for its level, unwinding the allgather phase.
-func adasumRVHRec(p *comm.Proc, g Group, x []float32, off, d int, layout tensor.Layout) []float32 {
-	mid := tensor.HalfSplit(len(x)) // line 2
+// adasumRVHRec runs one level of Algorithm 1 over the window [lo, hi) of
+// x. Every rank keeps its working slice inside the same full-size buffer
+// at its home offset: the combine writes into this rank's half of the
+// window in place, and the allgather unwind receives the peer's half
+// directly into its home position — no level builds fresh slices. d is
+// the neighbor distance; dots is the reusable flattened per-layer partial
+// buffer (3 entries per layer of layout).
+func adasumRVHRec(p *comm.Proc, g Group, x []float32, lo, hi, d int, layout tensor.Layout, dots []float64) {
+	mid := lo + tensor.HalfSplit(hi-lo) // line 2
 	gpos := g.Pos(p.Rank())
 	left := (gpos/d)%2 == 0
 
-	var a, b []float32
-	var nghr, newOff int
+	var a, b, dst, recv []float32
+	var nghr, nlo, nhi int
 	if left { // lines 3-7: keep left half, receive neighbor's left half
 		nghr = gpos + d
-		p.Send(g[nghr], x[mid:])
-		a = x[:mid]
-		b = p.Recv(g[nghr])
-		newOff = off
+		p.Send(g[nghr], x[mid:hi])
+		recv = p.Recv(g[nghr])
+		a, b, dst = x[lo:mid], recv, x[lo:mid]
+		nlo, nhi = lo, mid
 	} else { // lines 8-13: keep right half, receive neighbor's right half
 		nghr = gpos - d
-		p.Send(g[nghr], x[:mid])
-		a = p.Recv(g[nghr])
-		b = x[mid:]
-		newOff = off + mid
+		p.Send(g[nghr], x[lo:mid])
+		recv = p.Recv(g[nghr])
+		a, b, dst = recv, x[mid:hi], x[mid:hi]
+		nlo, nhi = mid, hi
 	}
 
 	d2 := 2 * d // line 14
@@ -130,52 +146,50 @@ func adasumRVHRec(p *comm.Proc, g Group, x []float32, off, d int, layout tensor.
 	// Lines 15-17: per-layer partial dot products over this rank's
 	// window, summed across the contiguous block of d2 group positions
 	// that collectively hold the two logical vectors.
-	v := windowLayerDots(a, b, newOff, layout)
+	windowLayerDots(dots, a, b, nlo, layout)
 	p.ComputeReduce(3 * len(a) * 4)
 	base := gpos / d2 * d2
-	allreduceF64RD(p, g, base, d2, v)
+	allreduceF64RD(p, g, base, d2, dots)
 
 	// Line 18: apply the combine with the completed dot products.
-	applyWindowCombine(a, a, b, newOff, layout, v)
+	applyWindowCombine(dst, a, b, nlo, layout, dots)
 	p.ComputeReduce(2 * len(a) * 4)
+	p.Release(recv)
 
-	res := a
 	if d2 < len(g) { // lines 19-21
-		res = adasumRVHRec(p, g, res, newOff, d2, layout)
+		adasumRVHRec(p, g, x, nlo, nhi, d2, layout, dots)
 	}
 
-	// Lines 22-24: allgather unwind.
-	p.Send(g[nghr], res)
-	y := p.Recv(g[nghr])
-	out := make([]float32, 0, len(res)+len(y))
+	// Lines 22-24: allgather unwind — exchange finished halves into place.
+	p.Send(g[nghr], x[nlo:nhi])
 	if left {
-		out = append(append(out, res...), y...)
+		p.RecvInto(g[nghr], x[mid:hi])
 	} else {
-		out = append(append(out, y...), res...)
+		p.RecvInto(g[nghr], x[lo:mid])
 	}
-	return out
 }
 
-// windowLayerDots computes flattened per-layer partials [dot, ‖a‖², ‖b‖²]
-// for the window [off, off+len(a)) of the original vector, indexed by the
-// global layer list so that ranks holding different windows can sum their
-// partials elementwise. Layers outside the window contribute zeros.
-func windowLayerDots(a, b []float32, off int, layout tensor.Layout) []float64 {
-	v := make([]float64, 3*layout.NumLayers())
+// windowLayerDots writes the flattened per-layer partials
+// [dot, ‖a‖², ‖b‖²] for the window [off, off+len(a)) of the original
+// vector into v, indexed by the global layer list so that ranks holding
+// different windows can sum their partials elementwise. Layers outside
+// the window contribute zeros. Each layer's three reductions run as one
+// fused pass.
+func windowLayerDots(v []float64, a, b []float32, off int, layout tensor.Layout) {
+	for i := range v {
+		v[i] = 0
+	}
 	hi := off + len(a)
 	for l := 0; l < layout.NumLayers(); l++ {
 		llo, lhi := layout.Bounds(l)
-		clo, chi := maxOf(llo, off), minOf(lhi, hi)
+		clo, chi := max(llo, off), min(lhi, hi)
 		if clo >= chi {
 			continue
 		}
 		as := a[clo-off : chi-off]
 		bs := b[clo-off : chi-off]
-		v[3*l] = tensor.Dot(as, bs)
-		v[3*l+1] = tensor.Norm2(as)
-		v[3*l+2] = tensor.Norm2(bs)
+		v[3*l], v[3*l+1], v[3*l+2] = tensor.DotNorms(as, bs)
 	}
-	return v
 }
 
 // applyWindowCombine writes the Adasum combine of a and b into dst using
@@ -185,7 +199,7 @@ func applyWindowCombine(dst, a, b []float32, off int, layout tensor.Layout, v []
 	hi := off + len(a)
 	for l := 0; l < layout.NumLayers(); l++ {
 		llo, lhi := layout.Bounds(l)
-		clo, chi := maxOf(llo, off), minOf(lhi, hi)
+		clo, chi := max(llo, off), min(lhi, hi)
 		if clo >= chi {
 			continue
 		}
@@ -209,6 +223,7 @@ func LinearAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout) {
 		for i := 1; i < len(g); i++ {
 			got := p.Recv(g[i])
 			adasum.CombineLayers(x, x, got, layout)
+			p.Release(got)
 			p.ComputeReduce(5 * len(x) * 4)
 		}
 	} else {
@@ -253,7 +268,7 @@ func HierarchicalAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout
 	ranges := layout.SplitLayerAligned(gpusPerNode)
 
 	// Phase 1: intra-node reduce-scatter (sum) over layer-aligned shards.
-	shard := reduceScatterVRing(p, localGroup, x, ranges)
+	shard := reduceScatterRing(p, localGroup, x, rangeBounds(ranges))
 
 	// Phase 2: cross-node AdasumRVH on this rank's shard. The windowed
 	// layout keeps per-layer dots exact because shards are layer-aligned.
@@ -268,7 +283,7 @@ func HierarchicalAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout
 	}
 
 	// Phase 3: intra-node allgather of finished shards.
-	allgatherVRing(p, localGroup, x, ranges)
+	allgatherRing(p, localGroup, x, rangeBounds(ranges))
 }
 
 // HierarchicalSum is the baseline counterpart of HierarchicalAdasum:
@@ -293,24 +308,10 @@ func HierarchicalSum(p *comm.Proc, g Group, x []float32, gpusPerNode int) {
 		crossGroup[i] = g[i*gpusPerNode+local]
 	}
 
-	ranges := equalRanges(len(x), gpusPerNode)
-	shard := reduceScatterVRing(p, localGroup, x, ranges)
+	localBounds := equalBounds(len(x), gpusPerNode)
+	shard := reduceScatterRing(p, localGroup, x, localBounds)
 	if nodes > 1 {
 		RingAllreduceSum(p, crossGroup, shard)
 	}
-	allgatherVRing(p, localGroup, x, ranges)
-}
-
-func maxOf(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minOf(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	allgatherRing(p, localGroup, x, localBounds)
 }

@@ -130,7 +130,7 @@ func TestAdasumRVHMatchesHostTree(t *testing.T) {
 			for r, res := range results {
 				if !tensor.Equal(res, want, 1e-4) {
 					t.Fatalf("ranks=%d n=%d rank %d: AdasumRVH != host tree\n got %v\nwant %v",
-						ranks, n, r, res[:minOf(4, n)], want[:minOf(4, n)])
+						ranks, n, r, res[:min(4, n)], want[:min(4, n)])
 				}
 			}
 		}
@@ -452,4 +452,23 @@ func TestEqualRanges(t *testing.T) {
 	if r[3][1] != 2 {
 		t.Fatalf("equalRanges small n = %v", r)
 	}
+}
+
+// equalRanges is the seed's cumulative materialization of the
+// near-equal split, kept as the independent test-side reference for the
+// arithmetic equalChunk bounds.
+func equalRanges(n, parts int) [][2]int {
+	ranges := make([][2]int, parts)
+	base := n / parts
+	rem := n % parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		ranges[i] = [2]int{lo, lo + sz}
+		lo += sz
+	}
+	return ranges
 }

@@ -15,6 +15,13 @@
 // All collectives run on comm.Proc endpoints and operate within a Group,
 // an ordered subset of world ranks, so hierarchical variants can build
 // sub-communicators.
+//
+// The recursive-vector-halving collectives operate fully in place: every
+// rank keeps its working window inside the caller's buffer at its home
+// offset, the allgather unwind receives peer halves straight into
+// position, and transport buffers plus the per-layer dot-product scratch
+// are recycled through the World's pool — a steady-state collective
+// performs no allocation. See DESIGN.md.
 package collective
 
 import "fmt"

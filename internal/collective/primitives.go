@@ -24,6 +24,7 @@ func allreduceF64RD(p *comm.Proc, g Group, base, size int, v []float64) {
 		for i := range v {
 			v[i] += got[i]
 		}
+		p.ReleaseMeta(got)
 	}
 }
 
@@ -51,8 +52,7 @@ func Broadcast(p *comm.Proc, g Group, root int, x []float32) []float32 {
 			p.Send(g[(root+rel+step)%n], x)
 		} else if rel >= step && rel < 2*step {
 			src := g[(root+rel-step)%n]
-			got := p.Recv(src)
-			copy(x, got)
+			p.RecvInto(src, x)
 			received = true
 		}
 	}
@@ -79,17 +79,50 @@ func Gather(p *comm.Proc, g Group, root int, x []float32) [][]float32 {
 	return out
 }
 
-// reduceScatterVRing performs a ring reduce-scatter with elementwise sum
-// over unequal contiguous chunks. ranges[i] is the [lo, hi) element range
-// that group rank i owns at the end. x is the caller's full vector; on
-// return, x[ranges[me]] holds the group-wide sum of that range, and the
-// function returns that slice. Other regions of x are clobbered with
-// partial sums.
-func reduceScatterVRing(p *comm.Proc, g Group, x []float32, ranges [][2]int) []float32 {
+// boundsFn maps a group rank to the [lo, hi) element range of the chunk
+// it owns. The ring primitives take their chunking through this accessor
+// so one implementation serves both the arithmetic equal split and the
+// layer-aligned range tables; non-escaping closures keep both callers
+// allocation-free.
+type boundsFn func(i int) (lo, hi int)
+
+// rangeBounds adapts an explicit range table (layer-aligned shards) to a
+// boundsFn.
+func rangeBounds(ranges [][2]int) boundsFn {
+	return func(i int) (int, int) { return ranges[i][0], ranges[i][1] }
+}
+
+// equalBounds is the classic near-equal ring-allreduce chunking of n
+// elements over parts ranks, computed arithmetically.
+func equalBounds(n, parts int) boundsFn {
+	return func(i int) (int, int) { return equalChunk(n, parts, i) }
+}
+
+// equalChunk returns the [lo, hi) bounds of chunk i when n elements are
+// split into parts contiguous near-equal ranges.
+func equalChunk(n, parts, i int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// reduceScatterRing performs a ring reduce-scatter with elementwise sum
+// over contiguous chunks. bounds(i) is the element range group rank i
+// owns at the end. x is the caller's full vector; on return,
+// x[bounds(me)] holds the group-wide sum of that range, and the function
+// returns that slice. Other regions of x are clobbered with partial
+// sums.
+func reduceScatterRing(p *comm.Proc, g Group, x []float32, bounds boundsFn) []float32 {
 	n := len(g)
 	me := g.Pos(p.Rank())
 	if n == 1 {
-		return x[ranges[0][0]:ranges[0][1]]
+		lo, hi := bounds(0)
+		return x[lo:hi]
 	}
 	next := g[(me+1)%n]
 	prev := g[(me-1+n)%n]
@@ -99,24 +132,25 @@ func reduceScatterVRing(p *comm.Proc, g Group, x []float32, ranges [][2]int) []f
 	for s := 0; s < n-1; s++ {
 		sendIdx := ((me-s-1)%n + n) % n
 		recvIdx := ((me-s-2)%n + n) % n
-		sr := ranges[sendIdx]
-		p.Send(next, x[sr[0]:sr[1]])
-		rr := ranges[recvIdx]
+		slo, shi := bounds(sendIdx)
+		p.Send(next, x[slo:shi])
+		rlo, rhi := bounds(recvIdx)
 		got := p.Recv(prev)
-		dst := x[rr[0]:rr[1]]
+		dst := x[rlo:rhi]
 		for i := range dst {
 			dst[i] += got[i]
 		}
-		p.ComputeReduce((rr[1] - rr[0]) * 4)
+		p.Release(got)
+		p.ComputeReduce((rhi - rlo) * 4)
 	}
-	mr := ranges[me]
-	return x[mr[0]:mr[1]]
+	mlo, mhi := bounds(me)
+	return x[mlo:mhi]
 }
 
-// allgatherVRing performs a ring allgather over unequal contiguous
-// chunks: on entry x[ranges[me]] is this rank's finished chunk; on return
-// every range of x is filled with its owner's chunk.
-func allgatherVRing(p *comm.Proc, g Group, x []float32, ranges [][2]int) {
+// allgatherRing performs a ring allgather over contiguous chunks: on
+// entry x[bounds(me)] is this rank's finished chunk; on return every
+// chunk of x is filled with its owner's data.
+func allgatherRing(p *comm.Proc, g Group, x []float32, bounds boundsFn) {
 	n := len(g)
 	if n == 1 {
 		return
@@ -129,28 +163,9 @@ func allgatherVRing(p *comm.Proc, g Group, x []float32, ranges [][2]int) {
 	for s := 0; s < n-1; s++ {
 		sendIdx := ((me-s)%n + n) % n
 		recvIdx := ((me-s-1)%n + n) % n
-		sr := ranges[sendIdx]
-		p.Send(next, x[sr[0]:sr[1]])
-		rr := ranges[recvIdx]
-		got := p.Recv(prev)
-		copy(x[rr[0]:rr[1]], got)
+		slo, shi := bounds(sendIdx)
+		p.Send(next, x[slo:shi])
+		rlo, rhi := bounds(recvIdx)
+		p.RecvInto(prev, x[rlo:rhi])
 	}
-}
-
-// equalRanges splits n elements into parts contiguous near-equal ranges
-// (the classic ring-allreduce chunking).
-func equalRanges(n, parts int) [][2]int {
-	ranges := make([][2]int, parts)
-	base := n / parts
-	rem := n % parts
-	lo := 0
-	for i := 0; i < parts; i++ {
-		sz := base
-		if i < rem {
-			sz++
-		}
-		ranges[i] = [2]int{lo, lo + sz}
-		lo += sz
-	}
-	return ranges
 }

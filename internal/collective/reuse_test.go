@@ -1,0 +1,102 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// Repeated collectives on one World must give identical results every
+// iteration: the buffer pool recycles transport buffers and the dot
+// scratch across runs, and none of that state may leak between
+// iterations.
+func TestAdasumRVHRepeatedRunsIdentical(t *testing.T) {
+	const ranks, n = 8, 1 << 10
+	layout := tensor.NewLayout([]string{"a", "b"}, []int{700, n - 700})
+	rng := rand.New(rand.NewSource(5))
+	inputs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = make([]float32, n)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Float32() - 0.5
+		}
+	}
+	w := comm.NewWorld(ranks, nil)
+	g := WorldGroup(ranks)
+	var first [][]float32
+	for iter := 0; iter < 5; iter++ {
+		res := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+			x := tensor.Clone(inputs[p.Rank()])
+			AdasumRVH(p, g, x, layout)
+			return x
+		})
+		if iter == 0 {
+			first = res
+			continue
+		}
+		for r := range res {
+			if !tensor.Equal(res[r], first[r], 0) {
+				t.Fatalf("iteration %d rank %d diverged from first run", iter, r)
+			}
+		}
+	}
+}
+
+// Mixing different collectives on the same World exercises pool reuse
+// across message shapes (float32 payloads of several sizes plus float64
+// side payloads).
+func TestMixedCollectivesShareWorld(t *testing.T) {
+	const ranks, n = 4, 513 // odd size: unequal ring chunks
+	layout := tensor.FlatLayout(n)
+	rng := rand.New(rand.NewSource(9))
+	inputs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = make([]float32, n)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Float32() - 0.5
+		}
+	}
+	w := comm.NewWorld(ranks, nil)
+	g := WorldGroup(ranks)
+
+	runRing := func() [][]float32 {
+		return comm.RunCollect(w, func(p *comm.Proc) []float32 {
+			x := tensor.Clone(inputs[p.Rank()])
+			RingAllreduceSum(p, g, x)
+			return x
+		})
+	}
+	runRVH := func() [][]float32 {
+		return comm.RunCollect(w, func(p *comm.Proc) []float32 {
+			x := tensor.Clone(inputs[p.Rank()])
+			AdasumRVH(p, g, x, layout)
+			return x
+		})
+	}
+	ring1, rvh1 := runRing(), runRVH()
+	ring2, rvh2 := runRing(), runRVH()
+	for r := 0; r < ranks; r++ {
+		if !tensor.Equal(ring1[r], ring2[r], 0) {
+			t.Fatalf("ring results changed between runs on rank %d", r)
+		}
+		if !tensor.Equal(rvh1[r], rvh2[r], 0) {
+			t.Fatalf("AdasumRVH results changed between runs on rank %d", r)
+		}
+	}
+}
+
+func TestEqualChunkMatchesEqualRanges(t *testing.T) {
+	for _, tc := range [][2]int{{100, 3}, {16, 16}, {17, 4}, {5, 8}, {0, 2}, {1024, 7}} {
+		n, parts := tc[0], tc[1]
+		ranges := equalRanges(n, parts)
+		for i := 0; i < parts; i++ {
+			lo, hi := equalChunk(n, parts, i)
+			if lo != ranges[i][0] || hi != ranges[i][1] {
+				t.Errorf("equalChunk(%d,%d,%d) = [%d,%d), table says [%d,%d)",
+					n, parts, i, lo, hi, ranges[i][0], ranges[i][1])
+			}
+		}
+	}
+}

@@ -14,6 +14,13 @@
 //
 // Channels are buffered so a Send never blocks; matched SendRecv
 // exchanges therefore cannot deadlock.
+//
+// Payload buffers are pooled: Send's defensive copy draws from a
+// per-World free list of power-of-two size classes, and receivers can
+// hand buffers back with Release/RecvInto, so a steady-state collective
+// allocates nothing. The copy semantics (the caller may reuse its slice
+// immediately after Send) and the virtual-clock accounting are unchanged
+// by pooling.
 package comm
 
 import (
@@ -36,6 +43,7 @@ type World struct {
 	model *simnet.Model
 	// chans[src][dst] is the FIFO from src to dst.
 	chans [][]chan message
+	pool  bufPool
 }
 
 // NewWorld creates a communicator of the given size using the cost model
@@ -53,7 +61,85 @@ func NewWorld(size int, model *simnet.Model) *World {
 			w.chans[s][d] = make(chan message, 1024)
 		}
 	}
+	w.pool.init()
 	return w
+}
+
+// bufPool is a free list of payload buffers in power-of-two size classes,
+// shared by all ranks of a World. Buffers enter the pool through
+// Proc.Release/RecvInto and leave through Send's defensive copy and
+// Proc.Scratch, so a steady-state collective recycles a small working set
+// instead of allocating per message.
+type bufPool struct {
+	f32 freeList[float32]
+	f64 freeList[float64]
+}
+
+func (bp *bufPool) init() {
+	bp.f32.init()
+	bp.f64.init()
+}
+
+func (bp *bufPool) getF32(n int) []float32 { return bp.f32.get(n) }
+func (bp *bufPool) putF32(b []float32)     { bp.f32.put(b) }
+func (bp *bufPool) getF64(n int) []float64 { return bp.f64.get(n) }
+func (bp *bufPool) putF64(b []float64)     { bp.f64.put(b) }
+
+// freeList recycles slices of one element type in power-of-two size
+// classes under a mutex. It remembers which backing arrays it minted, so
+// putting a foreign slice (caller-owned memory) is a guaranteed no-op
+// rather than a source of cross-rank aliasing. The minted set is bounded
+// by the pool's high-water working set because buffers are reused; it
+// does pin buffers that escape to callers (e.g. Gather results) for the
+// World's lifetime, which matches the pool's own retention behavior.
+type freeList[T any] struct {
+	mu      sync.Mutex
+	buckets map[uint][][]T
+	minted  map[*T]bool
+}
+
+func (f *freeList[T]) init() {
+	f.buckets = make(map[uint][][]T)
+	f.minted = make(map[*T]bool)
+}
+
+// sizeClass returns ceil(log2(n)) so that 1<<sizeClass(n) >= n.
+func sizeClass(n int) uint {
+	c := uint(0)
+	for 1<<c < n {
+		c++
+	}
+	return c
+}
+
+func (f *freeList[T]) get(n int) []T {
+	if n == 0 {
+		return []T{}
+	}
+	c := sizeClass(n)
+	f.mu.Lock()
+	if list := f.buckets[c]; len(list) > 0 {
+		buf := list[len(list)-1]
+		f.buckets[c] = list[:len(list)-1]
+		f.mu.Unlock()
+		return buf[:n]
+	}
+	buf := make([]T, n, 1<<c)
+	f.minted[&buf[:1][0]] = true
+	f.mu.Unlock()
+	return buf
+}
+
+func (f *freeList[T]) put(b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	key := &b[:1][0] // first element of the backing array (cap >= 1)
+	f.mu.Lock()
+	if f.minted[key] {
+		f.buckets[sizeClass(cap(b))] = append(f.buckets[sizeClass(cap(b))], b[:0])
+	}
+	f.mu.Unlock()
 }
 
 // Size returns the number of ranks.
@@ -135,12 +221,12 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 	}
 	var dc []float32
 	if data != nil {
-		dc = make([]float32, len(data))
+		dc = p.world.pool.getF32(len(data))
 		copy(dc, data)
 	}
 	var mc []float64
 	if meta != nil {
-		mc = make([]float64, len(meta))
+		mc = p.world.pool.getF64(len(meta))
 		copy(mc, meta)
 	}
 	cost := p.world.transferCost(p.rank, dst, len(data), len(meta))
@@ -148,17 +234,53 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 }
 
 // Recv blocks until a message from src arrives and returns its payload,
-// advancing the virtual clock to the arrival time.
+// advancing the virtual clock to the arrival time. The returned buffer is
+// owned by the caller; handing it back with Release once consumed lets
+// the World recycle it.
 func (p *Proc) Recv(src int) []float32 {
 	d, _ := p.recv(src)
 	return d
 }
 
-// RecvMeta receives a float64 side payload from src.
+// RecvInto receives from src directly into dst, which must match the
+// incoming payload length, and recycles the transport buffer. It is the
+// zero-allocation receive for callers assembling into preallocated
+// vectors (allgather unwinds, broadcasts).
+func (p *Proc) RecvInto(src int, dst []float32) {
+	d, _ := p.recv(src)
+	if len(d) != len(dst) {
+		panic(fmt.Sprintf("comm: RecvInto length mismatch: got %d, dst %d", len(d), len(dst)))
+	}
+	copy(dst, d)
+	p.world.pool.putF32(d)
+}
+
+// RecvMeta receives a float64 side payload from src. As with Recv, the
+// buffer can be handed back with ReleaseMeta.
 func (p *Proc) RecvMeta(src int) []float64 {
 	_, m := p.recv(src)
 	return m
 }
+
+// Release returns a buffer obtained from Recv or Scratch to the World's
+// pool. The pool may hand its memory to another rank at any time
+// afterwards, so the caller must be completely done with buf (releasing
+// a buffer that is still read elsewhere is an aliasing bug). Slices the
+// pool did not mint are recognized and ignored, so a stray Release of
+// caller-owned memory cannot corrupt anything.
+func (p *Proc) Release(buf []float32) { p.world.pool.putF32(buf) }
+
+// ReleaseMeta returns a buffer obtained from RecvMeta or ScratchMeta to
+// the World's pool, under the same ownership contract as Release.
+func (p *Proc) ReleaseMeta(meta []float64) { p.world.pool.putF64(meta) }
+
+// Scratch returns a pooled float32 buffer of length n with unspecified
+// contents. Return it with Release when done.
+func (p *Proc) Scratch(n int) []float32 { return p.world.pool.getF32(n) }
+
+// ScratchMeta returns a pooled float64 buffer of length n with
+// unspecified contents. Return it with ReleaseMeta when done.
+func (p *Proc) ScratchMeta(n int) []float64 { return p.world.pool.getF64(n) }
 
 func (p *Proc) recv(src int) ([]float32, []float64) {
 	msg := <-p.world.chans[src][p.rank]

@@ -1,0 +1,150 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// Send must still copy defensively when the copy comes from the pool: a
+// released buffer that gets recycled into a later Send must carry the new
+// payload, not stale bytes.
+func TestPoolRecyclingKeepsCopySemantics(t *testing.T) {
+	w := NewWorld(2, nil)
+	got := RunCollect(w, func(p *Proc) []float32 {
+		if p.Rank() == 0 {
+			buf := []float32{1, 2, 3, 4}
+			p.Send(1, buf)
+			// Mutate immediately; the message must be unaffected.
+			for i := range buf {
+				buf[i] = -1
+			}
+			p.Send(1, []float32{5, 6, 7, 8})
+			return nil
+		}
+		first := p.Recv(0)
+		a := append([]float32(nil), first...)
+		p.Release(first) // recycle before the second message is consumed
+		second := p.Recv(0)
+		a = append(a, second...)
+		p.Release(second)
+		return a
+	})
+	want := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	for i, v := range want {
+		if got[1][i] != v {
+			t.Fatalf("payload %d = %v, want %v (full: %v)", i, got[1][i], v, got[1])
+		}
+	}
+}
+
+// RecvInto must deliver the payload into the caller's buffer, advance the
+// virtual clock exactly like Recv, and reject length mismatches.
+func TestRecvInto(t *testing.T) {
+	model := simnet.Uniform(2, 1e-3, 1e-6)
+	w := NewWorld(2, model)
+	clocks := RunCollect(w, func(p *Proc) float64 {
+		if p.Rank() == 0 {
+			p.Send(1, []float32{9, 8, 7})
+			return p.Clock()
+		}
+		dst := make([]float32, 3)
+		p.RecvInto(0, dst)
+		if dst[0] != 9 || dst[1] != 8 || dst[2] != 7 {
+			t.Errorf("RecvInto payload = %v", dst)
+		}
+		return p.Clock()
+	})
+	if clocks[1] <= 0 {
+		t.Error("RecvInto did not advance the receiver clock")
+	}
+
+	w2 := NewWorld(2, nil)
+	w2.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, []float32{1, 2})
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("RecvInto accepted a length mismatch")
+			}
+		}()
+		p.RecvInto(0, make([]float32, 5))
+	})
+}
+
+// Scratch buffers round-trip through the pool and Release tolerates
+// foreign slices.
+func TestScratchAndRelease(t *testing.T) {
+	w := NewWorld(2, nil)
+	w.Run(func(p *Proc) {
+		s := p.Scratch(100)
+		if len(s) != 100 {
+			t.Errorf("Scratch(100) has len %d", len(s))
+		}
+		p.Release(s)
+		m := p.ScratchMeta(7)
+		if len(m) != 7 {
+			t.Errorf("ScratchMeta(7) has len %d", len(m))
+		}
+		p.ReleaseMeta(m)
+		// Slices the pool did not mint must be recognized and ignored —
+		// including ones whose capacity matches a pool size class.
+		p.Release(make([]float32, 3))
+		p.Release(nil)
+		p.ReleaseMeta(make([]float64, 5, 9))
+		p.ReleaseMeta(make([]float64, 8))
+		foreign := make([]float32, 256)
+		p.Release(foreign)
+		back := p.Scratch(256)
+		if &back[0] == &foreign[0] {
+			t.Error("pool recycled caller-owned memory: foreign Release must be a no-op")
+		}
+		p.Release(back)
+	})
+}
+
+// A steady-state exchange loop must not allocate once the pool is warm.
+// Only rank 0 measures — testing.AllocsPerRun mutates GOMAXPROCS, so it
+// must not run concurrently on several ranks — while rank 1 echoes every
+// payload until it sees the length-1 stop sentinel.
+func TestPooledExchangeSteadyStateAllocs(t *testing.T) {
+	w := NewWorld(2, nil)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 1 {
+			for {
+				got := p.Recv(0)
+				if len(got) == 1 {
+					p.Release(got)
+					return
+				}
+				p.Send(0, got)
+				p.Release(got)
+			}
+		}
+		buf := make([]float32, 512)
+		exchange := func() {
+			p.Send(1, buf)
+			got := p.Recv(1)
+			p.Release(got)
+		}
+		for i := 0; i < 4; i++ { // warm the pool in both directions
+			exchange()
+		}
+		allocs := testing.AllocsPerRun(50, exchange)
+		p.Send(1, buf[:1]) // stop sentinel
+		if allocs != 0 {
+			t.Errorf("steady-state exchange allocates %.1f times per op", allocs)
+		}
+	})
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := map[int]uint{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := sizeClass(n); got != want {
+			t.Errorf("sizeClass(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -69,6 +69,7 @@ func RunFig2(scale Scale) *Fig2Result {
 	}
 	layout := tensor.FlatLayout(m.NumParams())
 	it := data.NewIterator(train.N, cfg.Workers*cfg.Microbatch, 23)
+	red := adasum.NewReducer() // reused across the step loop
 	for step := 0; step < cfg.Steps; step++ {
 		idx := it.Next()
 		items := make([]hessian.GradHess, 0, cfg.Workers)
@@ -89,7 +90,7 @@ func RunFig2(scale Scale) *Fig2Result {
 		}
 		alpha := hessian.OptimalAlpha(grads)
 		ref := hessian.SequentialTreeReduce(items, alpha)
-		ada := adasum.TreeReduce(grads, layout)
+		ada := red.TreeReduce(grads, layout) // valid until red's next call (next step)
 		sum := adasum.SumReduce(grads)
 		ae, se := hessian.EmulationErrors(ada, sum, ref.G)
 		res.AdasumErr.X = append(res.AdasumErr.X, float64(step))

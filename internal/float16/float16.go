@@ -186,3 +186,23 @@ func Norm2(a []Bits) float64 {
 	}
 	return s
 }
+
+// DotNorms computes a·b, ‖a‖² and ‖b‖² in a single pass with float64
+// accumulation, decoding each half value once instead of twice (the
+// software decode dominates fp16 kernel cost, so the fusion matters more
+// here than for float32). It mirrors tensor.DotNorms for the fp16 path of
+// the Adasum combiner and is bitwise-identical to the unfused Dot/Norm2
+// sequence: the accumulation order per quantity is unchanged.
+func DotNorms(a, b []Bits) (dot, na, nb float64) {
+	if len(a) != len(b) {
+		panic("float16: DotNorms length mismatch")
+	}
+	for i := range a {
+		x := float64(ToFloat32(a[i]))
+		y := float64(ToFloat32(b[i]))
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	return dot, na, nb
+}

@@ -200,3 +200,20 @@ func TestDotNorm2Float64Accumulation(t *testing.T) {
 		t.Fatalf("Norm2 = %v, want 256", got)
 	}
 }
+
+func TestDotNormsMatchesUnfusedF16(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range []int{0, 1, 5, 64, 1000} {
+		a := make([]Bits, n)
+		b := make([]Bits, n)
+		for i := range a {
+			a[i] = FromFloat32(rng.Float32() - 0.5)
+			b[i] = FromFloat32(rng.Float32() - 0.5)
+		}
+		dot, na, nb := DotNorms(a, b)
+		// Same accumulation order as the unfused kernels: bitwise equal.
+		if dot != Dot(a, b) || na != Norm2(a) || nb != Norm2(b) {
+			t.Errorf("n=%d: fused fp16 kernel deviates from unfused", n)
+		}
+	}
+}

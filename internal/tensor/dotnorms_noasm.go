@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+func dotNorms(a, b []float32) (dot, na, nb float64) {
+	return dotNormsGeneric(a, b)
+}

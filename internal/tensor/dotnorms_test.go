@@ -1,0 +1,88 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTestVec(n int, seed int64, scale float32) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = (rng.Float32() - 0.5) * scale
+	}
+	return v
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return d
+	}
+	return d / m
+}
+
+// DotNorms must agree with the unfused Dot/Norm2 pair within 1e-12
+// relative on every length, including tails shorter than the vector
+// width, across value scales.
+func TestDotNormsMatchesUnfused(t *testing.T) {
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 63, 100, 1023, 4096, 100003}
+	for _, n := range lengths {
+		for _, scale := range []float32{1, 1e-6, 1e6} {
+			a := randTestVec(n, int64(n)+1, scale)
+			b := randTestVec(n, int64(n)+2, scale)
+			dot, na, nb := DotNorms(a, b)
+			wd, wa, wb := Dot(a, b), Norm2(a), Norm2(b)
+			if relDiff(dot, wd) > 1e-12 || relDiff(na, wa) > 1e-12 || relDiff(nb, wb) > 1e-12 {
+				t.Errorf("n=%d scale=%g: DotNorms=(%v,%v,%v) unfused=(%v,%v,%v)",
+					n, scale, dot, na, nb, wd, wa, wb)
+			}
+		}
+	}
+}
+
+// The portable fused kernel keeps the exact accumulator pattern of the
+// unfused kernels, so it must match them bitwise.
+func TestDotNormsGenericBitwise(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 8, 1000, 4097} {
+		a := randTestVec(n, int64(n)+10, 1)
+		b := randTestVec(n, int64(n)+11, 1)
+		dot, na, nb := dotNormsGeneric(a, b)
+		if dot != Dot(a, b) || na != Norm2(a) || nb != Norm2(b) {
+			t.Errorf("n=%d: generic fused kernel deviates from unfused bitwise", n)
+		}
+	}
+}
+
+func TestDotNormsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	DotNorms(make([]float32, 3), make([]float32, 4))
+}
+
+// Special values must flow through the fused kernel the same way they do
+// through the unfused one.
+func TestDotNormsSpecialValues(t *testing.T) {
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	cases := [][2][]float32{
+		{{1, 2, inf, 4, 5, 6, 7, 8, 9}, {1, 1, 1, 1, 1, 1, 1, 1, 1}},
+		{{1, 2, nan, 4, 5, 6, 7, 8, 9}, {1, 1, 1, 1, 1, 1, 1, 1, 1}},
+		{{0, 0, 0, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	for ci, c := range cases {
+		dot, na, nb := DotNorms(c[0], c[1])
+		wd, wa, wb := Dot(c[0], c[1]), Norm2(c[0]), Norm2(c[1])
+		same := func(x, y float64) bool {
+			return x == y || (math.IsNaN(x) && math.IsNaN(y))
+		}
+		if !same(dot, wd) || !same(na, wa) || !same(nb, wb) {
+			t.Errorf("case %d: fused=(%v,%v,%v) unfused=(%v,%v,%v)", ci, dot, na, nb, wd, wa, wb)
+		}
+	}
+}

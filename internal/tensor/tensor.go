@@ -5,10 +5,17 @@
 // buffers.
 //
 // All kernels operate on []float32, the working precision of the simulated
-// training stack. Reductions (Dot, Norm2, Sum) always accumulate in
-// float64 regardless of input precision. The inner loops are manually
-// unrolled four wide, standing in for the SIMD vectorization described in
-// §4.4.2 of the paper.
+// training stack. Reductions (Dot, Norm2, Sum, DotNorms) always accumulate
+// in float64 regardless of input precision.
+//
+// The hot path of the Adasum combiner is DotNorms, which fuses the three
+// reductions a·b, ‖a‖² and ‖b‖² into a single pass — the kernel fusion
+// §4.4.2 of the paper credits for Adasum's production viability. On amd64
+// with AVX and FMA it dispatches to a vectorized assembly kernel
+// (dotnorms_amd64.s); everywhere else a manually unrolled pure-Go loop is
+// used. Both accumulate in float64, where products of float32 inputs are
+// exact, so the fused kernels differ from the unfused Dot/Norm2 pair only
+// in the order partial sums are folded (see DESIGN.md).
 package tensor
 
 import (
@@ -56,6 +63,54 @@ func Norm2(a []float32) float64 {
 
 // Norm returns the Euclidean norm of a.
 func Norm(a []float32) float64 { return math.Sqrt(Norm2(a)) }
+
+// DotNorms returns a·b, ‖a‖² and ‖b‖² computed in a single pass over the
+// inputs, each accumulated in float64. It replaces the separate
+// Dot + Norm2 + Norm2 sequence on the Adasum hot path: one traversal
+// loads and widens every element once instead of three times. It panics
+// if the lengths differ.
+func DotNorms(a, b []float32) (dot, na, nb float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: DotNorms length mismatch %d != %d", len(a), len(b)))
+	}
+	return dotNorms(a, b)
+}
+
+// dotNormsGeneric is the portable fused kernel: 4-wide unrolled with the
+// same four-accumulator folding as Dot/Norm2, so its results are bitwise
+// identical to the unfused pair.
+func dotNormsGeneric(a, b []float32) (dot, na, nb float64) {
+	var d0, d1, d2, d3 float64
+	var x0, x1, x2, x3 float64
+	var y0, y1, y2, y3 float64
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0, b0 := float64(a[i]), float64(b[i])
+		a1, b1 := float64(a[i+1]), float64(b[i+1])
+		a2, b2 := float64(a[i+2]), float64(b[i+2])
+		a3, b3 := float64(a[i+3]), float64(b[i+3])
+		d0 += a0 * b0
+		d1 += a1 * b1
+		d2 += a2 * b2
+		d3 += a3 * b3
+		x0 += a0 * a0
+		x1 += a1 * a1
+		x2 += a2 * a2
+		x3 += a3 * a3
+		y0 += b0 * b0
+		y1 += b1 * b1
+		y2 += b2 * b2
+		y3 += b3 * b3
+	}
+	for ; i < n; i++ {
+		av, bv := float64(a[i]), float64(b[i])
+		d0 += av * bv
+		x0 += av * av
+		y0 += bv * bv
+	}
+	return d0 + d1 + d2 + d3, x0 + x1 + x2 + x3, y0 + y1 + y2 + y3
+}
 
 // Sum returns the sum of the elements of a accumulated in float64.
 func Sum(a []float32) float64 {

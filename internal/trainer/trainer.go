@@ -200,6 +200,12 @@ func Run(cfg Config) *Result {
 		stepsPerEpoch = 1
 	}
 
+	// One reduction workspace serves every step: the combiner reuses its
+	// scratch instead of allocating per reduction.
+	red := adasum.NewReducer()
+	contributions := make([][]float32, len(workers))
+	losses := make([]float64, len(workers))
+
 	res := &Result{EpochsToTarget: -1, StepsToTarget: -1, StepsPerEpoch: stepsPerEpoch}
 	testX, testLabels := cfg.Test.Batch(seq(cfg.Test.N))
 
@@ -207,7 +213,7 @@ func Run(cfg Config) *Result {
 	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
 		var lossSum float64
 		for s := 0; s < stepsPerEpoch; s++ {
-			lossSum += reduceStep(cfg, workers, params, layout, sharedOpt, step)
+			lossSum += reduceStep(cfg, workers, params, layout, sharedOpt, red, contributions, losses, step)
 			step++
 			if cfg.EvalEverySteps > 0 && cfg.TargetAccuracy > 0 &&
 				step%cfg.EvalEverySteps == 0 {
@@ -256,10 +262,10 @@ func Run(cfg Config) *Result {
 
 // reduceStep performs one full reduction step (LocalSteps local steps on
 // every worker followed by the combine) and returns the mean local train
-// loss observed.
-func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.Layout, sharedOpt optim.Optimizer, step int) float64 {
+// loss observed. red, contributions and losses are per-run scratch owned
+// by Run so the steady-state loop allocates nothing in the combine phase.
+func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.Layout, sharedOpt optim.Optimizer, red *adasum.Reducer, contributions [][]float32, losses []float64, step int) float64 {
 	lr := cfg.Schedule.LR(step)
-	losses := make([]float64, len(workers))
 
 	runWorker := func(w *worker, wi int) {
 		switch cfg.Scope {
@@ -307,7 +313,6 @@ func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.L
 		}
 	}
 
-	contributions := make([][]float32, len(workers))
 	for wi, w := range workers {
 		contributions[wi] = w.grad
 	}
@@ -320,22 +325,18 @@ func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.L
 		redLayout = tensor.FlatLayout(len(params))
 	}
 
+	// The combined result lives in the Reducer's workspace; it is consumed
+	// immediately by the optimizer/parameter update below.
+	var combined []float32
+	if cfg.Reduction == ReduceAdasum {
+		combined = red.TreeReduce(contributions, redLayout)
+	} else {
+		combined = red.MeanReduce(contributions)
+	}
 	switch cfg.Scope {
 	case PreOptimizer:
-		var combined []float32
-		if cfg.Reduction == ReduceAdasum {
-			combined = adasum.TreeReduce(contributions, redLayout)
-		} else {
-			combined = adasum.MeanReduce(contributions)
-		}
 		sharedOpt.Step(params, combined, lr)
 	case PostOptimizer, LocalSGD:
-		var combined []float32
-		if cfg.Reduction == ReduceAdasum {
-			combined = adasum.TreeReduce(contributions, redLayout)
-		} else {
-			combined = adasum.MeanReduce(contributions)
-		}
 		tensor.Axpy(1, combined, params) // deltas are already negative steps
 	}
 
