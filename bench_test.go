@@ -9,6 +9,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/experiments"
 	"repro/internal/nn"
+	"repro/internal/overlap"
 	"repro/internal/tensor"
 )
 
@@ -122,6 +123,15 @@ func BenchmarkTable4BERTScaling(b *testing.B) {
 		}
 		if last.AdasumTimeMin >= last.SumTimeMin {
 			b.Fatal("Adasum total time not below Sum total time")
+		}
+	}
+}
+
+func BenchmarkOverlapExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunOverlap(experiments.ScaleQuick)
+		if s := r.BestSpeedup(); s < 1.1 {
+			b.Fatalf("overlapping gained only %.3fx over sync on the inter-node model", s)
 		}
 	}
 }
@@ -261,6 +271,51 @@ func BenchmarkRingAllreduce16Ranks(b *testing.B) {
 			collective.RingAllreduceSum(p, g, x)
 		}
 	})
+}
+
+// BenchmarkOverlappedStep measures the real execution cost of one
+// overlapped training-step reduction — 8 ranks, 16 layers, several
+// fused buckets launched asynchronously per step — exercising the
+// packer, the channel planes and the per-bucket RVH collectives
+// together. The cost model is nil: this times the engine itself, not
+// the simulated cluster.
+func BenchmarkOverlappedStep(b *testing.B) {
+	const ranks, layers, perLayer = 8, 16, 1 << 13
+	names := make([]string, layers)
+	sizes := make([]int, layers)
+	for i := range names {
+		names[i] = "layer"
+		sizes[i] = perLayer
+	}
+	layout := tensor.NewLayout(names, sizes)
+	inputs := make([][]float32, ranks)
+	xs := make([][]float32, ranks)
+	for r := range inputs {
+		inputs[r] = randVec(layout.TotalSize(), int64(400+r))
+		xs[r] = make([]float32, layout.TotalSize())
+	}
+	w := comm.NewWorld(ranks, nil)
+	engines := make([]*overlap.Engine, ranks)
+	for r := range engines {
+		engines[r] = overlap.New(overlap.Options{
+			Group:  collective.WorldGroup(ranks),
+			Layout: layout,
+			// Four layers per bucket -> four async collectives per step.
+			FusionBytes: 4 * perLayer * 4,
+			Algo:        overlap.AlgoRVH,
+			Overlap:     true,
+		})
+	}
+	b.SetBytes(int64(layout.TotalSize() * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(p *comm.Proc) {
+			x := xs[p.Rank()]
+			copy(x, inputs[p.Rank()])
+			engines[p.Rank()].Step(p, x)
+		})
+	}
 }
 
 func BenchmarkMLPForwardBackward(b *testing.B) {

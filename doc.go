@@ -4,18 +4,25 @@
 // vector-halving allreduce that carries it (Algorithm 1), a
 // deterministic simulated cluster with an alpha-beta cost model, a small
 // neural-network framework, the Momentum/Adam/LARS/LAMB optimizer zoo,
+// an asynchronous overlapped-reduction engine (package overlap) that
+// schedules fused gradient buckets against simulated backprop (§4.4.3),
 // and runners that regenerate every table and figure of the paper's
 // evaluation on synthetic substitutes for its hardware and datasets.
 //
 // See DESIGN.md for the design record of the reduction hot path — the
 // fused single-pass dot/norm kernels (with their AVX+FMA fast path), the
-// workspace-owning adasum.Reducer, the pooled communication buffers and
-// the in-place recursive-vector-halving collectives — plus the
-// experiment substitution notes. The benchmark harness in bench_test.go
-// regenerates each experiment and micro-benchmarks the kernels:
+// workspace-owning adasum.Reducer, the pooled communication buffers, the
+// in-place recursive-vector-halving collectives, and the channel-plane/
+// async-handle machinery with its virtual-clock accounting rules — plus
+// the experiment substitution notes. The benchmark harness in
+// bench_test.go regenerates each experiment and micro-benchmarks the
+// kernels:
 //
 //	go test -bench=. -benchmem
 //
-// scripts/bench.sh records the kernel/collective micro-benchmarks into a
-// BENCH_N.json snapshot so the performance trajectory is tracked per PR.
+// scripts/bench.sh records the kernel/collective micro-benchmarks into
+// the next free BENCH_N.json snapshot so the performance trajectory is
+// tracked per PR, and scripts/bench_compare.sh gates CI on those
+// snapshots (>25% ns/op regression or new allocations on a 0-alloc
+// benchmark fail the workflow).
 package repro

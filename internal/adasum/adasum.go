@@ -119,6 +119,54 @@ func ApplyWithDots(dst, a, b []float32, layout tensor.Layout, dots []PartialDots
 	}
 }
 
+// WindowDots writes the flattened per-layer partials [a·b, ‖a‖², ‖b‖²]
+// for the window [off, off+len(a)) of the original vector into v, indexed
+// by the global layer list of layout, so ranks holding different windows
+// of the same logical vectors can sum their partials elementwise (line 15
+// of Algorithm 1). Layers outside the window contribute zeros. Each
+// layer's three reductions run as one fused pass; v must have length
+// 3*layout.NumLayers() and nothing is allocated.
+func WindowDots(v []float64, a, b []float32, off int, layout tensor.Layout) {
+	if len(v) != 3*layout.NumLayers() {
+		panic("adasum: WindowDots partial buffer has wrong length")
+	}
+	for i := range v {
+		v[i] = 0
+	}
+	hi := off + len(a)
+	for l := 0; l < layout.NumLayers(); l++ {
+		llo, lhi := layout.Bounds(l)
+		clo, chi := max(llo, off), min(lhi, hi)
+		if clo >= chi {
+			continue
+		}
+		as := a[clo-off : chi-off]
+		bs := b[clo-off : chi-off]
+		v[3*l], v[3*l+1], v[3*l+2] = tensor.DotNorms(as, bs)
+	}
+}
+
+// CombineWindow writes the per-layer Adasum combine of a and b into dst
+// using globally completed flattened dot products v (as produced by
+// WindowDots and summed across the group), restricted to the window
+// [off, off+len(a)) of the original vector (line 18 of Algorithm 1). dst
+// may alias a or b.
+func CombineWindow(dst, a, b []float32, off int, layout tensor.Layout, v []float64) {
+	if len(v) != 3*layout.NumLayers() {
+		panic("adasum: CombineWindow partial buffer has wrong length")
+	}
+	hi := off + len(a)
+	for l := 0; l < layout.NumLayers(); l++ {
+		llo, lhi := layout.Bounds(l)
+		clo, chi := max(llo, off), min(lhi, hi)
+		if clo >= chi {
+			continue
+		}
+		ca, cb := Coefficients(v[3*l], v[3*l+1], v[3*l+2])
+		tensor.ScaledCombine(dst[clo-off:chi-off], float32(ca), a[clo-off:chi-off], float32(cb), b[clo-off:chi-off])
+	}
+}
+
 // FlattenDots serializes per-layer partials into a float64 triple-list
 // [dot0, na0, nb0, dot1, ...] so they can travel through a generic
 // small-vector allreduce.

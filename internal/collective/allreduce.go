@@ -146,13 +146,13 @@ func adasumRVHRec(p *comm.Proc, g Group, x []float32, lo, hi, d int, layout tens
 	// Lines 15-17: per-layer partial dot products over this rank's
 	// window, summed across the contiguous block of d2 group positions
 	// that collectively hold the two logical vectors.
-	windowLayerDots(dots, a, b, nlo, layout)
+	adasum.WindowDots(dots, a, b, nlo, layout)
 	p.ComputeReduce(3 * len(a) * 4)
 	base := gpos / d2 * d2
 	allreduceF64RD(p, g, base, d2, dots)
 
 	// Line 18: apply the combine with the completed dot products.
-	applyWindowCombine(dst, a, b, nlo, layout, dots)
+	adasum.CombineWindow(dst, a, b, nlo, layout, dots)
 	p.ComputeReduce(2 * len(a) * 4)
 	p.Release(recv)
 
@@ -166,45 +166,6 @@ func adasumRVHRec(p *comm.Proc, g Group, x []float32, lo, hi, d int, layout tens
 		p.RecvInto(g[nghr], x[mid:hi])
 	} else {
 		p.RecvInto(g[nghr], x[lo:mid])
-	}
-}
-
-// windowLayerDots writes the flattened per-layer partials
-// [dot, ‖a‖², ‖b‖²] for the window [off, off+len(a)) of the original
-// vector into v, indexed by the global layer list so that ranks holding
-// different windows can sum their partials elementwise. Layers outside
-// the window contribute zeros. Each layer's three reductions run as one
-// fused pass.
-func windowLayerDots(v []float64, a, b []float32, off int, layout tensor.Layout) {
-	for i := range v {
-		v[i] = 0
-	}
-	hi := off + len(a)
-	for l := 0; l < layout.NumLayers(); l++ {
-		llo, lhi := layout.Bounds(l)
-		clo, chi := max(llo, off), min(lhi, hi)
-		if clo >= chi {
-			continue
-		}
-		as := a[clo-off : chi-off]
-		bs := b[clo-off : chi-off]
-		v[3*l], v[3*l+1], v[3*l+2] = tensor.DotNorms(as, bs)
-	}
-}
-
-// applyWindowCombine writes the Adasum combine of a and b into dst using
-// globally completed per-layer dot products, restricted to the window
-// [off, off+len(a)).
-func applyWindowCombine(dst, a, b []float32, off int, layout tensor.Layout, v []float64) {
-	hi := off + len(a)
-	for l := 0; l < layout.NumLayers(); l++ {
-		llo, lhi := layout.Bounds(l)
-		clo, chi := max(llo, off), min(lhi, hi)
-		if clo >= chi {
-			continue
-		}
-		ca, cb := adasum.Coefficients(v[3*l], v[3*l+1], v[3*l+2])
-		tensor.ScaledCombine(dst[clo-off:chi-off], float32(ca), a[clo-off:chi-off], float32(cb), b[clo-off:chi-off])
 	}
 }
 

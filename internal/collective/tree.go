@@ -1,0 +1,70 @@
+package collective
+
+import (
+	"repro/internal/adasum"
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// TreeAdasum is an allreduce whose result is bitwise-identical to the
+// host-side tree reduction adasum.Reducer.TreeReduce over the group's
+// vectors ordered by group rank. It runs recursive doubling on full
+// vectors: at distance d, the holders of adjacent 2d-blocks exchange
+// their partial combinations and both apply the per-layer Adasum with
+// the lower block's vector as the first operand — the exact pairing and
+// operand order of the host tree ((g0⊕g1)⊕(g2⊕g3))⊕..., so every float
+// operation matches the Reducer's and the distributed result can be
+// A/B-compared against the monolithic path at zero tolerance. Any group
+// size is accepted; non-powers-of-two reduce to position 0 with the host
+// tree's odd-leftover pass-through and then broadcast.
+//
+// Compared with AdasumRVH (Algorithm 1), TreeAdasum moves the full
+// vector log p times instead of halving it, trading bandwidth optimality
+// for exact arithmetic parity; it is the deterministic-parity mode of
+// the overlapped reduction engine. x is reduced in place on every rank,
+// and transport buffers come from the World pool.
+func TreeAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout) {
+	if layout.TotalSize() != len(x) {
+		panic("collective: TreeAdasum layout does not cover x")
+	}
+	n := len(g)
+	if n == 1 {
+		return
+	}
+	pos := g.Pos(p.Rank())
+	buf := p.Scratch(len(x))
+	if g.IsPowerOfTwo() {
+		// Symmetric exchange: every rank holds the block combination at
+		// every level, so no final broadcast is needed and all ranks
+		// compute bitwise-identical values.
+		for d := 1; d < n; d <<= 1 {
+			peer := g[pos^d]
+			p.Send(peer, x)
+			p.RecvInto(peer, buf)
+			if pos&d == 0 {
+				adasum.CombineLayers(x, x, buf, layout)
+			} else {
+				adasum.CombineLayers(x, buf, x, layout)
+			}
+			p.ComputeReduce(5 * len(x) * 4)
+		}
+		p.Release(buf)
+		return
+	}
+	// General size: tree-reduce to position 0 with the host tree's
+	// pairing (an odd block at the end of a level passes through
+	// unchanged), then broadcast the result.
+	for d := 1; d < n; d <<= 1 {
+		if pos%(2*d) == d {
+			p.Send(g[pos-d], x)
+			break
+		}
+		if pos+d < n {
+			p.RecvInto(g[pos+d], buf)
+			adasum.CombineLayers(x, x, buf, layout)
+			p.ComputeReduce(5 * len(x) * 4)
+		}
+	}
+	p.Release(buf)
+	Broadcast(p, g, 0, x)
+}

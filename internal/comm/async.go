@@ -1,0 +1,93 @@
+package comm
+
+import "fmt"
+
+// Asynchronous operations. A rank launches a collective (or any
+// message-passing program) as a background op that executes while the
+// rank's own goroutine keeps computing — the substrate of the overlapped
+// reduction engine (package overlap), where per-bucket allreduces run
+// against the tail of backprop.
+//
+// Clock accounting rules:
+//
+//   - the op starts at the launching rank's clock at Launch time (the
+//     moment its inputs became ready);
+//   - if the op is chained after another Handle, its start is further
+//     delayed to that op's finish time — this models a serialized
+//     per-rank communication stream (one NIC/proxy thread), the way
+//     Horovod's background thread issues fusion buffers in order;
+//   - inside the op, Send/Recv advance the op's private clock exactly as
+//     they do for a foreground Proc, so per-bucket arrival chains across
+//     ranks are accounted faithfully;
+//   - Wait folds the op's finish time into the waiting rank's clock with
+//     max(local, finish): a rank that computed past the op's completion
+//     pays nothing, one that arrives early blocks (virtually) until the
+//     bucket lands.
+//
+// Each op runs on its own channel plane, so concurrent ops — and the
+// launching rank's foreground traffic — can never interleave messages.
+// All ranks participating in one logical collective must launch it with
+// the same plane id.
+
+// Handle is an in-flight asynchronous operation started with Launch.
+type Handle struct {
+	ap   *Proc
+	done chan struct{}
+	err  any
+}
+
+// Launch starts body as an asynchronous operation on the given channel
+// plane (must be nonzero; plane ids are shared across ranks, so every
+// rank of a collective launches it with the same id, and a plane must
+// carry only one op at a time). The op's Proc is a clone of p whose
+// clock starts at p's current time, or at after's finish time if that is
+// later (after may be nil). The caller's Proc remains usable for
+// foreground traffic and further launches; the returned Handle must
+// eventually be waited on.
+func (p *Proc) Launch(plane int, after *Handle, body func(ap *Proc)) *Handle {
+	if plane == 0 {
+		panic("comm: Launch requires a nonzero plane id (plane 0 is foreground traffic)")
+	}
+	ap := &Proc{world: p.world, rank: p.rank, clock: p.clock, chans: p.world.plane(plane)}
+	h := &Handle{ap: ap, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		defer func() {
+			if e := recover(); e != nil {
+				h.err = e
+			}
+		}()
+		if after != nil {
+			<-after.done
+			if after.err != nil {
+				panic(fmt.Sprintf("comm: chained async op failed: %v", after.err))
+			}
+			if after.ap.clock > ap.clock {
+				ap.clock = after.ap.clock
+			}
+		}
+		body(ap)
+	}()
+	return h
+}
+
+// Finish blocks until the operation completes and returns its finishing
+// virtual time. A panic raised inside the op body is re-raised here, on
+// the waiting rank's goroutine, so World.Run reports it with rank
+// context. Finish is idempotent.
+func (h *Handle) Finish() float64 {
+	<-h.done
+	if h.err != nil {
+		panic(h.err)
+	}
+	return h.ap.clock
+}
+
+// Wait blocks until the operation completes and advances p's clock to
+// max(p's clock, the op's finish time) — the join point of
+// compute-communication overlap.
+func (h *Handle) Wait(p *Proc) {
+	if t := h.Finish(); t > p.clock {
+		p.clock = t
+	}
+}

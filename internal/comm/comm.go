@@ -41,9 +41,30 @@ type message struct {
 type World struct {
 	size  int
 	model *simnet.Model
-	// chans[src][dst] is the FIFO from src to dst.
+	// chans[src][dst] is the FIFO from src to dst on the default plane.
 	chans [][]chan message
 	pool  bufPool
+
+	// planes holds the channel matrices of the nonzero planes, created
+	// lazily by Launch. Each plane is an independent (src, dst) channel
+	// space, so concurrent collectives on different planes cannot
+	// interleave messages (see async.go).
+	planeMu sync.Mutex
+	planes  map[int][][]chan message
+}
+
+// makeChanMatrix builds one (src, dst) matrix of channels buffered to
+// the given capacity. Capacity affects only when senders block (virtual
+// clocks are carried inside the messages), never the simulated times.
+func makeChanMatrix(size, cap int) [][]chan message {
+	m := make([][]chan message, size)
+	for s := range m {
+		m[s] = make([]chan message, size)
+		for d := range m[s] {
+			m[s][d] = make(chan message, cap)
+		}
+	}
+	return m
 }
 
 // NewWorld creates a communicator of the given size using the cost model
@@ -54,15 +75,32 @@ func NewWorld(size int, model *simnet.Model) *World {
 		panic("comm: world size must be positive")
 	}
 	w := &World{size: size, model: model}
-	w.chans = make([][]chan message, size)
-	for s := range w.chans {
-		w.chans[s] = make([]chan message, size)
-		for d := range w.chans[s] {
-			w.chans[s][d] = make(chan message, 1024)
-		}
-	}
+	w.chans = makeChanMatrix(size, 1024)
 	w.pool.init()
 	return w
+}
+
+// plane returns the channel matrix of the given plane id, creating it on
+// first use. Plane 0 is the default matrix every Proc starts on.
+func (w *World) plane(id int) [][]chan message {
+	if id == 0 {
+		return w.chans
+	}
+	w.planeMu.Lock()
+	defer w.planeMu.Unlock()
+	if w.planes == nil {
+		w.planes = make(map[int][][]chan message)
+	}
+	m, ok := w.planes[id]
+	if !ok {
+		// A plane carries one collective at a time, and collectives
+		// alternate sends with receives, so a handful of slots per
+		// (src, dst) pair suffices; a full-size buffer per plane would
+		// cost ~size² × 1024 messages of idle capacity per bucket.
+		m = makeChanMatrix(w.size, 16)
+		w.planes[id] = m
+	}
+	return m
 }
 
 // bufPool is a free list of payload buffers in power-of-two size classes,
@@ -151,7 +189,7 @@ func (w *World) Proc(r int) *Proc {
 	if r < 0 || r >= w.size {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", r, w.size))
 	}
-	return &Proc{world: w, rank: r}
+	return &Proc{world: w, rank: r, chans: w.chans}
 }
 
 // transferCost returns the simulated seconds to move n float32s (plus a
@@ -164,11 +202,15 @@ func (w *World) transferCost(src, dst, nFloats, nMeta int) float64 {
 }
 
 // Proc is one rank's endpoint: its identity, its channels, and its
-// virtual clock.
+// virtual clock. A Proc obtained from World.Proc communicates on the
+// default plane; Launch binds a clone to a private plane so asynchronous
+// collectives cannot interleave with foreground traffic.
 type Proc struct {
 	world *World
 	rank  int
 	clock float64
+	// chans is the channel matrix of this Proc's plane.
+	chans [][]chan message
 }
 
 // Rank returns this process's rank in [0, Size).
@@ -230,7 +272,7 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 		copy(mc, meta)
 	}
 	cost := p.world.transferCost(p.rank, dst, len(data), len(meta))
-	p.world.chans[p.rank][dst] <- message{data: dc, meta: mc, arrival: p.clock + cost}
+	p.chans[p.rank][dst] <- message{data: dc, meta: mc, arrival: p.clock + cost}
 }
 
 // Recv blocks until a message from src arrives and returns its payload,
@@ -283,7 +325,7 @@ func (p *Proc) Scratch(n int) []float32 { return p.world.pool.getF32(n) }
 func (p *Proc) ScratchMeta(n int) []float64 { return p.world.pool.getF64(n) }
 
 func (p *Proc) recv(src int) ([]float32, []float64) {
-	msg := <-p.world.chans[src][p.rank]
+	msg := <-p.chans[src][p.rank]
 	if msg.arrival > p.clock {
 		p.clock = msg.arrival
 	}

@@ -36,8 +36,8 @@ func RunTable1(Scale) *Table1Result {
 	mem := partition.MemoryModel{
 		GPUBytes:        16 << 30,
 		ReservedBytes:   5_322_369_184, // framework + cuDNN workspace
-		ParamBytes:      cm.ParamBytes,
-		GradBytes:       cm.ParamBytes,
+		ParamBytes:      int64(cm.ParamBytes),
+		GradBytes:       int64(cm.ParamBytes),
 		StatePerParam:   cm.OptimizerStateBytesPerParamByte,
 		ActivationBytes: 255_000_000, // per-sample activations at seq 128
 	}

@@ -1,0 +1,144 @@
+package fusion
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// packAll streams the tensors through a Packer in order and collects the
+// flushed groups.
+func packAll(pk *Packer, ts [][]float32, names []string) []*Group {
+	pk.Reset()
+	var groups []*Group
+	for i, t := range ts {
+		if g := pk.Ready(i, names[i], t); g != nil {
+			groups = append(groups, g)
+		}
+	}
+	if g := pk.Flush(); g != nil {
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// TestPackerMatchesFuse verifies the streaming packer produces exactly
+// the buckets the batch Fuse builds for the same order and threshold.
+func TestPackerMatchesFuse(t *testing.T) {
+	sizes := []int{100, 40, 300, 8, 8, 8, 500, 60}
+	ts, names := mkTensors(11, sizes)
+	for _, threshold := range []int{256, 600, 1200, 1 << 20} {
+		want := Fuse(ts, names, threshold)
+		got := packAll(NewPacker(threshold), ts, names)
+		if len(got) != len(want) {
+			t.Fatalf("threshold %d: %d groups, want %d", threshold, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i].Members) != len(want[i].Members) {
+				t.Fatalf("threshold %d group %d: members %v want %v",
+					threshold, i, got[i].Members, want[i].Members)
+			}
+			for j, m := range want[i].Members {
+				if got[i].Members[j] != m {
+					t.Fatalf("threshold %d group %d member %d: %d want %d",
+						threshold, i, j, got[i].Members[j], m)
+				}
+			}
+			if !tensor.Equal(got[i].Data, want[i].Data, 0) {
+				t.Fatalf("threshold %d group %d: data mismatch", threshold, i)
+			}
+		}
+	}
+}
+
+// TestPackerOversizedAlone mirrors the Fuse overflow rule: a tensor
+// bigger than the threshold ships alone.
+func TestPackerOversizedAlone(t *testing.T) {
+	ts, names := mkTensors(3, []int{10, 1000, 10})
+	groups := packAll(NewPacker(256), ts, names)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	if len(groups[1].Data) != 1000 {
+		t.Fatalf("middle group holds %d elems, want 1000", len(groups[1].Data))
+	}
+}
+
+// TestPackerReusesBuckets checks that a second identical step reuses the
+// first step's buffers (same backing arrays) and re-copies fresh data.
+func TestPackerReusesBuckets(t *testing.T) {
+	sizes := []int{64, 64, 64, 64}
+	ts, names := mkTensors(5, sizes)
+	pk := NewPacker(64 * 4 * 2) // two tensors per bucket
+	first := packAll(pk, ts, names)
+	if len(first) != 2 {
+		t.Fatalf("got %d groups, want 2", len(first))
+	}
+	firstData := make([]*float32, len(first))
+	for i, g := range first {
+		firstData[i] = &g.Data[0]
+	}
+
+	// Mutate the inputs and run a second step.
+	for _, x := range ts {
+		for j := range x {
+			x[j] += 1
+		}
+	}
+	second := packAll(pk, ts, names)
+	if len(second) != 2 {
+		t.Fatalf("second step: got %d groups, want 2", len(second))
+	}
+	for i, g := range second {
+		if &g.Data[0] != firstData[i] {
+			t.Errorf("group %d: buffer not reused across Reset", i)
+		}
+		lo, hi := g.Layout.Bounds(0)
+		if !tensor.Equal(g.Data[lo:hi], ts[g.Members[0]], 0) {
+			t.Errorf("group %d: stale data after reuse", i)
+		}
+	}
+}
+
+// TestPackerAllocFree measures that steady-state repacking does not
+// allocate once the skeleton cache is warm.
+func TestPackerAllocFree(t *testing.T) {
+	sizes := []int{256, 256, 256, 256, 256}
+	ts, names := mkTensors(7, sizes)
+	pk := NewPacker(256 * 4 * 2)
+	packAll(pk, ts, names) // warm the cache
+	allocs := testing.AllocsPerRun(100, func() {
+		pk.Reset()
+		for i, x := range ts {
+			pk.Ready(i, names[i], x)
+		}
+		pk.Flush()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state packing allocates %.1f times per step", allocs)
+	}
+}
+
+// TestPackerShapeChangeRebuilds confirms a changed ready sequence is
+// packed correctly (skeletons rebuilt, not corrupted).
+func TestPackerShapeChangeRebuilds(t *testing.T) {
+	pk := NewPacker(1 << 20)
+	ts1, names1 := mkTensors(1, []int{32, 32})
+	packAll(pk, ts1, names1)
+	ts2, names2 := mkTensors(2, []int{16, 48, 8})
+	groups := packAll(pk, ts2, names2)
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if g.Layout.TotalSize() != 72 || len(g.Members) != 3 {
+		t.Fatalf("skeleton not rebuilt: size %d members %v", g.Layout.TotalSize(), g.Members)
+	}
+	out := [][]float32{make([]float32, 16), make([]float32, 48), make([]float32, 8)}
+	g.Unfuse(out)
+	for i := range out {
+		if !tensor.Equal(out[i], ts2[i], 0) {
+			t.Fatalf("tensor %d roundtrip mismatch", i)
+		}
+	}
+}

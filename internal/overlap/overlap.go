@@ -1,0 +1,205 @@
+// Package overlap is the asynchronous bucketed-reduction engine: the
+// execution model of §4.4.3 in which tensor fusion and communication/
+// compute overlap turn a training step from "backprop, then one
+// monolithic allreduce" into a pipeline. As simulated backprop walks the
+// layers in reverse, each layer's gradient is declared ready and packed
+// into a fusion bucket; when a bucket reaches the threshold it is
+// launched as an asynchronous collective (comm.Handle) that runs on its
+// own channel plane while earlier layers' backward compute continues.
+// Buckets chain on a per-rank serialized communication stream (the way
+// Horovod's background thread issues fusion buffers in order), and the
+// join at the end of the step folds each bucket's arrival into the
+// rank's clock with max(compute, arrival) — so the simulated step time
+// is the critical path of the compute/communication pipeline, not the
+// sum of its parts.
+//
+// The engine runs the same buckets through the same collectives whether
+// Overlap is on or off; the synchronous mode simply blocks at each
+// launch. The two modes therefore produce bitwise-identical results —
+// the property the trainer's A/B tests pin down — and differ only in
+// virtual time. With AlgoTree the result is additionally bitwise-equal
+// to the host-side adasum.Reducer tree reduction, so the whole bucketed
+// substrate can be verified against the monolithic path at zero
+// tolerance.
+package overlap
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/fusion"
+	"repro/internal/tensor"
+)
+
+// Algo selects the per-bucket collective.
+type Algo int
+
+// Per-bucket collectives.
+const (
+	// AlgoTree is collective.TreeAdasum: recursive doubling on full
+	// vectors, bitwise-identical to the host-side Reducer tree. The
+	// deterministic-parity default.
+	AlgoTree Algo = iota
+	// AlgoRVH is collective.AdasumRVH, Algorithm 1 of the paper:
+	// bandwidth-optimal vector halving with the distributed per-layer
+	// dot-product completion. Requires a power-of-two group.
+	AlgoRVH
+	// AlgoRingSum is collective.RingAllreduceMean: the synchronous-SGD
+	// mean combiner on the bandwidth-optimal ring.
+	AlgoRingSum
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoRVH:
+		return "rvh"
+	case AlgoRingSum:
+		return "ring-sum"
+	default:
+		return "tree"
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Group is the set of world ranks reducing together.
+	Group collective.Group
+	// Layout is the per-layer segmentation of the gradient vector; the
+	// backward walk declares layers ready in reverse layout order.
+	Layout tensor.Layout
+	// FusionBytes is the bucket threshold (<= 0 selects 2 MB, Horovod's
+	// default fusion buffer).
+	FusionBytes int
+	// Algo is the per-bucket collective.
+	Algo Algo
+	// Overlap launches buckets asynchronously against the remaining
+	// backward compute; when false every bucket blocks at launch (the
+	// bulk-synchronous A/B baseline with identical arithmetic).
+	Overlap bool
+	// StepSeconds is the simulated backward-compute time of one step,
+	// apportioned to layers proportionally to their parameter counts and
+	// charged as the reverse walk passes them. Zero means compute-free
+	// (pure communication measurement).
+	StepSeconds float64
+	// PreSeconds is extra compute charged before the backward walk —
+	// the forward pass, or the earlier local steps of an accumulated
+	// (LocalSteps > 1) reduction whose backprop cannot overlap with this
+	// step's communication.
+	PreSeconds float64
+}
+
+// Engine is one rank's bucket scheduler. It owns the per-rank packer,
+// handle list and layer-time table, all reused across steps; every rank
+// of the group must drive its own Engine with the same Options so the
+// bucket sequence (and the plane numbering derived from it) agrees
+// everywhere. An Engine is not safe for concurrent use.
+type Engine struct {
+	opt      Options
+	packer   *fusion.Packer
+	layerSec []float64   // backward seconds per layer
+	slices   [][]float32 // per-step layer views of x, for unfusing
+	pending  []pendingOp
+}
+
+type pendingOp struct {
+	h *comm.Handle
+	g *fusion.Group
+}
+
+// New builds an Engine for one rank.
+func New(opt Options) *Engine {
+	if len(opt.Group) == 0 {
+		panic("overlap: Options.Group is required")
+	}
+	if opt.Layout.NumLayers() == 0 {
+		panic("overlap: Options.Layout is required")
+	}
+	if opt.FusionBytes <= 0 {
+		opt.FusionBytes = 2 << 20
+	}
+	if opt.Algo == AlgoRVH && !opt.Group.IsPowerOfTwo() {
+		panic("overlap: AlgoRVH requires a power-of-two group")
+	}
+	total := opt.Layout.TotalSize()
+	layerSec := make([]float64, opt.Layout.NumLayers())
+	if total > 0 && opt.StepSeconds > 0 {
+		for l := range layerSec {
+			layerSec[l] = opt.StepSeconds * float64(opt.Layout.Size(l)) / float64(total)
+		}
+	}
+	return &Engine{
+		opt:      opt,
+		packer:   fusion.NewPacker(opt.FusionBytes),
+		layerSec: layerSec,
+		slices:   make([][]float32, opt.Layout.NumLayers()),
+	}
+}
+
+// Step runs one reduction step for this rank: simulated backprop
+// declares the layers of x ready in reverse order, buckets launch as
+// collectives on the group, and on return x holds the group-combined
+// gradient on every rank. p's clock advances to the step's completion
+// time (compute chained with per-bucket arrivals); the caller reads
+// p.Clock() — or comm.MaxClock across ranks — for the simulated step
+// latency.
+func (e *Engine) Step(p *comm.Proc, x []float32) {
+	layout := e.opt.Layout
+	if layout.TotalSize() != len(x) {
+		panic(fmt.Sprintf("overlap: x has %d elements, layout covers %d", len(x), layout.TotalSize()))
+	}
+	p.Compute(e.opt.PreSeconds)
+	e.packer.Reset()
+	e.pending = e.pending[:0]
+	for l := 0; l < layout.NumLayers(); l++ {
+		e.slices[l] = layout.Slice(x, l)
+	}
+	// Backward walk: the last layer's gradient materializes first.
+	for l := layout.NumLayers() - 1; l >= 0; l-- {
+		p.Compute(e.layerSec[l])
+		if g := e.packer.Ready(l, layout.Name(l), e.slices[l]); g != nil {
+			e.launch(p, g)
+		}
+	}
+	if g := e.packer.Flush(); g != nil {
+		e.launch(p, g)
+	}
+	// Join: drain buckets in launch order, unfusing each reduced buffer
+	// back into its layers' home slices.
+	for _, op := range e.pending {
+		op.h.Wait(p)
+		p.ComputeMemCopy(op.g.Bytes())
+		op.g.Unfuse(e.slices)
+	}
+}
+
+// launch ships one fused bucket: the pack copy is charged to the rank,
+// then the bucket's collective starts on its own plane, chained after
+// the previous bucket (one serialized comm stream per rank). In
+// synchronous mode the rank blocks until the bucket completes.
+func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
+	p.ComputeMemCopy(g.Bytes())
+	var after *comm.Handle
+	if n := len(e.pending); n > 0 {
+		after = e.pending[n-1].h
+	}
+	plane := len(e.pending) + 1
+	h := p.Launch(plane, after, func(ap *comm.Proc) {
+		e.reduceBucket(ap, g)
+	})
+	e.pending = append(e.pending, pendingOp{h: h, g: g})
+	if !e.opt.Overlap {
+		h.Wait(p)
+	}
+}
+
+func (e *Engine) reduceBucket(ap *comm.Proc, g *fusion.Group) {
+	switch e.opt.Algo {
+	case AlgoRVH:
+		collective.AdasumRVH(ap, e.opt.Group, g.Data, g.Layout)
+	case AlgoRingSum:
+		collective.RingAllreduceMean(ap, e.opt.Group, g.Data)
+	default:
+		collective.TreeAdasum(ap, e.opt.Group, g.Data, g.Layout)
+	}
+}

@@ -94,23 +94,26 @@ func (p *Partitioner) MaxShardElems() int {
 // optimizer state is either replicated (baseline) or 1/parts of it
 // (partitioned), and whatever remains feeds activations.
 type MemoryModel struct {
-	GPUBytes        int     // total memory per GPU
-	ReservedBytes   int     // framework/workspace overhead
-	ParamBytes      int     // model parameters
-	GradBytes       int     // gradient buffer
+	// Byte quantities are int64 so GPU-scale budgets (16 GB cards) stay
+	// representable on 32-bit GOARCHes (the CI no-asm matrix runs 386).
+	GPUBytes        int64   // total memory per GPU
+	ReservedBytes   int64   // framework/workspace overhead
+	ParamBytes      int64   // model parameters
+	GradBytes       int64   // gradient buffer
 	StatePerParam   float64 // optimizer state bytes per parameter byte
-	ActivationBytes int     // activation bytes per microbatch sample
+	ActivationBytes int64   // activation bytes per microbatch sample
 }
 
 // MaxMicrobatch returns the largest microbatch that fits, with the
 // optimizer state divided across `parts` GPUs (parts=1 is the
 // unpartitioned baseline).
 func (m MemoryModel) MaxMicrobatch(parts int) int {
-	state := int(float64(m.ParamBytes) * m.StatePerParam)
+	state := int64(float64(m.ParamBytes) * m.StatePerParam)
 	if parts > 1 {
-		state = (state + parts - 1) / parts
+		p := int64(parts)
+		state = (state + p - 1) / p
 		// The effective_gradient buffer of Figure 3 is partitioned too.
-		state += m.GradBytes / parts
+		state += m.GradBytes / p
 	} else {
 		state += m.GradBytes
 	}
@@ -118,7 +121,7 @@ func (m MemoryModel) MaxMicrobatch(parts int) int {
 	if free <= 0 || m.ActivationBytes <= 0 {
 		return 0
 	}
-	return free / m.ActivationBytes
+	return int(free / m.ActivationBytes)
 }
 
 // UpdateTime returns the simulated model-update latency (the "Model

@@ -1,6 +1,8 @@
 // AVX+FMA kernel for the fused dot/norm reduction. See dotnorms_amd64.go
 // for the dispatch logic and the lane-accumulation contract.
 
+//go:build amd64 && !noasm
+
 #include "textflag.h"
 
 // func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)

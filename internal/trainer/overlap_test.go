@@ -1,0 +1,156 @@
+package trainer
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/overlap"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// overlapCfg is a small but multi-layer training setup shared by the
+// comm-mode equivalence tests.
+func overlapCfg(workers int, mode CommMode) Config {
+	train, test := data.GeneratePair(data.Config{
+		N: 512, Dim: 96, Classes: 6, Noise: 0.5, Seed: 21,
+	}, 128)
+	return Config{
+		Workers:    workers,
+		Microbatch: 8,
+		Reduction:  ReduceAdasum,
+		Scope:      PreOptimizer,
+		PerLayer:   true,
+		Comm:       mode,
+		// Small threshold so several buckets form per step.
+		FusionBytes: 2048,
+		Net:         simnet.TCP40(workers),
+		StepSeconds: 1e-3,
+		Model:       func() *nn.Network { return nn.NewMLP(96, 24, 6) },
+		Optimizer:   optim.NewMomentum(0.9),
+		Schedule:    optim.Constant{Base: 0.05},
+		Train:       train, Test: test,
+		MaxEpochs: 2,
+		Seed:      11,
+	}
+}
+
+// TestOverlapStepBitwiseEqualsSyncStep is the trainer-level overlap-
+// correctness property: with identical seeds, the overlapped run and the
+// synchronous bucketed run produce bitwise-identical model parameters,
+// for both the parity tree and the paper's RVH bucket collectives, at
+// power-of-two and odd worker counts.
+func TestOverlapStepBitwiseEqualsSyncStep(t *testing.T) {
+	for _, tc := range []struct {
+		workers int
+		algo    overlap.Algo
+	}{{4, overlap.AlgoTree}, {5, overlap.AlgoTree}, {4, overlap.AlgoRVH}, {8, overlap.AlgoRVH}} {
+		syncCfg := overlapCfg(tc.workers, CommSync)
+		syncCfg.BucketAlgo = tc.algo
+		overCfg := overlapCfg(tc.workers, CommOverlap)
+		overCfg.BucketAlgo = tc.algo
+		syncRes := Run(syncCfg)
+		overRes := Run(overCfg)
+		if !tensor.Equal(syncRes.FinalParams, overRes.FinalParams, 0) {
+			t.Fatalf("workers=%d algo=%v: overlapped params not bitwise-equal to sync", tc.workers, tc.algo)
+		}
+		if overRes.SimSeconds >= syncRes.SimSeconds {
+			t.Fatalf("workers=%d algo=%v: overlap sim time %v not below sync %v",
+				tc.workers, tc.algo, overRes.SimSeconds, syncRes.SimSeconds)
+		}
+	}
+}
+
+// TestBucketedTreeBitwiseEqualsHostPath pins the bucketed substrate to
+// the monolithic host reducer: with AlgoTree the collective run is
+// bitwise-identical to the CommHost run — same buckets or not, same
+// floats.
+func TestBucketedTreeBitwiseEqualsHostPath(t *testing.T) {
+	for _, workers := range []int{2, 3, 4} {
+		host := Run(overlapCfg(workers, CommHost))
+		for _, mode := range []CommMode{CommSync, CommOverlap} {
+			got := Run(overlapCfg(workers, mode))
+			if !tensor.Equal(got.FinalParams, host.FinalParams, 0) {
+				t.Fatalf("workers=%d mode=%v: bucketed params not bitwise-equal to host path", workers, mode)
+			}
+		}
+	}
+}
+
+// TestBucketedSumMatchesHostMean checks the sync-SGD path through the
+// ring collective against the host mean at float tolerance (the ring's
+// summation order legitimately differs).
+func TestBucketedSumMatchesHostMean(t *testing.T) {
+	mk := func(mode CommMode) Config {
+		cfg := overlapCfg(4, mode)
+		cfg.Reduction = ReduceSum
+		cfg.PerLayer = false
+		return cfg
+	}
+	host := Run(mk(CommHost))
+	over := Run(mk(CommOverlap))
+	if !tensor.Equal(host.FinalParams, over.FinalParams, 1e-4) {
+		t.Fatalf("bucketed ring-sum run diverged from host mean run beyond tolerance")
+	}
+}
+
+// TestOverlapSimTimeBelowSyncUnderInterNodeModel is the virtual-clock
+// acceptance property on the slow-interconnect cluster: overlapping
+// communication with backprop must shorten the simulated run, and the
+// overlapped run can never beat its own compute floor.
+func TestOverlapSimTimeBelowSyncUnderInterNodeModel(t *testing.T) {
+	syncRes := Run(overlapCfg(4, CommSync))
+	overRes := Run(overlapCfg(4, CommOverlap))
+	if overRes.SimSeconds >= syncRes.SimSeconds {
+		t.Fatalf("overlap sim time %v not below sync %v", overRes.SimSeconds, syncRes.SimSeconds)
+	}
+	steps := len(overRes.Epochs) * overRes.StepsPerEpoch
+	floor := 1e-3 * float64(steps)
+	if overRes.SimSeconds < floor {
+		t.Fatalf("overlap sim time %v below compute floor %v", overRes.SimSeconds, floor)
+	}
+}
+
+// TestBucketedAdasumRequiresPerLayer documents the §3.6 gate.
+func TestBucketedAdasumRequiresPerLayer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bucketed whole-gradient Adasum")
+		}
+	}()
+	cfg := overlapCfg(4, CommOverlap)
+	cfg.PerLayer = false
+	Run(cfg)
+}
+
+// TestBucketedAdasumRejectsRingSum documents that the mean combiner
+// cannot be selected for an Adasum reduction: AlgoRingSum would silently
+// replace the Adasum combine with plain averaging.
+func TestBucketedAdasumRejectsRingSum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ReduceAdasum with BucketAlgo AlgoRingSum")
+		}
+	}()
+	cfg := overlapCfg(4, CommOverlap)
+	cfg.BucketAlgo = overlap.AlgoRingSum
+	Run(cfg)
+}
+
+// TestBucketedSumRejectsRVH is the converse: an explicitly requested
+// AlgoRVH must not be silently replaced by the ring collective when the
+// reduction is a sum.
+func TestBucketedSumRejectsRVH(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ReduceSum with BucketAlgo AlgoRVH")
+		}
+	}()
+	cfg := overlapCfg(4, CommOverlap)
+	cfg.Reduction = ReduceSum
+	cfg.PerLayer = false
+	cfg.BucketAlgo = overlap.AlgoRVH
+	Run(cfg)
+}

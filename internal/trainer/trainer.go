@@ -27,9 +27,13 @@ import (
 	"sync"
 
 	"repro/internal/adasum"
+	"repro/internal/collective"
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/overlap"
+	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
 
@@ -53,6 +57,38 @@ func (r Reduction) String() string {
 		return "adasum"
 	}
 	return "sum"
+}
+
+// CommMode selects the substrate the reduction executes on.
+type CommMode int
+
+// CommMode values.
+const (
+	// CommHost combines contributions with the in-process adasum.Reducer
+	// — no communication is simulated (the seed behaviour, and the
+	// algorithmic-efficiency default).
+	CommHost CommMode = iota
+	// CommSync runs the reduction as bucketed collectives on a simulated
+	// cluster (workers become comm ranks), each bucket blocking — the
+	// bulk-synchronous A/B baseline for the overlapped engine, with
+	// identical arithmetic.
+	CommSync
+	// CommOverlap schedules each bucket's collective asynchronously
+	// against the remaining backward compute (§4.4.3): the overlapped
+	// step loop. Results are bitwise-identical to CommSync; only the
+	// simulated step time differs.
+	CommOverlap
+)
+
+func (m CommMode) String() string {
+	switch m {
+	case CommSync:
+		return "bucket-sync"
+	case CommOverlap:
+		return "bucket-overlap"
+	default:
+		return "host"
+	}
 }
 
 // Scope selects where the reduction happens relative to the optimizer.
@@ -91,6 +127,25 @@ type Config struct {
 	Reduction Reduction
 	Scope     Scope
 	PerLayer  bool // per-layer Adasum (§3.6); false = whole-gradient
+
+	// Comm selects the reduction substrate. The bucketed modes require
+	// PerLayer for Adasum (bucket boundaries must not change the
+	// combine's segmentation, §3.6) and accept the knobs below.
+	Comm CommMode
+	// FusionBytes is the bucket threshold of the bucketed comm modes
+	// (<= 0 selects the 2 MB Horovod default).
+	FusionBytes int
+	// Net is the simnet cost model for virtual-time accounting in the
+	// bucketed modes; nil simulates a free network (correctness only).
+	Net *simnet.Model
+	// StepSeconds is the simulated forward+backward time of one local
+	// step, overlapped against communication in CommOverlap and summed
+	// into Result.SimSeconds.
+	StepSeconds float64
+	// BucketAlgo selects the per-bucket collective for ReduceAdasum in
+	// the bucketed modes: overlap.AlgoTree (default) is bitwise-equal to
+	// the CommHost tree; overlap.AlgoRVH is the paper's Algorithm 1.
+	BucketAlgo overlap.Algo
 
 	Model     func() *nn.Network // replica factory; all replicas must be identical shapes
 	Optimizer optim.Optimizer    // prototype; cloned per worker (post-opt) or used directly (pre-opt)
@@ -144,6 +199,9 @@ type Result struct {
 	FinalAccuracy  float64
 	StepsPerEpoch  int
 	FinalParams    []float32 // trained model snapshot (phase chaining)
+	// SimSeconds is the cumulative simulated wall-clock of the reduction
+	// steps under Net (bucketed comm modes only; 0 for CommHost).
+	SimSeconds float64
 }
 
 // worker is one simulated GPU: a model replica, its data shard, its own
@@ -203,6 +261,7 @@ func Run(cfg Config) *Result {
 	// One reduction workspace serves every step: the combiner reuses its
 	// scratch instead of allocating per reduction.
 	red := adasum.NewReducer()
+	engine := newCommEngine(cfg, layout)
 	contributions := make([][]float32, len(workers))
 	losses := make([]float64, len(workers))
 
@@ -213,7 +272,9 @@ func Run(cfg Config) *Result {
 	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
 		var lossSum float64
 		for s := 0; s < stepsPerEpoch; s++ {
-			lossSum += reduceStep(cfg, workers, params, layout, sharedOpt, red, contributions, losses, step)
+			loss, simSec := reduceStep(cfg, workers, params, layout, sharedOpt, red, engine, contributions, losses, step)
+			lossSum += loss
+			res.SimSeconds += simSec
 			step++
 			if cfg.EvalEverySteps > 0 && cfg.TargetAccuracy > 0 &&
 				step%cfg.EvalEverySteps == 0 {
@@ -260,11 +321,63 @@ func Run(cfg Config) *Result {
 	return res
 }
 
+// commEngine bundles the bucketed-reduction substrate of one run: the
+// simulated cluster whose ranks are the workers, plus one overlap.Engine
+// per rank, all reused across steps.
+type commEngine struct {
+	world   *comm.World
+	engines []*overlap.Engine
+}
+
+// newCommEngine builds the substrate for the bucketed comm modes, or
+// returns nil for CommHost.
+func newCommEngine(cfg Config, layout tensor.Layout) *commEngine {
+	if cfg.Comm == CommHost {
+		return nil
+	}
+	if cfg.Reduction == ReduceAdasum && !cfg.PerLayer {
+		panic("trainer: bucketed Adasum requires PerLayer (bucket boundaries must not change the combine's segmentation, §3.6)")
+	}
+	algo := cfg.BucketAlgo
+	if cfg.Reduction == ReduceSum {
+		if algo == overlap.AlgoRVH {
+			panic("trainer: BucketAlgo AlgoRVH is an Adasum bucket collective; ReduceSum buckets run AlgoRingSum")
+		}
+		algo = overlap.AlgoRingSum
+	} else if algo == overlap.AlgoRingSum {
+		panic("trainer: BucketAlgo AlgoRingSum is the ReduceSum combiner; ReduceAdasum buckets take AlgoTree or AlgoRVH")
+	}
+	world := comm.NewWorld(cfg.Workers, cfg.Net)
+	group := collective.WorldGroup(cfg.Workers)
+	engines := make([]*overlap.Engine, cfg.Workers)
+	for w := range engines {
+		engines[w] = overlap.New(overlap.Options{
+			Group: group, Layout: layout, FusionBytes: cfg.FusionBytes,
+			Algo: algo, Overlap: cfg.Comm == CommOverlap,
+			StepSeconds: cfg.StepSeconds,
+			// Earlier local steps of an accumulated reduction cannot
+			// overlap with this step's communication.
+			PreSeconds: cfg.StepSeconds * float64(cfg.LocalSteps-1),
+		})
+	}
+	return &commEngine{world: world, engines: engines}
+}
+
+// reduce runs one bucketed reduction over the contributions — on return
+// every contribution holds the group-combined gradient — and returns the
+// simulated step time.
+func (ce *commEngine) reduce(contributions [][]float32) float64 {
+	return comm.MaxClock(ce.world, func(p *comm.Proc) {
+		ce.engines[p.Rank()].Step(p, contributions[p.Rank()])
+	})
+}
+
 // reduceStep performs one full reduction step (LocalSteps local steps on
 // every worker followed by the combine) and returns the mean local train
-// loss observed. red, contributions and losses are per-run scratch owned
-// by Run so the steady-state loop allocates nothing in the combine phase.
-func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.Layout, sharedOpt optim.Optimizer, red *adasum.Reducer, contributions [][]float32, losses []float64, step int) float64 {
+// loss observed plus the simulated step seconds (bucketed modes only).
+// red, contributions and losses are per-run scratch owned by Run so the
+// steady-state loop allocates nothing in the combine phase.
+func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.Layout, sharedOpt optim.Optimizer, red *adasum.Reducer, engine *commEngine, contributions [][]float32, losses []float64, step int) (loss, simSec float64) {
 	lr := cfg.Schedule.LR(step)
 
 	runWorker := func(w *worker, wi int) {
@@ -325,12 +438,17 @@ func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.L
 		redLayout = tensor.FlatLayout(len(params))
 	}
 
-	// The combined result lives in the Reducer's workspace; it is consumed
-	// immediately by the optimizer/parameter update below.
+	// The combined result lives in the Reducer's workspace (host mode) or
+	// overwrites the contributions in place (bucketed modes); either way
+	// it is consumed immediately by the optimizer/parameter update below.
 	var combined []float32
-	if cfg.Reduction == ReduceAdasum {
+	switch {
+	case engine != nil:
+		simSec = engine.reduce(contributions)
+		combined = contributions[0]
+	case cfg.Reduction == ReduceAdasum:
 		combined = red.TreeReduce(contributions, redLayout)
-	} else {
+	default:
 		combined = red.MeanReduce(contributions)
 	}
 	switch cfg.Scope {
@@ -344,7 +462,7 @@ func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.L
 	for _, l := range losses {
 		total += l
 	}
-	return total / float64(len(losses))
+	return total / float64(len(losses)), simSec
 }
 
 func nextBatch(w *worker) ([]float32, []int, int) {

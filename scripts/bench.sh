@@ -1,23 +1,31 @@
 #!/usr/bin/env bash
 # Runs the kernel/collective micro-benchmarks and records them as a JSON
-# perf snapshot (default BENCH_1.json) so the repo's performance
-# trajectory is tracked PR over PR.
+# perf snapshot so the repo's performance trajectory is tracked PR over
+# PR. The default output is the next free BENCH_<N>.json, so each run
+# appends to the trajectory instead of overwriting an earlier snapshot.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_1.json}"
+next_snapshot() {
+    local n=1
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    echo "BENCH_${n}.json"
+}
+
+OUT="${1:-$(next_snapshot)}"
 BENCHTIME="${2:-2s}"
 # PR number is derived from the output filename (BENCH_<N>.json).
 PR="$(basename "$OUT" | sed -n 's/^BENCH_\([0-9]\+\)\.json$/\1/p')"
 PR="${PR:-0}"
-PATTERN='BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkRingAllreduce16Ranks|BenchmarkAblation'
+# Kept in sync with scripts/bench_compare.sh, which gates CI on these.
+PATTERN='BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkRingAllreduce16Ranks|BenchmarkOverlappedStep|BenchmarkAblation'
 
 RAW="$(go test -run=NONE -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
 echo "$RAW"
 
-echo "$RAW" | awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+echo "$RAW" | awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" -v ncpu="$(nproc)" '
 BEGIN { n = 0 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
@@ -38,6 +46,7 @@ END {
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"ncpu\": %s,\n", ncpu
     printf "  \"note\": \"Seed reference below was measured once at the seed commit (plus go.mod, which the seed lacked) on the PR-1 machine; the *Unfused/separate benchmark variants reproduce the seed code paths for like-for-like comparison on any machine. Caveat: the seed RVH/Ring collective benchmarks constructed the 16-rank World inside the timed loop, while the PR-1+ harness hoists that one-time setup, so the collective seed ratios mix harness and code improvements (the kernel benchmarks are like-for-like).\",\n"
     printf "  \"seed_reference\": {\n"
     printf "    \"BenchmarkTensorDot1M\": {\"ns_per_op\": 1004227},\n"

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# CI benchmark-regression gate: reruns the snapshot micro-benchmarks and
+# compares them against the latest committed BENCH_<N>.json. Fails when
+# any benchmark regresses more than BENCH_TOLERANCE_PCT (default 25%) in
+# ns/op, or when a benchmark whose baseline is 0 allocs/op starts
+# allocating — the steady-state reduction/overlap paths are required to
+# stay allocation-free.
+#
+# Snapshots record the CPU model they were measured on. When the current
+# machine's CPU differs from the baseline's (the usual case on CI
+# runners, whose hardware varies), absolute ns/op is not comparable at
+# 25%, so the gate widens to BENCH_CROSS_TOLERANCE_PCT (default 300% —
+# still catching order-of-magnitude regressions such as a disabled
+# assembly kernel or an accidentally quadratic path); the allocs/op gate
+# is machine-independent and stays exact either way.
+#
+# Benchmarks present in the run but absent from the baseline (new in
+# this PR) are reported and skipped; they join the gate once a snapshot
+# containing them is committed via scripts/bench.sh.
+#
+# Usage: scripts/bench_compare.sh [benchtime]   (default 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-${BENCHTIME:-1s}}"
+TOL="${BENCH_TOLERANCE_PCT:-25}"
+CROSS_TOL="${BENCH_CROSS_TOLERANCE_PCT:-300}"
+
+BASE="$(ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9]\+\)\.json$/\1 &/p' | sort -n | tail -1 | cut -d' ' -f2)"
+if [ -z "$BASE" ]; then
+    echo "bench_compare: no BENCH_<N>.json baseline found" >&2
+    exit 1
+fi
+
+# Kept in sync with scripts/bench.sh, which records the snapshots.
+PATTERN='BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkRingAllreduce16Ranks|BenchmarkOverlappedStep|BenchmarkAblation'
+
+RAW="$(go test -run=NONE -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
+echo "$RAW"
+echo
+
+# Same-machine means same CPU brand string AND same core count: virtual
+# machines often report a generic brand string (e.g. "Intel(R) Xeon(R)
+# Processor @ 2.70GHz") shared across genuinely different hardware, so
+# the brand alone is not a sufficient key. Snapshots without an ncpu
+# field are treated as cross-machine.
+BASE_CPU="$(sed -n 's/^  "cpu": "\(.*\)",$/\1/p' "$BASE")"
+BASE_NCPU="$(sed -n 's/^  "ncpu": \([0-9]\+\),$/\1/p' "$BASE")"
+CUR_CPU="$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p' | head -1)"
+CUR_NCPU="$(nproc)"
+if [ -n "$BASE_CPU" ] && [ "$BASE_CPU" = "$CUR_CPU" ] && [ -n "$BASE_NCPU" ] && [ "$BASE_NCPU" = "$CUR_NCPU" ]; then
+    echo "baseline: $BASE on this CPU  (ns/op tolerance +${TOL}%, allocs/op gate on 0-alloc benchmarks)"
+else
+    TOL="$CROSS_TOL"
+    echo "baseline: $BASE recorded on '$BASE_CPU', running on '$CUR_CPU'"
+    echo "cross-machine comparison: ns/op tolerance widened to +${TOL}%; allocs/op gate unchanged"
+fi
+
+awk -v tol="$TOL" '
+NR == FNR {
+    # Baseline pass: entries of the "benchmarks" array are single lines
+    # of the form {"name": "...", "ns_per_op": N, ..., "allocs_per_op": A}.
+    if (match($0, /"name": "[^"]+"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (match($0, /"ns_per_op": [0-9]+/))
+            bns[name] = substr($0, RSTART + 13, RLENGTH - 13)
+        if (match($0, /"allocs_per_op": [0-9]+/))
+            bal[name] = substr($0, RSTART + 17, RLENGTH - 17)
+    }
+    next
+}
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns     = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!(name in bns)) {
+        printf "  NEW         %-55s %14.0f ns/op (no baseline, skipped)\n", name, ns
+        next
+    }
+    base = bns[name] + 0
+    ratio = (base > 0) ? ns / base : 1
+    verdict = "ok"
+    if (ns + 0 > base * (1 + tol / 100)) {
+        verdict = "REGRESSION"
+        fail = 1
+    }
+    printf "  %-11s %-55s %14.0f ns/op  vs %14.0f  (%.2fx)\n", verdict, name, ns, base, ratio
+    if ((name in bal) && bal[name] + 0 == 0 && allocs != "" && allocs + 0 > 0) {
+        printf "  ALLOCS      %-55s %s allocs/op, baseline 0\n", name, allocs
+        fail = 1
+    }
+}
+END {
+    if (fail) {
+        print ""
+        print "bench_compare: FAILED (ns/op regression beyond tolerance or new allocations on a 0-alloc benchmark)"
+        exit 1
+    }
+    print ""
+    print "bench_compare: ok"
+}
+' "$BASE" <(printf '%s\n' "$RAW")
