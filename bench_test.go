@@ -7,6 +7,7 @@ import (
 	"repro/internal/adasum"
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/experiments"
 	"repro/internal/nn"
 	"repro/internal/overlap"
@@ -132,6 +133,15 @@ func BenchmarkOverlapExperiment(b *testing.B) {
 		r := experiments.RunOverlap(experiments.ScaleQuick)
 		if s := r.BestSpeedup(); s < 1.1 {
 			b.Fatalf("overlapping gained only %.3fx over sync on the inter-node model", s)
+		}
+	}
+}
+
+func BenchmarkCompressionExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCompression(experiments.ScaleQuick)
+		if s := r.WireReductionFor("fp16"); s < 0.4 {
+			b.Fatalf("fp16 saved only %.0f%% wire bytes", s*100)
 		}
 	}
 }
@@ -304,6 +314,49 @@ func BenchmarkOverlappedStep(b *testing.B) {
 			FusionBytes: 4 * perLayer * 4,
 			Algo:        overlap.AlgoRVH,
 			Overlap:     true,
+		})
+	}
+	b.SetBytes(int64(layout.TotalSize() * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(p *comm.Proc) {
+			x := xs[p.Rank()]
+			copy(x, inputs[p.Rank()])
+			engines[p.Rank()].Step(p, x)
+		})
+	}
+}
+
+// BenchmarkOverlappedStepFP16 is BenchmarkOverlappedStep with fp16 wire
+// compression: the same buckets and RVH collectives, plus the software
+// half-precision encode/decode on every hop — the compressed-bucket hot
+// path the bench-regression gate watches.
+func BenchmarkOverlappedStepFP16(b *testing.B) {
+	const ranks, layers, perLayer = 8, 16, 1 << 13
+	names := make([]string, layers)
+	sizes := make([]int, layers)
+	for i := range names {
+		names[i] = "layer"
+		sizes[i] = perLayer
+	}
+	layout := tensor.NewLayout(names, sizes)
+	inputs := make([][]float32, ranks)
+	xs := make([][]float32, ranks)
+	for r := range inputs {
+		inputs[r] = randVec(layout.TotalSize(), int64(400+r))
+		xs[r] = make([]float32, layout.TotalSize())
+	}
+	w := comm.NewWorld(ranks, nil)
+	engines := make([]*overlap.Engine, ranks)
+	for r := range engines {
+		engines[r] = overlap.New(overlap.Options{
+			Group:       collective.WorldGroup(ranks),
+			Layout:      layout,
+			FusionBytes: 4 * perLayer * 4,
+			Algo:        overlap.AlgoRVH,
+			Overlap:     true,
+			Compression: compress.FP16(),
 		})
 	}
 	b.SetBytes(int64(layout.TotalSize() * 4))

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	adasum-experiments [-full] [fig1|fig2|fig4|fig5|fig6|table1|table2|table3|table4|overlap|all]
+//	adasum-experiments [-full] [fig1|fig2|fig4|fig5|fig6|table1|table2|table3|table4|overlap|compress|all]
 //
 // Quick scale (the default) shrinks worker counts and budgets so the
 // whole suite finishes in minutes; -full runs the DESIGN.md dimensions.
@@ -38,17 +38,18 @@ func main() {
 			experiments.RunFig1("resnet", scale).Render(os.Stdout)
 			experiments.RunFig1("bert", scale).Render(os.Stdout)
 		},
-		"fig2":    func() { experiments.RunFig2(scale).Render(os.Stdout) },
-		"fig4":    func() { experiments.RunFig4(scale).Render(os.Stdout) },
-		"fig5":    func() { experiments.RunFig5(scale).Render(os.Stdout) },
-		"fig6":    func() { experiments.RunFig6(scale).Render(os.Stdout) },
-		"table1":  func() { experiments.RunTable1(scale).Render(os.Stdout) },
-		"table2":  func() { experiments.RunTable2(scale).Render(os.Stdout) },
-		"table3":  func() { experiments.RunTable3(scale).Render(os.Stdout) },
-		"table4":  func() { experiments.RunTable4(scale).Render(os.Stdout) },
-		"overlap": func() { experiments.RunOverlap(scale).Render(os.Stdout) },
+		"fig2":     func() { experiments.RunFig2(scale).Render(os.Stdout) },
+		"fig4":     func() { experiments.RunFig4(scale).Render(os.Stdout) },
+		"fig5":     func() { experiments.RunFig5(scale).Render(os.Stdout) },
+		"fig6":     func() { experiments.RunFig6(scale).Render(os.Stdout) },
+		"table1":   func() { experiments.RunTable1(scale).Render(os.Stdout) },
+		"table2":   func() { experiments.RunTable2(scale).Render(os.Stdout) },
+		"table3":   func() { experiments.RunTable3(scale).Render(os.Stdout) },
+		"table4":   func() { experiments.RunTable4(scale).Render(os.Stdout) },
+		"overlap":  func() { experiments.RunOverlap(scale).Render(os.Stdout) },
+		"compress": func() { experiments.RunCompression(scale).Render(os.Stdout) },
 	}
-	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "overlap"}
+	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "overlap", "compress"}
 
 	if what == "all" {
 		for _, name := range order {

@@ -6,17 +6,21 @@
 // neural-network framework, the Momentum/Adam/LARS/LAMB optimizer zoo,
 // an asynchronous overlapped-reduction engine (package overlap) that
 // schedules fused gradient buckets against simulated backprop (§4.4.3),
-// and runners that regenerate every table and figure of the paper's
-// evaluation on synthetic substitutes for its hardware and datasets.
+// a compressed-communication subsystem (package compress: fp16, int8
+// and top-k-with-error-feedback wire codecs threaded through the comm
+// substrate, the collectives and the overlap engine), and runners that
+// regenerate every table and figure of the paper's evaluation on
+// synthetic substitutes for its hardware and datasets.
 //
 // See DESIGN.md for the design record of the reduction hot path — the
 // fused single-pass dot/norm kernels (with their AVX+FMA fast path), the
 // workspace-owning adasum.Reducer, the pooled communication buffers, the
-// in-place recursive-vector-halving collectives, and the channel-plane/
-// async-handle machinery with its virtual-clock accounting rules — plus
-// the experiment substitution notes. The benchmark harness in
-// bench_test.go regenerates each experiment and micro-benchmarks the
-// kernels:
+// in-place recursive-vector-halving collectives, the channel-plane/
+// async-handle machinery with its virtual-clock accounting rules, and
+// the codec placement, error-feedback state ownership and compressed-
+// byte clock accounting of the compression subsystem — plus the
+// experiment substitution notes. The benchmark harness in bench_test.go
+// regenerates each experiment and micro-benchmarks the kernels:
 //
 //	go test -bench=. -benchmem
 //

@@ -75,7 +75,7 @@ func rvhSumRec(p *comm.Proc, g Group, x []float32, lo, hi, d int) {
 		p.Release(theirs)
 		nlo, nhi = mid, hi
 	}
-	p.ComputeReduce((nhi - nlo) * 4)
+	p.ComputeReduce(4 * int64(nhi-nlo))
 	if 2*d < len(g) {
 		rvhSumRec(p, g, x, nlo, nhi, 2*d)
 	}
@@ -147,13 +147,13 @@ func adasumRVHRec(p *comm.Proc, g Group, x []float32, lo, hi, d int, layout tens
 	// window, summed across the contiguous block of d2 group positions
 	// that collectively hold the two logical vectors.
 	adasum.WindowDots(dots, a, b, nlo, layout)
-	p.ComputeReduce(3 * len(a) * 4)
+	p.ComputeReduce(3 * 4 * int64(len(a)))
 	base := gpos / d2 * d2
 	allreduceF64RD(p, g, base, d2, dots)
 
 	// Line 18: apply the combine with the completed dot products.
 	adasum.CombineWindow(dst, a, b, nlo, layout, dots)
-	p.ComputeReduce(2 * len(a) * 4)
+	p.ComputeReduce(2 * 4 * int64(len(a)))
 	p.Release(recv)
 
 	if d2 < len(g) { // lines 19-21
@@ -185,7 +185,7 @@ func LinearAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout) {
 			got := p.Recv(g[i])
 			adasum.CombineLayers(x, x, got, layout)
 			p.Release(got)
-			p.ComputeReduce(5 * len(x) * 4)
+			p.ComputeReduce(5 * 4 * int64(len(x)))
 		}
 	} else {
 		p.Send(g[0], x)

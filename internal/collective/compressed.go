@@ -1,0 +1,232 @@
+package collective
+
+import (
+	"repro/internal/adasum"
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// Codec-aware collectives: the same exchange patterns as their plain
+// counterparts, but every gradient payload is encoded through a
+// compress.Stream before it hits the wire and decoded on arrival, so the
+// virtual clock, the wire-byte meter and the transport pool all see
+// compressed sizes. Three invariants:
+//
+//   - the per-layer dot-product statistics feeding Adasum's scaled
+//     combine are computed on the decompressed values each rank actually
+//     combines, so the coefficients stay exact for the arithmetic that
+//     is really applied (the float64 dot-product side payloads
+//     themselves are tiny and travel uncompressed);
+//   - a nil stream (or a None codec) delegates to the plain collective,
+//     keeping the uncompressed paths bitwise- and clock-identical;
+//   - every rank drives its stream through a deterministic encode-site
+//     sequence per step, so error-feedback residuals (TopK) are carried
+//     per rank, per site, across steps.
+//
+// With a lossy codec the ranks of a group may finish holding slightly
+// different decoded copies of the combined gradient (each decode of a
+// finished chunk re-quantizes it); the trainer consumes rank 0's copy,
+// matching how lossy allgather phases behave in real systems.
+
+// CompressedTreeAdasum is TreeAdasum with per-hop payload compression.
+func CompressedTreeAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout, st *compress.Stream) {
+	if st == nil || compress.IsNone(st.Codec()) {
+		TreeAdasum(p, g, x, layout)
+		return
+	}
+	if layout.TotalSize() != len(x) {
+		panic("collective: CompressedTreeAdasum layout does not cover x")
+	}
+	n := len(g)
+	if n == 1 {
+		return
+	}
+	c := st.Codec()
+	pos := g.Pos(p.Rank())
+	buf := p.Scratch(len(x))
+	if g.IsPowerOfTwo() {
+		for d := 1; d < n; d <<= 1 {
+			peer := g[pos^d]
+			p.SendCompressed(peer, x, st)
+			p.RecvCompressed(peer, c, buf)
+			if pos&d == 0 {
+				adasum.CombineLayers(x, x, buf, layout)
+			} else {
+				adasum.CombineLayers(x, buf, x, layout)
+			}
+			p.ComputeReduce(5 * 4 * int64(len(x)))
+		}
+		p.Release(buf)
+		return
+	}
+	for d := 1; d < n; d <<= 1 {
+		if pos%(2*d) == d {
+			p.SendCompressed(g[pos-d], x, st)
+			break
+		}
+		if pos+d < n {
+			p.RecvCompressed(g[pos+d], c, buf)
+			adasum.CombineLayers(x, x, buf, layout)
+			p.ComputeReduce(5 * 4 * int64(len(x)))
+		}
+	}
+	p.Release(buf)
+	compressedBroadcast(p, g, 0, x, st)
+}
+
+// CompressedAdasumRVH is AdasumRVH (Algorithm 1) with per-hop payload
+// compression on the halving exchanges and the doubling unwind. The
+// small-vector dot-product allreduce stays uncompressed.
+func CompressedAdasumRVH(p *comm.Proc, g Group, x []float32, layout tensor.Layout, st *compress.Stream) {
+	if st == nil || compress.IsNone(st.Codec()) {
+		AdasumRVH(p, g, x, layout)
+		return
+	}
+	if !g.IsPowerOfTwo() {
+		panic("collective: CompressedAdasumRVH requires a power-of-two group")
+	}
+	if layout.TotalSize() != len(x) {
+		panic("collective: CompressedAdasumRVH layout does not cover x")
+	}
+	if len(g) == 1 {
+		return
+	}
+	dots := p.ScratchMeta(3 * layout.NumLayers())
+	compressedRVHRec(p, g, x, 0, len(x), 1, layout, dots, st)
+	p.ReleaseMeta(dots)
+}
+
+// compressedRVHRec mirrors adasumRVHRec with compressed halving and
+// unwind payloads; the received half is decoded into pooled scratch, and
+// the per-layer dots are taken over the decoded values so the combine's
+// coefficients match the operands in use.
+func compressedRVHRec(p *comm.Proc, g Group, x []float32, lo, hi, d int, layout tensor.Layout, dots []float64, st *compress.Stream) {
+	c := st.Codec()
+	mid := lo + tensor.HalfSplit(hi-lo)
+	gpos := g.Pos(p.Rank())
+	left := (gpos/d)%2 == 0
+
+	var a, b, dst, recv []float32
+	var nghr, nlo, nhi int
+	if left {
+		nghr = gpos + d
+		p.SendCompressed(g[nghr], x[mid:hi], st)
+		recv = p.Scratch(mid - lo)
+		p.RecvCompressed(g[nghr], c, recv)
+		a, b, dst = x[lo:mid], recv, x[lo:mid]
+		nlo, nhi = lo, mid
+	} else {
+		nghr = gpos - d
+		p.SendCompressed(g[nghr], x[lo:mid], st)
+		recv = p.Scratch(hi - mid)
+		p.RecvCompressed(g[nghr], c, recv)
+		a, b, dst = recv, x[mid:hi], x[mid:hi]
+		nlo, nhi = mid, hi
+	}
+
+	d2 := 2 * d
+	adasum.WindowDots(dots, a, b, nlo, layout)
+	p.ComputeReduce(3 * 4 * int64(len(a)))
+	base := gpos / d2 * d2
+	allreduceF64RD(p, g, base, d2, dots)
+
+	adasum.CombineWindow(dst, a, b, nlo, layout, dots)
+	p.ComputeReduce(2 * 4 * int64(len(a)))
+	p.Release(recv)
+
+	if d2 < len(g) {
+		compressedRVHRec(p, g, x, nlo, nhi, d2, layout, dots, st)
+	}
+
+	// Doubling unwind: exchange finished halves, compressed.
+	p.SendCompressed(g[nghr], x[nlo:nhi], st)
+	if left {
+		p.RecvCompressed(g[nghr], c, x[mid:hi])
+	} else {
+		p.RecvCompressed(g[nghr], c, x[lo:mid])
+	}
+}
+
+// CompressedRingAllreduceMean is RingAllreduceMean with per-hop payload
+// compression on both the reduce-scatter and the allgather phases.
+func CompressedRingAllreduceMean(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
+	if st == nil || compress.IsNone(st.Codec()) {
+		RingAllreduceMean(p, g, x)
+		return
+	}
+	if len(g) > 1 {
+		bounds := equalBounds(len(x), len(g))
+		compressedReduceScatterRing(p, g, x, bounds, st)
+		compressedAllgatherRing(p, g, x, bounds, st)
+	}
+	tensor.Scale(1/float32(len(g)), x)
+}
+
+// compressedReduceScatterRing mirrors reduceScatterRing: each hop's chunk
+// is encoded for the wire and decoded into pooled scratch before the
+// accumulation.
+func compressedReduceScatterRing(p *comm.Proc, g Group, x []float32, bounds boundsFn, st *compress.Stream) {
+	n := len(g)
+	me := g.Pos(p.Rank())
+	c := st.Codec()
+	next := g[(me+1)%n]
+	prev := g[(me-1+n)%n]
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((me-s-1)%n + n) % n
+		recvIdx := ((me-s-2)%n + n) % n
+		slo, shi := bounds(sendIdx)
+		p.SendCompressed(next, x[slo:shi], st)
+		rlo, rhi := bounds(recvIdx)
+		got := p.Scratch(rhi - rlo)
+		p.RecvCompressed(prev, c, got)
+		dst := x[rlo:rhi]
+		for i := range dst {
+			dst[i] += got[i]
+		}
+		p.Release(got)
+		p.ComputeReduce(4 * int64(rhi-rlo))
+	}
+}
+
+// compressedAllgatherRing mirrors allgatherRing with compressed chunk
+// payloads decoded straight into their home positions.
+func compressedAllgatherRing(p *comm.Proc, g Group, x []float32, bounds boundsFn, st *compress.Stream) {
+	n := len(g)
+	me := g.Pos(p.Rank())
+	c := st.Codec()
+	next := g[(me+1)%n]
+	prev := g[(me-1+n)%n]
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((me-s)%n + n) % n
+		recvIdx := ((me-s-1)%n + n) % n
+		slo, shi := bounds(sendIdx)
+		p.SendCompressed(next, x[slo:shi], st)
+		rlo, rhi := bounds(recvIdx)
+		p.RecvCompressed(prev, c, x[rlo:rhi])
+	}
+}
+
+// compressedBroadcast mirrors Broadcast with compressed payloads.
+func compressedBroadcast(p *comm.Proc, g Group, root int, x []float32, st *compress.Stream) {
+	n := len(g)
+	if n == 1 {
+		return
+	}
+	c := st.Codec()
+	gpos := g.Pos(p.Rank())
+	rel := (gpos - root + n) % n
+	received := rel == 0
+	for step := 1; step < n; step <<= 1 {
+		if rel < step && rel+step < n {
+			if !received {
+				panic("collective: broadcast internal ordering error")
+			}
+			p.SendCompressed(g[(root+rel+step)%n], x, st)
+		} else if rel >= step && rel < 2*step {
+			src := g[(root+rel-step)%n]
+			p.RecvCompressed(src, c, x)
+			received = true
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+func randVecs(ranks, n int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, ranks)
+	for r := range out {
+		out[r] = make([]float32, n)
+		for i := range out[r] {
+			out[r][i] = rng.Float32() - 0.5
+		}
+	}
+	return out
+}
+
+// runCompressed reduces per-rank vectors through body (one compressed
+// collective) and returns the results plus the World's wire bytes.
+func runCompressed(ranks int, vecs [][]float32, codec compress.Codec,
+	body func(p *comm.Proc, g Group, x []float32, st *compress.Stream)) ([][]float32, int64) {
+	w := comm.NewWorld(ranks, nil)
+	g := WorldGroup(ranks)
+	out := make([][]float32, ranks)
+	streams := make([]*compress.Stream, ranks)
+	for r := range streams {
+		if codec != nil {
+			streams[r] = compress.NewStream(codec)
+			streams[r].Begin()
+		}
+	}
+	w.Run(func(p *comm.Proc) {
+		x := append([]float32(nil), vecs[p.Rank()]...)
+		body(p, g, x, streams[p.Rank()])
+		out[p.Rank()] = x
+	})
+	return out, w.WireBytes()
+}
+
+// TestCompressedNoneBitwiseIdentical: with a nil stream (or the None
+// codec) every compressed collective must produce bitwise the same
+// floats as its plain counterpart.
+func TestCompressedNoneBitwiseIdentical(t *testing.T) {
+	const ranks, n = 8, 3000
+	layout := tensor.NewLayout([]string{"a", "b", "c"}, []int{1000, 1500, 500})
+	vecs := randVecs(ranks, n, 42)
+	type variant struct {
+		name  string
+		plain func(p *comm.Proc, g Group, x []float32)
+		comp  func(p *comm.Proc, g Group, x []float32, st *compress.Stream)
+	}
+	variants := []variant{
+		{"tree", func(p *comm.Proc, g Group, x []float32) { TreeAdasum(p, g, x, layout) },
+			func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
+				CompressedTreeAdasum(p, g, x, layout, st)
+			}},
+		{"rvh", func(p *comm.Proc, g Group, x []float32) { AdasumRVH(p, g, x, layout) },
+			func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
+				CompressedAdasumRVH(p, g, x, layout, st)
+			}},
+		{"ring", func(p *comm.Proc, g Group, x []float32) { RingAllreduceMean(p, g, x) },
+			func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
+				CompressedRingAllreduceMean(p, g, x, st)
+			}},
+	}
+	for _, v := range variants {
+		want, wantWire := runCompressed(ranks, vecs, nil,
+			func(p *comm.Proc, g Group, x []float32, _ *compress.Stream) { v.plain(p, g, x) })
+		for _, codec := range []compress.Codec{nil, compress.None()} {
+			got, gotWire := runCompressed(ranks, vecs, codec, v.comp)
+			for r := range got {
+				if !tensor.Equal(got[r], want[r], 0) {
+					t.Fatalf("%s: rank %d not bitwise-identical under None", v.name, r)
+				}
+			}
+			if gotWire != wantWire {
+				t.Fatalf("%s: None wire bytes %d != plain %d", v.name, gotWire, wantWire)
+			}
+		}
+	}
+}
+
+// TestCompressedFP16CloseAndCheaper: the fp16-compressed collectives
+// stay within half-precision tolerance of the uncompressed result and
+// move about half the wire bytes.
+func TestCompressedFP16CloseAndCheaper(t *testing.T) {
+	const ranks, n = 8, 4096
+	layout := tensor.FlatLayout(n)
+	vecs := randVecs(ranks, n, 7)
+
+	plain, plainWire := runCompressed(ranks, vecs, nil,
+		func(p *comm.Proc, g Group, x []float32, _ *compress.Stream) { AdasumRVH(p, g, x, layout) })
+	comp, compWire := runCompressed(ranks, vecs, compress.FP16(),
+		func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
+			CompressedAdasumRVH(p, g, x, layout, st)
+		})
+
+	// Wire bytes: the gradient payloads halve; the uncompressed float64
+	// dot-product side traffic is still there, so require >= 40% saved.
+	if float64(compWire) > 0.6*float64(plainWire) {
+		t.Fatalf("fp16 RVH wire bytes %d vs plain %d: less than 40%% saved", compWire, plainWire)
+	}
+	// Accuracy: every rank's result within a few half-precision ulps of
+	// the exact combine (values here are O(1), halves resolve ~1e-3).
+	for r := range comp {
+		for i := range comp[r] {
+			if err := math.Abs(float64(comp[r][i] - plain[r][i])); err > 2e-2 {
+				t.Fatalf("rank %d element %d: fp16 result %v vs plain %v", r, i, comp[r][i], plain[r][i])
+			}
+		}
+	}
+}
+
+// TestCompressedRingMeanClose: the ring path under int8 stays within the
+// quantization error bound of the exact mean.
+func TestCompressedRingMeanClose(t *testing.T) {
+	const ranks, n = 4, 2048
+	vecs := randVecs(ranks, n, 13)
+	plain, _ := runCompressed(ranks, vecs, nil,
+		func(p *comm.Proc, g Group, x []float32, _ *compress.Stream) { RingAllreduceMean(p, g, x) })
+	comp, _ := runCompressed(ranks, vecs, compress.Int8(0),
+		func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
+			CompressedRingAllreduceMean(p, g, x, st)
+		})
+	for r := range comp {
+		for i := range comp[r] {
+			if err := math.Abs(float64(comp[r][i] - plain[r][i])); err > 3e-2 {
+				t.Fatalf("rank %d element %d: int8 ring %v vs plain %v", r, i, comp[r][i], plain[r][i])
+			}
+		}
+	}
+}
+
+// TestCompressedTreeNonPowerOfTwo exercises the reduce-to-root plus
+// compressed-broadcast path, which only non-power-of-two groups hit.
+func TestCompressedTreeNonPowerOfTwo(t *testing.T) {
+	const ranks, n = 6, 1024
+	layout := tensor.FlatLayout(n)
+	vecs := randVecs(ranks, n, 19)
+	plain, _ := runCompressed(ranks, vecs, nil,
+		func(p *comm.Proc, g Group, x []float32, _ *compress.Stream) { TreeAdasum(p, g, x, layout) })
+	comp, _ := runCompressed(ranks, vecs, compress.FP16(),
+		func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
+			CompressedTreeAdasum(p, g, x, layout, st)
+		})
+	for r := range comp {
+		for i := range comp[r] {
+			if err := math.Abs(float64(comp[r][i] - plain[r][i])); err > 2e-2 {
+				t.Fatalf("rank %d element %d: fp16 tree %v vs plain %v", r, i, comp[r][i], plain[r][i])
+			}
+		}
+	}
+}

@@ -141,7 +141,7 @@ func reduceScatterRing(p *comm.Proc, g Group, x []float32, bounds boundsFn) []fl
 			dst[i] += got[i]
 		}
 		p.Release(got)
-		p.ComputeReduce((rhi - rlo) * 4)
+		p.ComputeReduce(4 * int64(rhi-rlo))
 	}
 	mlo, mhi := bounds(me)
 	return x[mlo:mhi]

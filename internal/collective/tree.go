@@ -46,7 +46,7 @@ func TreeAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout) {
 			} else {
 				adasum.CombineLayers(x, buf, x, layout)
 			}
-			p.ComputeReduce(5 * len(x) * 4)
+			p.ComputeReduce(5 * 4 * int64(len(x)))
 		}
 		p.Release(buf)
 		return
@@ -62,7 +62,7 @@ func TreeAdasum(p *comm.Proc, g Group, x []float32, layout tensor.Layout) {
 		if pos+d < n {
 			p.RecvInto(g[pos+d], buf)
 			adasum.CombineLayers(x, x, buf, layout)
-			p.ComputeReduce(5 * len(x) * 4)
+			p.ComputeReduce(5 * 4 * int64(len(x)))
 		}
 	}
 	p.Release(buf)

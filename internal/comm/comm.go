@@ -21,12 +21,21 @@
 // allocates nothing. The copy semantics (the caller may reuse its slice
 // immediately after Send) and the virtual-clock accounting are unchanged
 // by pooling.
+//
+// Compressed payloads ride the same substrate: SendCompressed encodes a
+// vector into wire words through a compress.Stream and transmits only
+// those, so the transfer cost, the pooled transport buffer and the
+// World's wire-byte meter all see the compressed size; RecvCompressed
+// decodes on arrival. Encode/decode passes are charged as MemCopy over
+// the uncompressed bytes.
 package comm
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/compress"
 	"repro/internal/simnet"
 )
 
@@ -44,6 +53,11 @@ type World struct {
 	// chans[src][dst] is the FIFO from src to dst on the default plane.
 	chans [][]chan message
 	pool  bufPool
+
+	// wireBytes accumulates the payload bytes of every send on any plane
+	// — for compressed sends, the compressed size. It is the byte meter
+	// the compression experiments read.
+	wireBytes atomic.Int64
 
 	// planes holds the channel matrices of the nonzero planes, created
 	// lazily by Launch. Each plane is an independent (src, dst) channel
@@ -75,7 +89,13 @@ func NewWorld(size int, model *simnet.Model) *World {
 		panic("comm: world size must be positive")
 	}
 	w := &World{size: size, model: model}
-	w.chans = makeChanMatrix(size, 1024)
+	// The collectives alternate sends with receives, so per-(src, dst)
+	// skew stays small; 64 slots is an order of magnitude of headroom.
+	// The old 1024-slot matrix allocated size² × 1024 message slots up
+	// front, which at 256 ranks exceeded the 32-bit address space (the
+	// GOARCH=386 CI leg) before a single payload moved. Capacity affects
+	// only when senders block, never the simulated times.
+	w.chans = makeChanMatrix(size, 64)
 	w.pool.init()
 	return w
 }
@@ -183,6 +203,13 @@ func (f *freeList[T]) put(b []T) {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// WireBytes returns the total payload bytes sent so far across all ranks
+// and planes — compressed sends count their compressed size.
+func (w *World) WireBytes() int64 { return w.wireBytes.Load() }
+
+// ResetWireBytes zeroes the wire-byte meter (between sweep arms).
+func (w *World) ResetWireBytes() { w.wireBytes.Store(0) }
+
 // Proc returns the handle rank r uses to communicate. Each rank must use
 // its own Proc from a single goroutine.
 func (w *World) Proc(r int) *Proc {
@@ -193,12 +220,13 @@ func (w *World) Proc(r int) *Proc {
 }
 
 // transferCost returns the simulated seconds to move n float32s (plus a
-// small float64 side payload) from src to dst.
+// small float64 side payload) from src to dst. The byte arithmetic is
+// int64 so >2 GiB payloads cannot overflow on 32-bit builds.
 func (w *World) transferCost(src, dst, nFloats, nMeta int) float64 {
 	if w.model == nil {
 		return 0
 	}
-	return w.model.Transfer(src, dst, nFloats*4+nMeta*8)
+	return w.model.Transfer(src, dst, int64(nFloats)*4+int64(nMeta)*8)
 }
 
 // Proc is one rank's endpoint: its identity, its channels, and its
@@ -233,14 +261,14 @@ func (p *Proc) SetClock(t float64) { p.clock = t }
 func (p *Proc) Compute(dt float64) { p.clock += dt }
 
 // ComputeReduce advances the clock by the model cost of reducing n bytes.
-func (p *Proc) ComputeReduce(bytes int) {
+func (p *Proc) ComputeReduce(bytes int64) {
 	if m := p.world.model; m != nil {
 		p.clock += m.Reduce(bytes)
 	}
 }
 
 // ComputeMemCopy advances the clock by the model cost of copying n bytes.
-func (p *Proc) ComputeMemCopy(bytes int) {
+func (p *Proc) ComputeMemCopy(bytes int64) {
 	if m := p.world.model; m != nil {
 		p.clock += m.MemCopy(bytes)
 	}
@@ -272,7 +300,60 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 		copy(mc, meta)
 	}
 	cost := p.world.transferCost(p.rank, dst, len(data), len(meta))
+	p.world.wireBytes.Add(int64(len(data))*4 + int64(len(meta))*8)
 	p.chans[p.rank][dst] <- message{data: dc, meta: mc, arrival: p.clock + cost}
+}
+
+// sendOwned transmits a pool-owned buffer without the defensive copy;
+// ownership moves to the receiver (who recycles it via Recv/Release as
+// usual), so the caller must not touch buf afterwards.
+func (p *Proc) sendOwned(dst int, buf []float32) {
+	if dst == p.rank {
+		panic("comm: send to self")
+	}
+	cost := p.world.transferCost(p.rank, dst, len(buf), 0)
+	p.world.wireBytes.Add(int64(len(buf)) * 4)
+	p.chans[p.rank][dst] <- message{data: buf, arrival: p.clock + cost}
+}
+
+// SendCompressed encodes data through st and transmits only the wire
+// words: the virtual clock's transfer cost, the wire-byte meter and the
+// pooled transport buffer all see the compressed payload, which is how
+// on-the-wire compression earns its simulated speedup. The encode pass
+// is charged to the sender as a MemCopy over the uncompressed bytes. st
+// carries the codec and, for error-feedback codecs, the per-site
+// residual state; a None stream degrades to a plain Send so the
+// uncompressed paths stay bitwise- and clock-identical.
+func (p *Proc) SendCompressed(dst int, data []float32, st *compress.Stream) {
+	if st == nil || compress.IsNone(st.Codec()) {
+		p.Send(dst, data)
+		return
+	}
+	c := st.Codec()
+	enc := p.world.pool.getF32(c.EncodedLen(len(data)))
+	st.Encode(enc, data)
+	p.ComputeMemCopy(int64(len(data)) * 4)
+	p.sendOwned(dst, enc)
+}
+
+// RecvCompressed receives a compressed payload from src and decodes it
+// into dst, the caller's full-size destination, advancing the clock to
+// the arrival time and charging the decode pass as a MemCopy over the
+// uncompressed bytes. With a None codec (or nil) it degrades to
+// RecvInto.
+func (p *Proc) RecvCompressed(src int, c compress.Codec, dst []float32) {
+	if compress.IsNone(c) {
+		p.RecvInto(src, dst)
+		return
+	}
+	enc, _ := p.recv(src)
+	if len(enc) != c.EncodedLen(len(dst)) {
+		panic(fmt.Sprintf("comm: RecvCompressed payload %d words, want %d for %d floats",
+			len(enc), c.EncodedLen(len(dst)), len(dst)))
+	}
+	c.Decode(dst, enc)
+	p.world.pool.putF32(enc)
+	p.ComputeMemCopy(int64(len(dst)) * 4)
 }
 
 // Recv blocks until a message from src arrives and returns its payload,

@@ -1,0 +1,275 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/float16"
+)
+
+func randVec(n int, seed int64, scale float32) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = (rng.Float32() - 0.5) * scale
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, c Codec, src []float32) []float32 {
+	t.Helper()
+	enc := make([]float32, c.EncodedLen(len(src)))
+	c.Encode(enc, src, &Workspace{})
+	dst := make([]float32, len(src))
+	c.Decode(dst, enc)
+	return dst
+}
+
+func TestNoneLossless(t *testing.T) {
+	src := randVec(1001, 1, 4)
+	got := roundTrip(t, None(), src)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("None round trip changed element %d: %v != %v", i, got[i], src[i])
+		}
+	}
+	if None().Lossy() || None().ErrorFeedback() {
+		t.Fatal("None must report lossless, no error feedback")
+	}
+}
+
+// TestFP16RoundTrip pins the fp16 codec to the reference float16
+// conversion elementwise (both even and odd payload lengths exercise
+// the word packing), and checks losslessness on exactly representable
+// values plus idempotence of re-encoding.
+func TestFP16RoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 256, 1001} {
+		src := randVec(n, int64(n)+2, 8)
+		got := roundTrip(t, FP16(), src)
+		for i := range src {
+			want := float16.ToFloat32(float16.FromFloat32(src[i]))
+			if got[i] != want {
+				t.Fatalf("n=%d: element %d = %v, want reference fp16 %v", n, i, got[i], want)
+			}
+		}
+		// Idempotence: re-encoding representable values is exact, so
+		// multi-hop collectives do not compound fp16 loss.
+		again := roundTrip(t, FP16(), got)
+		for i := range got {
+			if again[i] != got[i] {
+				t.Fatalf("n=%d: fp16 re-encode changed element %d", n, i)
+			}
+		}
+	}
+	// Exactly representable values survive unchanged.
+	exact := []float32{0, 1, -1, 0.5, 2048, -65504, 6.103515625e-05}
+	got := roundTrip(t, FP16(), exact)
+	for i := range exact {
+		if got[i] != exact[i] {
+			t.Fatalf("representable value %v decoded as %v", exact[i], got[i])
+		}
+	}
+}
+
+// TestInt8BoundedError checks the quantization error bound of the
+// block-linear codec: per block, |dec - src| <= scale/2 where
+// scale = max|v|/127 — half a quantization step.
+func TestInt8BoundedError(t *testing.T) {
+	c := Int8(64)
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		src := randVec(n, int64(n)+11, 6)
+		got := roundTrip(t, c, src)
+		for b := 0; b*64 < n; b++ {
+			lo, hi := b*64, min(b*64+64, n)
+			var maxabs float64
+			for _, v := range src[lo:hi] {
+				if a := math.Abs(float64(v)); a > maxabs {
+					maxabs = a
+				}
+			}
+			bound := maxabs/127/2 + 1e-7
+			for i := lo; i < hi; i++ {
+				if err := math.Abs(float64(got[i] - src[i])); err > bound {
+					t.Fatalf("n=%d: element %d error %v exceeds half-step bound %v", n, i, err, bound)
+				}
+			}
+		}
+	}
+	// An all-zero block decodes to exact zeros (scale 0 must not divide).
+	zeros := make([]float32, 130)
+	got := roundTrip(t, c, zeros)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("zero block decoded nonzero at %d: %v", i, v)
+		}
+	}
+}
+
+// TestTopKKeepsLargest checks that the sparsifier keeps exactly the
+// k largest-magnitude entries with their exact float32 values and
+// decodes everything else to zero, with deterministic index-order tie
+// breaking.
+func TestTopKKeepsLargest(t *testing.T) {
+	src := []float32{0.1, -5, 0.3, 4, -0.2, 0.3, 2, -0.05}
+	c := TopK(0.5, false) // k = 4
+	got := roundTrip(t, c, src)
+	want := []float32{0, -5, 0, 4, 0, 0.3, 2, 0}
+	// |−5|, |4|, |2| are the top 3; the two 0.3 magnitudes tie for the
+	// fourth slot and the lower index wins... indices 2 and 5 hold 0.3;
+	// index 2 is kept.
+	want[2], want[5] = 0.3, 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v (got %v)", i, got[i], want[i], got)
+		}
+	}
+	// All-equal magnitudes: the k lowest indices are kept.
+	eq := []float32{1, -1, 1, -1, 1, -1}
+	got = roundTrip(t, TopK(0.5, false), eq) // k = 3
+	for i := range eq {
+		if i < 3 && got[i] != eq[i] {
+			t.Fatalf("tie break dropped low index %d", i)
+		}
+		if i >= 3 && got[i] != 0 {
+			t.Fatalf("tie break kept high index %d", i)
+		}
+	}
+}
+
+func TestEncodedLenWireSavings(t *testing.T) {
+	const n = 100000
+	full := n
+	if got := FP16().EncodedLen(n); got != (n+1)/2 {
+		t.Fatalf("fp16 encoded len %d", got)
+	}
+	for _, c := range []Codec{FP16(), Int8(0), TopK(0.1, true)} {
+		if got := c.EncodedLen(n); float64(got) > 0.6*float64(full) {
+			t.Fatalf("%s encodes %d floats to %d words, want >= 40%% savings", c, n, got)
+		}
+	}
+	for _, c := range []Codec{None(), FP16(), Int8(0), Int8(7), TopK(0.3, false)} {
+		if got := c.EncodedLen(0); got != 0 {
+			t.Fatalf("%s EncodedLen(0) = %d", c, got)
+		}
+	}
+}
+
+// TestStreamErrorFeedbackAccumulates is the error-feedback property:
+// encoding the same gradient through one stream site step after step,
+// the cumulative decoded mass converges to the cumulative true mass —
+// nothing is permanently dropped — whereas naive dropping loses the
+// small coordinates forever.
+func TestStreamErrorFeedbackAccumulates(t *testing.T) {
+	src := randVec(256, 33, 2)
+	c := TopK(0.1, true)
+	st := NewStream(c)
+	enc := make([]float32, c.EncodedLen(len(src)))
+	dec := make([]float32, len(src))
+	cum := make([]float64, len(src))
+	// Long horizon: in steady state a coordinate of magnitude m flushes
+	// its residual roughly every Σ|src|/(k·m) steps, so the smallest
+	// still-flushing coordinates need a few hundred steps to leave the
+	// transient.
+	const steps = 400
+	for s := 0; s < steps; s++ {
+		st.Begin()
+		st.Encode(enc, src)
+		c.Decode(dec, enc)
+		for i, v := range dec {
+			cum[i] += float64(v)
+		}
+	}
+	// Per coordinate, the cumulative transmitted value may lag the true
+	// cumulative value by at most the residual still in flight, which is
+	// bounded: after T steps the mean error vanishes as 1/T.
+	for i := range src {
+		meanErr := math.Abs(cum[i]/steps - float64(src[i]))
+		if meanErr > math.Abs(float64(src[i]))/4+0.05 {
+			t.Fatalf("coordinate %d: mean transmitted %v vs true %v", i, cum[i]/steps, src[i])
+		}
+	}
+	// The naive codec drops the same small coordinates every step.
+	naive := TopK(0.1, false)
+	gotNaive := roundTrip(t, naive, src)
+	dropped := 0
+	for _, v := range gotNaive {
+		if v == 0 {
+			dropped++
+		}
+	}
+	if dropped < len(src)*8/10 {
+		t.Fatalf("naive top-0.1 dropped only %d of %d", dropped, len(src))
+	}
+}
+
+// TestStreamQuantizeNoopForLossless: Quantize must leave the payload
+// untouched for lossless codecs (the bitwise-identity requirement of
+// the None path).
+func TestStreamQuantizeNoopForLossless(t *testing.T) {
+	src := randVec(100, 9, 3)
+	orig := append([]float32(nil), src...)
+	st := NewStream(None())
+	st.Begin()
+	st.Quantize(src)
+	for i := range src {
+		if src[i] != orig[i] {
+			t.Fatalf("None Quantize changed element %d", i)
+		}
+	}
+}
+
+// TestStreamSiteLengthChangePanics pins the misuse guard: a stream's
+// step program must present the same payload lengths in the same order
+// every step.
+func TestStreamSiteLengthChangePanics(t *testing.T) {
+	c := TopK(0.5, true)
+	st := NewStream(c)
+	st.Begin()
+	st.Encode(make([]float32, c.EncodedLen(8)), make([]float32, 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("site length change did not panic")
+		}
+	}()
+	st.Begin()
+	st.Encode(make([]float32, c.EncodedLen(6)), make([]float32, 6))
+}
+
+// TestNonFiniteGradientsPropagateLoudly: a diverging run's Inf/NaN must
+// not be silently quantized away. Int8 poisons the containing block to
+// NaN; TopK always selects non-finite entries (their sign-stripped bit
+// patterns order above every finite magnitude) and transmits them
+// exactly, with no selection corruption or decode panic.
+func TestNonFiniteGradientsPropagateLoudly(t *testing.T) {
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+
+	// Int8: the block holding the Inf decodes entirely to NaN; the clean
+	// block is unaffected.
+	src := randVec(128, 3, 2)
+	src[5] = inf
+	got := roundTrip(t, Int8(64), src)
+	for i := 0; i < 64; i++ {
+		if !math.IsNaN(float64(got[i])) {
+			t.Fatalf("int8: element %d of poisoned block decoded to %v, want NaN", i, got[i])
+		}
+	}
+	for i := 64; i < 128; i++ {
+		if math.IsNaN(float64(got[i])) || math.IsInf(float64(got[i]), 0) {
+			t.Fatalf("int8: clean block polluted at %d: %v", i, got[i])
+		}
+	}
+
+	// TopK: both non-finite entries survive the round trip verbatim.
+	src = randVec(100, 4, 1)
+	src[10] = inf
+	src[20] = nan
+	got = roundTrip(t, TopK(0.05, false), src) // k = 5
+	if !math.IsInf(float64(got[10]), 1) {
+		t.Fatalf("topk dropped the Inf: got %v", got[10])
+	}
+	if !math.IsNaN(float64(got[20])) {
+		t.Fatalf("topk dropped the NaN: got %v", got[20])
+	}
+}

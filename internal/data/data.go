@@ -43,17 +43,22 @@ func (d *Dataset) Batch(indices []int) ([]float32, []int) {
 
 // Shard returns the contiguous 1/size slice of the dataset assigned to
 // rank, the way Horovod users partition data across workers (§4.1: "the
-// user is responsible for partitioning data across nodes"). The returned
-// dataset views the parent's storage.
+// user is responsible for partitioning data across nodes"). The N % size
+// leftover samples are spread one each over the first N % size ranks, so
+// shard sizes differ by at most one (piling the whole remainder onto the
+// last rank would skew its per-epoch step count — at N=1000, size=64
+// the old scheme gave the last worker 55 samples against everyone
+// else's 15). The returned dataset views the parent's storage.
 func (d *Dataset) Shard(rank, size int) *Dataset {
 	if rank < 0 || rank >= size {
 		panic(fmt.Sprintf("data: shard rank %d out of range [0,%d)", rank, size))
 	}
 	per := d.N / size
-	lo := rank * per
+	rem := d.N % size
+	lo := rank*per + min(rank, rem)
 	hi := lo + per
-	if rank == size-1 {
-		hi = d.N
+	if rank < rem {
+		hi++
 	}
 	return &Dataset{
 		X:       d.X[lo*d.Dim : hi*d.Dim],

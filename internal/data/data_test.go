@@ -113,26 +113,44 @@ func classMeans(d *Dataset) [][]float32 {
 	return means
 }
 
+// TestShardPartition is the shard-balance property: for any (N, size),
+// shard sizes differ by at most one, shards are contiguous, and their
+// union covers the dataset exactly once. The N=1000, size=64 case is the
+// skew the old scheme exhibited (last worker got 55 samples against
+// everyone else's 15).
 func TestShardPartition(t *testing.T) {
-	d := Generate(Config{N: 103, Dim: 2, Classes: 3, Noise: 0.1, Seed: 6})
-	total := 0
-	seen := map[int]bool{}
-	for r := 0; r < 4; r++ {
-		s := d.Shard(r, 4)
-		total += s.N
-		for i := 0; i < s.N; i++ {
-			x, _ := s.Sample(i)
-			// Identify sample by address offset within parent storage.
-			_ = x
+	for _, tc := range []struct{ n, size int }{
+		{103, 4}, {1000, 64}, {64, 64}, {65, 64}, {7, 3}, {512, 1}, {100, 100},
+	} {
+		d := Generate(Config{N: tc.n, Dim: 2, Classes: 3, Noise: 0.1, Seed: 6})
+		total := 0
+		minN, maxN := tc.n, 0
+		cursor := 0
+		for r := 0; r < tc.size; r++ {
+			s := d.Shard(r, tc.size)
+			total += s.N
+			if s.N < minN {
+				minN = s.N
+			}
+			if s.N > maxN {
+				maxN = s.N
+			}
+			// Contiguity: each shard must view the parent's storage
+			// starting exactly where the previous shard ended.
+			if s.N > 0 {
+				if &s.X[0] != &d.X[cursor*d.Dim] {
+					t.Fatalf("N=%d size=%d: shard %d does not start at sample %d", tc.n, tc.size, r, cursor)
+				}
+			}
+			cursor += s.N
 		}
-		if r < 3 && s.N != 25 {
-			t.Fatalf("shard %d size %d, want 25", r, s.N)
+		if total != tc.n {
+			t.Fatalf("N=%d size=%d: shards cover %d samples", tc.n, tc.size, total)
+		}
+		if maxN-minN > 1 {
+			t.Fatalf("N=%d size=%d: shard sizes range [%d, %d], want spread <= 1", tc.n, tc.size, minN, maxN)
 		}
 	}
-	if total != 103 {
-		t.Fatalf("shards cover %d of 103", total)
-	}
-	_ = seen
 }
 
 func TestShardViewsParent(t *testing.T) {

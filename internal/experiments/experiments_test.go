@@ -140,3 +140,49 @@ func TestFig1ShapeQuick(t *testing.T) {
 		t.Fatal("no per-layer series recorded")
 	}
 }
+
+// TestRunCompressionQuick is the acceptance gate of the compressed-
+// communication subsystem: every lossy codec must cut charged wire
+// bytes by at least 40% against the uncompressed overlapped step, the
+// error-feedback top-k arm must reach the target accuracy on the
+// quickstart config, and naive dropping must not within the same
+// budget.
+func TestRunCompressionQuick(t *testing.T) {
+	r := RunCompression(ScaleQuick)
+	if len(r.Codecs) < 5 || r.Codecs[0] != "none" {
+		t.Fatalf("unexpected codec arms %v", r.Codecs)
+	}
+	idx := func(name string) int {
+		for i, c := range r.Codecs {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("codec %s missing from sweep %v", name, r.Codecs)
+		return -1
+	}
+	for _, name := range []string{"fp16", "int8/1024", "topk/0.01+ef"} {
+		i := idx(name)
+		if r.WireReduction[i] < 0.4 {
+			t.Fatalf("%s saves only %.0f%% wire bytes, want >= 40%%", name, r.WireReduction[i]*100)
+		}
+		if r.StepSec[i] >= r.StepSec[0] {
+			t.Fatalf("%s step %v not below uncompressed %v", name, r.StepSec[i], r.StepSec[0])
+		}
+	}
+	// The uncompressed baseline and the mildly lossy codecs converge.
+	for _, name := range []string{"none", "fp16", "int8/1024"} {
+		if i := idx(name); r.StepsToTarget[i] <= 0 {
+			t.Fatalf("%s never reached the target (acc %v)", name, r.FinalAccuracy[i])
+		}
+	}
+	// Error feedback is what makes 1% sparsification trainable: the EF
+	// arm converges, naive dropping does not within the budget.
+	ef, naive := idx("topk/0.01+ef"), idx("topk/0.01")
+	if r.StepsToTarget[ef] <= 0 {
+		t.Fatalf("top-k with error feedback never converged (acc %v)", r.FinalAccuracy[ef])
+	}
+	if r.StepsToTarget[naive] > 0 {
+		t.Fatalf("naive top-k converged at step %d; the EF-vs-naive separation collapsed", r.StepsToTarget[naive])
+	}
+}

@@ -25,9 +25,101 @@ const (
 	MinSubnormal = 5.9604644775390625e-08
 )
 
+// Conversion tables. Software half precision is the hot path of the
+// compressed-communication subsystem (every fp16 wire hop encodes and
+// decodes full gradient payloads), so both directions are table-driven:
+//
+//   - encoding indexes 512-entry tables by the float32's sign+exponent
+//     byte, replacing the per-value branch tree of the reference
+//     implementation with one shift/add plus the round-to-nearest-even
+//     fixup (which must inspect the mantissa and cannot be tabled);
+//   - decoding is a straight 65536-entry lookup.
+//
+// The tables are built at init from the reference conversions below, so
+// they are exact by construction; the test suite additionally pins the
+// fast paths to the references exhaustively (decode) and across the
+// exponent boundaries (encode).
+var (
+	encBase  [512]uint16 // half bits before the mantissa contribution
+	encShift [512]uint8  // mantissa right shift; encNoMant = no mantissa/rounding
+	encImp   [512]uint32 // implicit-bit addend for subnormal halves
+	decTable [1 << 16]float32
+)
+
+// encNoMant marks sign+exponent classes whose result ignores the
+// mantissa entirely (zero underflow and overflow→inf); NaNs are the one
+// exception, branched on explicitly.
+const encNoMant = 31
+
+func init() {
+	for s := 0; s < 2; s++ {
+		sign := uint16(s << 15)
+		for exp := 0; exp < 256; exp++ {
+			i := s<<8 | exp
+			e := exp - 127 + expBias
+			switch {
+			case exp == 0xFF: // inf and NaN (NaN payload handled out of line)
+				encBase[i] = sign | expMask
+				encShift[i] = encNoMant
+			case e >= maxExp: // overflow -> inf
+				encBase[i] = sign | expMask
+				encShift[i] = encNoMant
+			case e >= 1: // normal half
+				encBase[i] = sign | uint16(e<<10)
+				encShift[i] = 13
+			case e >= -10: // subnormal half
+				encBase[i] = sign
+				encShift[i] = uint8(14 - e)
+				encImp[i] = 0x800000
+			default: // underflow -> signed zero
+				encBase[i] = sign
+				encShift[i] = encNoMant
+			}
+		}
+	}
+	for i := range decTable {
+		decTable[i] = toFloat32Ref(Bits(i))
+	}
+}
+
 // FromFloat32 converts a float32 to the nearest binary16, with
-// round-to-nearest-even. Values beyond ±65504 become infinities.
+// round-to-nearest-even. Values beyond ±65504 become infinities. It is
+// the table-driven form of fromFloat32Ref and bit-identical to it.
 func FromFloat32(f float32) Bits {
+	b := math.Float32bits(f)
+	i := b >> 23 // sign+exponent byte
+	shift := encShift[i]
+	if shift == encNoMant {
+		return fromFloat32NoMant(b, i)
+	}
+	m := (b & 0x7FFFFF) + encImp[i]
+	half := uint32(encBase[i]) + m>>shift
+	// Round to nearest even on the truncated bits; the increment may
+	// carry into the exponent (subnormal -> normal, normal -> inf),
+	// which is correct rounding. The branchless fixup adds 1 when
+	// rem > halfway, and when rem == halfway it adds the result's own
+	// low bit (ties go to even).
+	rem := m & (1<<shift - 1)
+	halfway := uint32(1) << (shift - 1)
+	half += (halfway - 1 + rem + (half & 1)) >> shift
+	return Bits(half)
+}
+
+// fromFloat32NoMant finishes the conversions whose result ignores the
+// mantissa — underflow to signed zero and overflow to infinity — plus
+// the NaN payload case, keeping the hot path above small enough to
+// inline into the bulk encode loops.
+func fromFloat32NoMant(b, i uint32) Bits {
+	if i&0xFF == 0xFF && b&0x7FFFFF != 0 {
+		// Preserve a quiet NaN with some payload bits.
+		return Bits(uint32(encBase[i]) | 0x0200 | (b&0x7FFFFF)>>13)
+	}
+	return Bits(encBase[i])
+}
+
+// fromFloat32Ref is the branch-tree reference conversion the tables are
+// validated against.
+func fromFloat32Ref(f float32) Bits {
 	b := math.Float32bits(f)
 	sign := uint16(b>>16) & signMask
 	exp := int32(b>>23) & 0xFF
@@ -74,8 +166,12 @@ func FromFloat32(f float32) Bits {
 }
 
 // ToFloat32 converts a binary16 bit pattern to float32 exactly (every
-// half value is representable in single precision).
-func ToFloat32(h Bits) float32 {
+// half value is representable in single precision), by table lookup.
+func ToFloat32(h Bits) float32 { return decTable[h] }
+
+// toFloat32Ref is the algorithmic reference conversion that builds the
+// decode table.
+func toFloat32Ref(h Bits) float32 {
 	sign := uint32(h&signMask) << 16
 	exp := uint32(h&expMask) >> 10
 	frac := uint32(h & fracMask)

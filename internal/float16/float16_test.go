@@ -217,3 +217,46 @@ func TestDotNormsMatchesUnfusedF16(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeTableExhaustive pins the table-driven ToFloat32 to the
+// algorithmic reference over every one of the 65536 half patterns.
+func TestDecodeTableExhaustive(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		h := Bits(i)
+		got, want := ToFloat32(h), toFloat32Ref(h)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("half %04x: table %08x, reference %08x", i,
+				math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}
+
+// TestEncodeTableMatchesReference pins the table-driven FromFloat32 to
+// the branch-tree reference across every exponent (with mantissa
+// patterns that exercise the rounding fixups: all-zeros, all-ones,
+// exact halfway, halfway±1) plus millions of random bit patterns.
+func TestEncodeTableMatchesReference(t *testing.T) {
+	check := func(bits uint32) {
+		f := math.Float32frombits(bits)
+		if got, want := FromFloat32(f), fromFloat32Ref(f); got != want {
+			t.Fatalf("float bits %08x: table %04x, reference %04x", bits, got, want)
+		}
+	}
+	for s := uint32(0); s < 2; s++ {
+		for exp := uint32(0); exp < 256; exp++ {
+			base := s<<31 | exp<<23
+			for _, frac := range []uint32{
+				0, 1, 0x7FFFFF, 0x400000,
+				0x0FFF, 0x1000, 0x1001, 0x2000, 0x3000, // 13-bit rounding edges
+				0x1FFF, 0x3FFF, 0x7FFF, 0xFFFF, // subnormal shift edges
+				0x555555, 0x2AAAAA,
+			} {
+				check(base | frac)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 2_000_000; i++ {
+		check(rng.Uint32())
+	}
+}

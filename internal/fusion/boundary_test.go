@@ -1,0 +1,121 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// assertSameGroups fails unless the streamed and batch bucketings agree
+// on member lists, layouts and packed data.
+func assertSameGroups(t *testing.T, label string, got []*Group, want []Group) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i].Members) != len(want[i].Members) {
+			t.Fatalf("%s group %d: members %v, want %v", label, i, got[i].Members, want[i].Members)
+		}
+		for j, m := range want[i].Members {
+			if got[i].Members[j] != m {
+				t.Fatalf("%s group %d: members %v, want %v", label, i, got[i].Members, want[i].Members)
+			}
+			if got[i].Layout.Size(j) != want[i].Layout.Size(j) ||
+				got[i].Layout.Name(j) != want[i].Layout.Name(j) {
+				t.Fatalf("%s group %d member %d: layout (%q, %d), want (%q, %d)", label, i, j,
+					got[i].Layout.Name(j), got[i].Layout.Size(j),
+					want[i].Layout.Name(j), want[i].Layout.Size(j))
+			}
+		}
+		if !tensor.Equal(got[i].Data, want[i].Data, 0) {
+			t.Fatalf("%s group %d: data mismatch", label, i)
+		}
+	}
+}
+
+// TestBoundaryEquivalenceEdgeCases pins Packer/Fuse agreement on the
+// boundary shapes that exercise the flush guard: zero-length tensors at
+// the front, in the middle and at the end; an oversized leading tensor;
+// an oversized tensor right after a run of zero-length tensors; and a
+// bucket that is exactly at threshold.
+func TestBoundaryEquivalenceEdgeCases(t *testing.T) {
+	const threshold = 256 // 64 floats
+	cases := []struct {
+		name  string
+		sizes []int
+	}{
+		{"leading-oversized", []int{100, 10, 10}},
+		{"oversized-after-empty", []int{0, 0, 100, 10}},
+		{"empty-only", []int{0, 0, 0}},
+		{"empty-between", []int{30, 0, 30, 0, 30}},
+		{"trailing-empty", []int{40, 40, 0}},
+		{"exact-threshold", []int{64, 64, 64}},
+		{"oversized-everywhere", []int{100, 0, 200, 100}},
+	}
+	for _, tc := range cases {
+		ts, names := mkTensors(int64(len(tc.sizes)), tc.sizes)
+		want := Fuse(ts, names, threshold)
+		got := packAll(NewPacker(threshold), ts, names)
+		assertSameGroups(t, tc.name, got, want)
+	}
+}
+
+// TestOversizedTravelsAloneAfterEmpties pins the contract the member-
+// count guard restores: a tensor larger than the threshold gets its own
+// bucket even when the pending bucket holds only zero-length tensors
+// (whose byte count is zero).
+func TestOversizedTravelsAloneAfterEmpties(t *testing.T) {
+	ts, names := mkTensors(3, []int{0, 0, 100})
+	for _, groups := range [][]*Group{
+		packAll(NewPacker(256), ts, names),
+		groupPtrs(Fuse(ts, names, 256)),
+	} {
+		if len(groups) != 2 {
+			t.Fatalf("got %d groups, want 2 (empties, then the oversized tensor alone)", len(groups))
+		}
+		if len(groups[0].Members) != 2 || len(groups[0].Data) != 0 {
+			t.Fatalf("first group should hold the two empties, got members %v", groups[0].Members)
+		}
+		if len(groups[1].Members) != 1 || len(groups[1].Data) != 100 {
+			t.Fatalf("oversized tensor does not travel alone: members %v", groups[1].Members)
+		}
+	}
+}
+
+// TestBoundaryEquivalenceRandomized fuzzes the equivalence across random
+// size sequences (zero-length and oversized tensors included) and
+// thresholds.
+func TestBoundaryEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		sizes := make([]int, n)
+		for i := range sizes {
+			switch rng.Intn(4) {
+			case 0:
+				sizes[i] = 0
+			case 1:
+				sizes[i] = 1 + rng.Intn(32)
+			case 2:
+				sizes[i] = 1 + rng.Intn(200)
+			default:
+				sizes[i] = 300 + rng.Intn(300) // oversized for small thresholds
+			}
+		}
+		threshold := 4 * (1 + rng.Intn(400))
+		ts, names := mkTensors(int64(trial), sizes)
+		want := Fuse(ts, names, threshold)
+		got := packAll(NewPacker(threshold), ts, names)
+		assertSameGroups(t, "randomized", got, want)
+	}
+}
+
+func groupPtrs(gs []Group) []*Group {
+	out := make([]*Group, len(gs))
+	for i := range gs {
+		out[i] = &gs[i]
+	}
+	return out
+}

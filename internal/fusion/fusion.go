@@ -22,8 +22,9 @@ type Group struct {
 	Members []int // indices into the original tensor list
 }
 
-// Bytes returns the payload size of the fused buffer.
-func (g *Group) Bytes() int { return len(g.Data) * 4 }
+// Bytes returns the payload size of the fused buffer, as int64 so cost
+// accounting of >2 GiB buckets stays exact on 32-bit builds.
+func (g *Group) Bytes() int64 { return 4 * int64(len(g.Data)) }
 
 // Fuse packs the named tensors into groups of at most thresholdBytes
 // each (a single tensor larger than the threshold gets its own group,
@@ -57,7 +58,12 @@ func Fuse(tensors [][]float32, names []string, thresholdBytes int) []Group {
 
 	for i, t := range tensors {
 		b := len(t) * 4
-		if curBytes > 0 && curBytes+b > thresholdBytes {
+		// Flush on any pending members, not pending bytes: a bucket of
+		// zero-length tensors must not absorb a following oversized
+		// tensor, which the documented contract says travels alone.
+		// Packer.Ready applies the identical rule so the streamed and
+		// batch boundaries agree on this edge too.
+		if len(curMembers) > 0 && curBytes+b > thresholdBytes {
 			flush()
 		}
 		curNames = append(curNames, names[i])

@@ -47,7 +47,10 @@ func NewPacker(thresholdBytes int) *Packer {
 // Fuse, a single tensor larger than the threshold travels alone.
 func (pk *Packer) Ready(member int, name string, t []float32) *Group {
 	var out *Group
-	if b := len(t) * 4; pk.curBytes > 0 && pk.curBytes+b > pk.threshold {
+	// Member-count guard, matching Fuse: a pending bucket of zero-length
+	// tensors (curBytes == 0) still flushes before an oversized tensor,
+	// so the oversized tensor travels alone on both paths.
+	if b := len(t) * 4; len(pk.curMembers) > 0 && pk.curBytes+b > pk.threshold {
 		out = pk.flush()
 	}
 	pk.curTensors = append(pk.curTensors, t)
@@ -112,13 +115,15 @@ func (pk *Packer) flush() *Group {
 }
 
 // shapeMatches reports whether the cached skeleton already describes the
-// pending bucket (same members, same sizes).
+// pending bucket (same members, same sizes, same names — names feed the
+// fused Layout, which must not go stale when a caller renames tensors
+// between steps).
 func (pk *Packer) shapeMatches(g *Group) bool {
 	if len(g.Members) != len(pk.curMembers) {
 		return false
 	}
 	for i, m := range pk.curMembers {
-		if g.Members[i] != m || g.Layout.Size(i) != pk.curSizes[i] {
+		if g.Members[i] != m || g.Layout.Size(i) != pk.curSizes[i] || g.Layout.Name(i) != pk.curNames[i] {
 			return false
 		}
 	}

@@ -1,0 +1,145 @@
+package overlap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// runStepWire is runStep also returning the World's wire-byte meter.
+func runStepWire(ranks int, model *simnet.Model, opt Options, grads [][]float32) (results [][]float32, sec float64, wire int64, clocks []float64) {
+	w := comm.NewWorld(ranks, model)
+	engines := make([]*Engine, ranks)
+	for r := range engines {
+		engines[r] = New(opt)
+	}
+	results = make([][]float32, ranks)
+	clocks = make([]float64, ranks)
+	sec = comm.MaxClock(w, func(p *comm.Proc) {
+		x := tensor.Clone(grads[p.Rank()])
+		engines[p.Rank()].Step(p, x)
+		results[p.Rank()] = x
+		clocks[p.Rank()] = p.Clock()
+	})
+	return results, sec, w.WireBytes(), clocks
+}
+
+// TestCompressionNoneBitwiseAndClockIdentical is the engine-level A/B
+// pin: Compression = None (or nil) must leave the engine bitwise- AND
+// virtual-clock-identical to the pre-codec code paths, for every
+// algorithm in both sync and overlap modes.
+func TestCompressionNoneBitwiseAndClockIdentical(t *testing.T) {
+	const ranks = 8
+	layout := testLayout()
+	grads := randGrads(ranks, layout, 77)
+	model := simnet.TCP40(ranks)
+	for _, algo := range []Algo{AlgoTree, AlgoRVH, AlgoRingSum} {
+		for _, overlapOn := range []bool{false, true} {
+			base := Options{
+				Group: collective.WorldGroup(ranks), Layout: layout,
+				FusionBytes: 4096, Algo: algo, Overlap: overlapOn,
+				StepSeconds: 1e-3,
+			}
+			withNone := base
+			withNone.Compression = compress.None()
+			want, wantSec, wantWire, wantClocks := runStepWire(ranks, model, base, grads)
+			got, gotSec, gotWire, gotClocks := runStepWire(ranks, model, withNone, grads)
+			for r := range got {
+				if !tensor.Equal(got[r], want[r], 0) {
+					t.Fatalf("%v overlap=%v: rank %d result differs under Compression=None", algo, overlapOn, r)
+				}
+				if gotClocks[r] != wantClocks[r] {
+					t.Fatalf("%v overlap=%v: rank %d clock %v != %v under Compression=None",
+						algo, overlapOn, r, gotClocks[r], wantClocks[r])
+				}
+			}
+			if gotSec != wantSec || gotWire != wantWire {
+				t.Fatalf("%v overlap=%v: step sec/wire (%v, %d) != (%v, %d) under Compression=None",
+					algo, overlapOn, gotSec, gotWire, wantSec, wantWire)
+			}
+		}
+	}
+}
+
+// TestCompressedOverlapBitwiseEqualsSync extends the central overlap
+// property to lossy codecs: sync and overlapped runs execute the same
+// deterministic per-bucket programs (and the same error-feedback site
+// sequences), so their results stay bitwise-identical even though each
+// is lossy with respect to the uncompressed combine.
+func TestCompressedOverlapBitwiseEqualsSync(t *testing.T) {
+	const ranks = 4
+	layout := testLayout()
+	grads := randGrads(ranks, layout, 5)
+	for _, codec := range []compress.Codec{compress.FP16(), compress.Int8(0), compress.TopK(0.1, true)} {
+		for _, algo := range []Algo{AlgoTree, AlgoRVH, AlgoRingSum} {
+			mk := func(overlapOn bool) Options {
+				return Options{
+					Group: collective.WorldGroup(ranks), Layout: layout,
+					FusionBytes: 4096, Algo: algo, Overlap: overlapOn,
+					StepSeconds: 1e-3, Compression: codec,
+				}
+			}
+			syncRes, _, _, _ := runStepWire(ranks, simnet.TCP40(ranks), mk(false), grads)
+			overRes, _, _, _ := runStepWire(ranks, simnet.TCP40(ranks), mk(true), grads)
+			for r := range syncRes {
+				if !tensor.Equal(syncRes[r], overRes[r], 0) {
+					t.Fatalf("%s %v: rank %d sync/overlap results differ", codec, algo, r)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedStepCutsWireAndTime: under every lossy codec the engine
+// moves at least 40% fewer charged wire bytes than the uncompressed
+// step, and on the communication-bound TCP cluster that shows up as a
+// faster simulated step.
+func TestCompressedStepCutsWireAndTime(t *testing.T) {
+	const ranks = 8
+	layout := testLayout()
+	grads := randGrads(ranks, layout, 23)
+	base := Options{
+		Group: collective.WorldGroup(ranks), Layout: layout,
+		FusionBytes: 4096, Algo: AlgoRVH, Overlap: true,
+	}
+	_, baseSec, baseWire, _ := runStepWire(ranks, simnet.TCP40(ranks), base, grads)
+	for _, codec := range []compress.Codec{compress.FP16(), compress.Int8(0), compress.TopK(0.05, true)} {
+		opt := base
+		opt.Compression = codec
+		_, sec, wire, _ := runStepWire(ranks, simnet.TCP40(ranks), opt, grads)
+		if float64(wire) > 0.6*float64(baseWire) {
+			t.Fatalf("%s: wire bytes %d vs uncompressed %d — less than 40%% saved", codec, wire, baseWire)
+		}
+		if sec >= baseSec {
+			t.Fatalf("%s: compressed step %v not faster than uncompressed %v", codec, sec, baseSec)
+		}
+	}
+}
+
+// TestCompressedStepAccuracy: a single fp16-compressed engine step stays
+// within half-precision tolerance of the exact bucketed combine.
+func TestCompressedStepAccuracy(t *testing.T) {
+	const ranks = 4
+	layout := testLayout()
+	grads := randGrads(ranks, layout, 31)
+	base := Options{
+		Group: collective.WorldGroup(ranks), Layout: layout,
+		FusionBytes: 4096, Algo: AlgoTree, Overlap: true,
+	}
+	exact, _, _, _ := runStepWire(ranks, nil, base, grads)
+	opt := base
+	opt.Compression = compress.FP16()
+	got, _, _, _ := runStepWire(ranks, nil, opt, grads)
+	for r := range got {
+		for i := range got[r] {
+			if err := math.Abs(float64(got[r][i] - exact[r][i])); err > 2e-2 {
+				t.Fatalf("rank %d element %d: fp16 engine %v vs exact %v", r, i, got[r][i], exact[r][i])
+			}
+		}
+	}
+}

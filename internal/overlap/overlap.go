@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/fusion"
 	"repro/internal/tensor"
 )
@@ -87,6 +88,15 @@ type Options struct {
 	// (LocalSteps > 1) reduction whose backprop cannot overlap with this
 	// step's communication.
 	PreSeconds float64
+	// Compression is the wire codec applied at bucket granularity: each
+	// fused bucket is quantized once at launch (error-feedback codecs
+	// carry the dropped remainder to the next step, per rank and per
+	// bucket slot), and the bucket's collective encodes every hop's
+	// payload so transfer costs, pool traffic and the wire-byte meter
+	// see compressed sizes. Encode and decode passes are charged through
+	// the cost model's MemCopy. nil or compress.None() leaves the engine
+	// bitwise- and clock-identical to the uncompressed substrate.
+	Compression compress.Codec
 }
 
 // Engine is one rank's bucket scheduler. It owns the per-rank packer,
@@ -96,15 +106,22 @@ type Options struct {
 // everywhere. An Engine is not safe for concurrent use.
 type Engine struct {
 	opt      Options
+	codec    compress.Codec // nil when uncompressed
 	packer   *fusion.Packer
 	layerSec []float64   // backward seconds per layer
 	slices   [][]float32 // per-step layer views of x, for unfusing
 	pending  []pendingOp
+	// streams holds this rank's per-bucket-slot compression state,
+	// indexed by launch order within a step; bucket sequences repeat
+	// across steps, so slot i's error-feedback residuals always belong
+	// to the same semantic bucket.
+	streams []*compress.Stream
 }
 
 type pendingOp struct {
-	h *comm.Handle
-	g *fusion.Group
+	h  *comm.Handle
+	g  *fusion.Group
+	st *compress.Stream
 }
 
 // New builds an Engine for one rank.
@@ -128,8 +145,13 @@ func New(opt Options) *Engine {
 			layerSec[l] = opt.StepSeconds * float64(opt.Layout.Size(l)) / float64(total)
 		}
 	}
+	codec := opt.Compression
+	if compress.IsNone(codec) {
+		codec = nil // the uncompressed fast paths key off nil
+	}
 	return &Engine{
 		opt:      opt,
+		codec:    codec,
 		packer:   fusion.NewPacker(opt.FusionBytes),
 		layerSec: layerSec,
 		slices:   make([][]float32, opt.Layout.NumLayers()),
@@ -165,41 +187,70 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 		e.launch(p, g)
 	}
 	// Join: drain buckets in launch order, unfusing each reduced buffer
-	// back into its layers' home slices.
+	// back into its layers' home slices. Compressed buckets pay one more
+	// MemCopy for the decode that materializes the dense result.
 	for _, op := range e.pending {
 		op.h.Wait(p)
+		if op.st != nil {
+			p.ComputeMemCopy(op.g.Bytes())
+		}
 		p.ComputeMemCopy(op.g.Bytes())
 		op.g.Unfuse(e.slices)
 	}
 }
 
-// launch ships one fused bucket: the pack copy is charged to the rank,
-// then the bucket's collective starts on its own plane, chained after
-// the previous bucket (one serialized comm stream per rank). In
-// synchronous mode the rank blocks until the bucket completes.
+// launch ships one fused bucket: the pack copy is charged to the rank;
+// under a compression codec the bucket is then quantized in place at
+// source (one charged encode pass, with error feedback against this
+// rank's slot residual); and the bucket's collective starts on its own
+// plane, chained after the previous bucket (one serialized comm stream
+// per rank). In synchronous mode the rank blocks until the bucket
+// completes.
 func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	p.ComputeMemCopy(g.Bytes())
+	var st *compress.Stream
+	if e.codec != nil {
+		st = e.stream(len(e.pending))
+		st.Begin()
+		st.Quantize(g.Data)
+		p.ComputeMemCopy(g.Bytes())
+	}
 	var after *comm.Handle
 	if n := len(e.pending); n > 0 {
 		after = e.pending[n-1].h
 	}
 	plane := len(e.pending) + 1
 	h := p.Launch(plane, after, func(ap *comm.Proc) {
-		e.reduceBucket(ap, g)
+		e.reduceBucket(ap, g, st)
 	})
-	e.pending = append(e.pending, pendingOp{h: h, g: g})
+	e.pending = append(e.pending, pendingOp{h: h, g: g, st: st})
 	if !e.opt.Overlap {
 		h.Wait(p)
 	}
 }
 
-func (e *Engine) reduceBucket(ap *comm.Proc, g *fusion.Group) {
+// stream returns this rank's compression state for bucket slot i,
+// creating it on first use. The engine's join-before-next-step ordering
+// guarantees a slot's previous collective finished before the slot is
+// reused, so the stream hand-off between the rank goroutine and its
+// async op is race-free.
+func (e *Engine) stream(i int) *compress.Stream {
+	for len(e.streams) <= i {
+		e.streams = append(e.streams, compress.NewStream(e.codec))
+	}
+	return e.streams[i]
+}
+
+// reduceBucket dispatches the bucket's collective; the Compressed*
+// entry points delegate to the plain variants when st is nil, so one
+// switch serves both modes.
+func (e *Engine) reduceBucket(ap *comm.Proc, g *fusion.Group, st *compress.Stream) {
 	switch e.opt.Algo {
 	case AlgoRVH:
-		collective.AdasumRVH(ap, e.opt.Group, g.Data, g.Layout)
+		collective.CompressedAdasumRVH(ap, e.opt.Group, g.Data, g.Layout, st)
 	case AlgoRingSum:
-		collective.RingAllreduceMean(ap, e.opt.Group, g.Data)
+		collective.CompressedRingAllreduceMean(ap, e.opt.Group, g.Data, st)
 	default:
-		collective.TreeAdasum(ap, e.opt.Group, g.Data, g.Layout)
+		collective.CompressedTreeAdasum(ap, e.opt.Group, g.Data, g.Layout, st)
 	}
 }

@@ -131,14 +131,14 @@ func (m MemoryModel) MaxMicrobatch(parts int) int {
 // broadcast of finished shards, overlapped with the next layer's Adasum
 // as §4.3 describes (modeled as a 25% exposure of the broadcast cost).
 func UpdateTime(cm simnet.ComputeModel, model *simnet.Model, paramBytes, parts int) float64 {
-	full := cm.OptimizerUpdateTime(paramBytes)
+	full := cm.OptimizerUpdateTime(int64(paramBytes))
 	t := full
 	if parts > 1 {
 		serial := cm.OptimizerSerialFrac
 		t = full * (serial + (1-serial)/float64(parts))
 		// Broadcast this GPU's shard to the other local GPUs, mostly
 		// hidden behind the next layer's reduction.
-		share := (paramBytes + parts - 1) / parts
+		share := (int64(paramBytes) + int64(parts) - 1) / int64(parts)
 		t += model.Transfer(0, 1, share) * float64(parts-1) * 0.25
 	}
 	return t

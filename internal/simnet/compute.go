@@ -62,8 +62,10 @@ func (c ComputeModel) StepComputeTime(b int) float64 {
 
 // OptimizerUpdateTime returns the time of one full optimizer update over
 // the whole parameter vector on a single GPU. When the update is
-// partitioned over k GPUs (§4.3) divide the vector accordingly.
-func (c ComputeModel) OptimizerUpdateTime(bytes int) float64 {
+// partitioned over k GPUs (§4.3) divide the vector accordingly. The byte
+// count is int64 so multi-GiB optimizer states stay exact on 32-bit
+// builds.
+func (c ComputeModel) OptimizerUpdateTime(bytes int64) float64 {
 	return float64(bytes) * c.OptimizerFlopBeta
 }
 

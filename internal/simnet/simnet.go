@@ -66,8 +66,9 @@ type Model struct {
 }
 
 // Transfer returns the cost in seconds of moving n bytes from rank src to
-// rank dst.
-func (m *Model) Transfer(src, dst, n int) float64 {
+// rank dst. Byte counts are int64 so >2 GiB transfers stay exact on
+// 32-bit builds (GOARCH=386 is a CI leg).
+func (m *Model) Transfer(src, dst int, n int64) float64 {
 	if src == dst {
 		return 0
 	}
@@ -78,10 +79,10 @@ func (m *Model) Transfer(src, dst, n int) float64 {
 }
 
 // Reduce returns the cost of reducing n bytes of operands locally.
-func (m *Model) Reduce(n int) float64 { return float64(n) * m.FlopBeta }
+func (m *Model) Reduce(n int64) float64 { return float64(n) * m.FlopBeta }
 
 // MemCopy returns the cost of a local n-byte pack/unpack copy.
-func (m *Model) MemCopy(n int) float64 { return float64(n) * m.MemCopyBeta }
+func (m *Model) MemCopy(n int64) float64 { return float64(n) * m.MemCopyBeta }
 
 func (m *Model) String() string {
 	return fmt.Sprintf("%s(%d ranks, %d/node)", m.Name, m.Topo.Ranks, m.Topo.GPUsPerNode)

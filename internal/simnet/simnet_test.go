@@ -136,7 +136,7 @@ func TestBERTCalibrationBands(t *testing.T) {
 	if tp := pcie.ThroughputAt(36); math.Abs(tp-168.5) > 2 {
 		t.Fatalf("PCIe throughput@36 = %v, want ~168.5", tp)
 	}
-	if full := pcie.OptimizerUpdateTime(pcie.ParamBytes); math.Abs(full-1.82) > 0.01 {
+	if full := pcie.OptimizerUpdateTime(int64(pcie.ParamBytes)); math.Abs(full-1.82) > 0.01 {
 		t.Fatalf("monolithic update = %v, want 1.82", full)
 	}
 }

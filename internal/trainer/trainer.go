@@ -29,6 +29,7 @@ import (
 	"repro/internal/adasum"
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -146,6 +147,15 @@ type Config struct {
 	// the bucketed modes: overlap.AlgoTree (default) is bitwise-equal to
 	// the CommHost tree; overlap.AlgoRVH is the paper's Algorithm 1.
 	BucketAlgo overlap.Algo
+	// Compression selects the wire codec of the bucketed comm modes:
+	// bucket payloads are quantized at launch and every collective hop
+	// carries encoded words, so the simulated clock and wire-byte meter
+	// see compressed sizes (error-feedback codecs keep their residuals
+	// per worker across steps). nil or compress.None() leaves the
+	// substrate bitwise-identical to the uncompressed paths; a lossy
+	// codec requires CommSync or CommOverlap (the host path has no
+	// wire to compress).
+	Compression compress.Codec
 
 	Model     func() *nn.Network // replica factory; all replicas must be identical shapes
 	Optimizer optim.Optimizer    // prototype; cloned per worker (post-opt) or used directly (pre-opt)
@@ -333,6 +343,9 @@ type commEngine struct {
 // returns nil for CommHost.
 func newCommEngine(cfg Config, layout tensor.Layout) *commEngine {
 	if cfg.Comm == CommHost {
+		if !compress.IsNone(cfg.Compression) {
+			panic("trainer: Compression requires a bucketed comm mode (CommSync or CommOverlap); the host path has no wire to compress")
+		}
 		return nil
 	}
 	if cfg.Reduction == ReduceAdasum && !cfg.PerLayer {
@@ -354,6 +367,7 @@ func newCommEngine(cfg Config, layout tensor.Layout) *commEngine {
 		engines[w] = overlap.New(overlap.Options{
 			Group: group, Layout: layout, FusionBytes: cfg.FusionBytes,
 			Algo: algo, Overlap: cfg.Comm == CommOverlap,
+			Compression: cfg.Compression,
 			StepSeconds: cfg.StepSeconds,
 			// Earlier local steps of an accumulated reduction cannot
 			// overlap with this step's communication.
