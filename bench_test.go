@@ -137,6 +137,15 @@ func BenchmarkOverlapExperiment(b *testing.B) {
 	}
 }
 
+func BenchmarkTopologyExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTopology(experiments.ScaleQuick)
+		if s := r.BestThreeLevelSpeedup(); s < 1.0 {
+			b.Fatalf("3-level topology never beat 2-level: best ratio %.3f", s)
+		}
+	}
+}
+
 func BenchmarkCompressionExperiment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.RunCompression(experiments.ScaleQuick)
@@ -254,10 +263,73 @@ func BenchmarkAdasumRVH16Ranks(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{Strategy: collective.StrategyRVH})
 		x := xs[p.Rank()]
 		for i := 0; i < b.N; i++ {
 			copy(x, inputs[p.Rank()])
-			collective.AdasumRVH(p, g, x, layout)
+			c.Adasum(x, layout)
+		}
+	})
+}
+
+// BenchmarkCommunicatorAdasum16Ranks is the communicator-path steady-
+// state benchmark the bench gate watches: a per-layer Adasum through a
+// Communicator constructed once per rank (cached rank-position map,
+// pooled scratch) must stay at 0 allocs/op.
+func BenchmarkCommunicatorAdasum16Ranks(b *testing.B) {
+	const ranks, n = 16, 1 << 14
+	layout := tensor.NewLayout(
+		[]string{"conv", "bn", "fc", "head"},
+		[]int{n / 2, n / 8, n / 4, n / 8})
+	inputs := make([][]float32, ranks)
+	xs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = randVec(n, int64(500+i))
+		xs[i] = make([]float32, n)
+	}
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	b.SetBytes(int64(n * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{Strategy: collective.StrategyRVH})
+		x := xs[p.Rank()]
+		for i := 0; i < b.N; i++ {
+			copy(x, inputs[p.Rank()])
+			c.Adasum(x, layout)
+		}
+	})
+}
+
+// BenchmarkCommunicatorBroadcastGather16Ranks tracks the pooled Into
+// variants: steady-state BroadcastInto + GatherInto must stay at
+// 0 allocs/op.
+func BenchmarkCommunicatorBroadcastGather16Ranks(b *testing.B) {
+	const ranks, n = 16, 1 << 12
+	src := randVec(n, 3)
+	w := comm.NewWorld(ranks, nil)
+	g := collective.WorldGroup(ranks)
+	dsts := make([][]float32, ranks)
+	rows := make([][][]float32, ranks)
+	for r := range dsts {
+		dsts[r] = make([]float32, n)
+		rows[r] = make([][]float32, ranks)
+		for i := range rows[r] {
+			rows[r][i] = make([]float32, n)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{})
+		for i := 0; i < b.N; i++ {
+			var bsrc []float32
+			if c.Rank() == 0 {
+				bsrc = src
+			}
+			c.BroadcastInto(0, dsts[p.Rank()], bsrc)
+			c.GatherInto(1, dsts[p.Rank()], rows[p.Rank()])
 		}
 	})
 }
@@ -275,10 +347,11 @@ func BenchmarkRingAllreduce16Ranks(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{Strategy: collective.StrategyRing})
 		x := xs[p.Rank()]
 		for i := 0; i < b.N; i++ {
 			copy(x, inputs[p.Rank()])
-			collective.RingAllreduceSum(p, g, x)
+			c.AllreduceSum(x)
 		}
 	})
 }
@@ -312,7 +385,7 @@ func BenchmarkOverlappedStep(b *testing.B) {
 			Layout: layout,
 			// Four layers per bucket -> four async collectives per step.
 			FusionBytes: 4 * perLayer * 4,
-			Algo:        overlap.AlgoRVH,
+			Strategy:    collective.StrategyRVH,
 			Overlap:     true,
 		})
 	}
@@ -354,7 +427,7 @@ func BenchmarkOverlappedStepFP16(b *testing.B) {
 			Group:       collective.WorldGroup(ranks),
 			Layout:      layout,
 			FusionBytes: 4 * perLayer * 4,
-			Algo:        overlap.AlgoRVH,
+			Strategy:    collective.StrategyRVH,
 			Overlap:     true,
 			Compression: compress.FP16(),
 		})

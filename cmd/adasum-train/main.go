@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/collective"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/simnet"
 	"repro/internal/trainer"
 )
 
@@ -31,6 +33,10 @@ func main() {
 		target    = flag.Float64("target", 0, "stop at this test accuracy (0 = run all epochs)")
 		model     = flag.String("model", "mlp", "mlp | resnetproxy | bertproxy | lenet")
 		dataset   = flag.String("dataset", "mnist", "mnist | imagenet | maskedlm")
+		commMode  = flag.String("comm", "host", "reduction substrate: host | cluster")
+		overlapOn = flag.Bool("overlap", false, "overlap bucket collectives with backprop (cluster substrate)")
+		strategy  = flag.String("strategy", "auto", "bucket collective: auto | tree | rvh | ring (cluster substrate)")
+		net       = flag.String("net", "", "cost model for the cluster substrate: tcp40 | azure | dgx2 (empty = free network)")
 		seed      = flag.Int64("seed", 1, "run seed")
 	)
 	flag.Parse()
@@ -102,6 +108,41 @@ func main() {
 		sched = optim.Scaled{Inner: sched, Factor: *lrScale}
 	}
 
+	var mode trainer.CommMode
+	switch *commMode {
+	case "host":
+		mode = trainer.CommHost
+	case "cluster":
+		mode = trainer.CommCluster
+	default:
+		fatal("unknown comm substrate %q", *commMode)
+	}
+	var strat collective.Strategy
+	switch *strategy {
+	case "auto":
+		strat = collective.StrategyAuto
+	case "tree":
+		strat = collective.StrategyTree
+	case "rvh":
+		strat = collective.StrategyRVH
+	case "ring":
+		strat = collective.StrategyRing
+	default:
+		fatal("unknown strategy %q", *strategy)
+	}
+	var costModel *simnet.Model
+	switch *net {
+	case "":
+	case "tcp40":
+		costModel = simnet.TCP40(*workers)
+	case "azure":
+		costModel = simnet.AzureNC24rsV3(*workers)
+	case "dgx2":
+		costModel = simnet.DGX2(*workers)
+	default:
+		fatal("unknown net %q", *net)
+	}
+
 	cfg := trainer.Config{
 		Workers:        *workers,
 		Microbatch:     *micro,
@@ -109,6 +150,10 @@ func main() {
 		Reduction:      red,
 		Scope:          sc,
 		PerLayer:       true,
+		Comm:           mode,
+		Overlap:        *overlapOn,
+		Strategy:       strat,
+		Net:            costModel,
 		Model:          factory,
 		Optimizer:      opt,
 		Schedule:       sched,
@@ -118,6 +163,11 @@ func main() {
 		TargetAccuracy: *target,
 		Seed:           *seed,
 		Parallel:       true,
+	}
+	// Misconfigurations from the command line come back as errors, not
+	// panics — the point of Config.Validate.
+	if err := cfg.Validate(); err != nil {
+		fatal("invalid configuration: %v", err)
 	}
 	fmt.Printf("training %s on %s: %s, optimizer %s, lr %g x%g\n",
 		*model, *dataset, cfg.String(), opt.Name(), *lr, *lrScale)
@@ -131,6 +181,10 @@ func main() {
 			*target, res.EpochsToTarget, res.StepsToTarget)
 	}
 	fmt.Printf("final accuracy: %.4f\n", res.FinalAccuracy)
+	if cfg.Comm == trainer.CommCluster {
+		fmt.Printf("simulated reduction time: %.3fs (%s, overlap=%v, strategy=%s)\n",
+			res.SimSeconds, cfg.Comm, cfg.Overlap, strat)
+	}
 }
 
 func fatal(format string, args ...any) {

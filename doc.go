@@ -1,25 +1,30 @@
 // Package repro is a from-scratch Go reproduction of "Scaling
 // Distributed Training with Adaptive Summation" (Maleki et al.,
-// MLSys 2021): the Adasum gradient combiner, the recursive
-// vector-halving allreduce that carries it (Algorithm 1), a
-// deterministic simulated cluster with an alpha-beta cost model, a small
+// MLSys 2021): the Adasum gradient combiner, an MPI/NCCL-style
+// communicator API (collective.Communicator: Strategy-selected
+// allreduce/broadcast/gather collectives, MPI_Comm_split-style Split,
+// and multi-level hierarchical reduction as communicator composition)
+// carrying the recursive vector-halving allreduce of Algorithm 1, a
+// deterministic simulated cluster with an alpha-beta cost model (with
+// an optional rack tier for GPU/node/rack topologies), a small
 // neural-network framework, the Momentum/Adam/LARS/LAMB optimizer zoo,
 // an asynchronous overlapped-reduction engine (package overlap) that
 // schedules fused gradient buckets against simulated backprop (§4.4.3),
 // a compressed-communication subsystem (package compress: fp16, int8
-// and top-k-with-error-feedback wire codecs threaded through the comm
-// substrate, the collectives and the overlap engine), and runners that
+// and top-k-with-error-feedback wire codecs carried by the
+// communicator's single codec-aware code path), and runners that
 // regenerate every table and figure of the paper's evaluation on
 // synthetic substitutes for its hardware and datasets.
 //
 // See DESIGN.md for the design record of the reduction hot path — the
 // fused single-pass dot/norm kernels (with their AVX+FMA fast path), the
 // workspace-owning adasum.Reducer, the pooled communication buffers, the
-// in-place recursive-vector-halving collectives, the channel-plane/
-// async-handle machinery with its virtual-clock accounting rules, and
-// the codec placement, error-feedback state ownership and compressed-
-// byte clock accounting of the compression subsystem — plus the
-// experiment substitution notes. The benchmark harness in bench_test.go
+// in-place recursive-vector-halving collectives, the Communicator's
+// ownership/Strategy/Split design, the channel-plane/async-handle
+// machinery with its virtual-clock accounting rules, and the codec
+// placement, error-feedback state ownership and compressed-byte clock
+// accounting of the compression subsystem — plus the experiment
+// substitution notes. The benchmark harness in bench_test.go
 // regenerates each experiment and micro-benchmarks the kernels:
 //
 //	go test -bench=. -benchmem

@@ -38,6 +38,10 @@ func main() {
 		net := nn.NewMLP(train.Dim, 64, train.Classes)
 		net.SetParams(initParams)
 
+		// Each rank binds its endpoint to the group once; every
+		// collective runs through the communicator.
+		c := collective.New(p, group, collective.Config{})
+
 		// The one-line Horovod idiom:
 		//   opt = hvd.DistributedOptimizer(opt, op=hvd.Adasum)
 		dopt := core.NewDistributedOptimizer(optim.NewAdam(), core.OpAdasum, core.Options{})
@@ -48,7 +52,7 @@ func main() {
 			idx := iter.Next()
 			x, labels := shard.Batch(idx)
 			net.Gradient(x, labels, len(idx))
-			dopt.Step(p, group, net, 0.001)
+			dopt.Step(c, net, 0.001)
 		}
 
 		testX, testLabels := test.Batch(firstN(test.N))

@@ -11,6 +11,12 @@ import (
 	"repro/internal/tensor"
 )
 
+// C builds an uncompressed communicator with the given strategy — the
+// one-liner the migrated free-function tests construct per collective.
+func C(p *comm.Proc, g Group, s Strategy) *Communicator {
+	return New(p, g, Config{Strategy: s})
+}
+
 func randVec(rng *rand.Rand, n int) []float32 {
 	v := make([]float32, n)
 	for i := range v {
@@ -46,7 +52,7 @@ func TestRingAllreduceSumMatchesSerial(t *testing.T) {
 			g := WorldGroup(ranks)
 			results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 				x := tensor.Clone(inputs[p.Rank()])
-				RingAllreduceSum(p, g, x)
+				C(p, g, StrategyRing).AllreduceSum(x)
 				return x
 			})
 			for r, res := range results {
@@ -66,7 +72,7 @@ func TestRingAllreduceMean(t *testing.T) {
 	g := WorldGroup(4)
 	results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		RingAllreduceMean(p, g, x)
+		C(p, g, StrategyRing).AllreduceMean(x)
 		return x
 	})
 	for _, res := range results {
@@ -85,7 +91,7 @@ func TestRVHAllreduceSumMatchesSerial(t *testing.T) {
 			g := WorldGroup(ranks)
 			results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 				x := tensor.Clone(inputs[p.Rank()])
-				RVHAllreduceSum(p, g, x)
+				C(p, g, StrategyRVH).AllreduceSum(x)
 				return x
 			})
 			for r, res := range results {
@@ -106,7 +112,7 @@ func TestRVHRequiresPowerOfTwo(t *testing.T) {
 	}()
 	w.Run(func(p *comm.Proc) {
 		x := []float32{1}
-		RVHAllreduceSum(p, WorldGroup(3), x)
+		C(p, WorldGroup(3), StrategyRVH).AllreduceSum(x)
 	})
 }
 
@@ -124,7 +130,7 @@ func TestAdasumRVHMatchesHostTree(t *testing.T) {
 			g := WorldGroup(ranks)
 			results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 				x := tensor.Clone(inputs[p.Rank()])
-				AdasumRVH(p, g, x, layout)
+				C(p, g, StrategyRVH).Adasum(x, layout)
 				return x
 			})
 			for r, res := range results {
@@ -150,7 +156,7 @@ func TestAdasumRVHPerLayerMatchesHostTree(t *testing.T) {
 	g := WorldGroup(ranks)
 	results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		AdasumRVH(p, g, x, layout)
+		C(p, g, StrategyRVH).Adasum(x, layout)
 		return x
 	})
 	for r, res := range results {
@@ -167,7 +173,7 @@ func TestAdasumRVHAllRanksAgree(t *testing.T) {
 	g := WorldGroup(ranks)
 	results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		AdasumRVH(p, g, x, tensor.FlatLayout(n))
+		C(p, g, StrategyRVH).Adasum(x, tensor.FlatLayout(n))
 		return x
 	})
 	for r := 1; r < ranks; r++ {
@@ -185,7 +191,7 @@ func TestAdasumRVHIdenticalInputsAverage(t *testing.T) {
 	g := WorldGroup(ranks)
 	results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(g0)
-		AdasumRVH(p, g, x, tensor.FlatLayout(n))
+		C(p, g, StrategyRVH).Adasum(x, tensor.FlatLayout(n))
 		return x
 	})
 	for r, res := range results {
@@ -208,7 +214,7 @@ func TestAdasumRVHOrthogonalInputsSum(t *testing.T) {
 	results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := make([]float32, n)
 		x[p.Rank()] = 1
-		AdasumRVH(p, g, x, tensor.FlatLayout(n))
+		C(p, g, StrategyRVH).Adasum(x, tensor.FlatLayout(n))
 		return x
 	})
 	for r, res := range results {
@@ -228,7 +234,7 @@ func TestLinearAdasumMatchesHostLinear(t *testing.T) {
 		g := WorldGroup(ranks)
 		results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 			x := tensor.Clone(inputs[p.Rank()])
-			LinearAdasum(p, g, x, layout)
+			C(p, g, StrategyLinear).Adasum(x, layout)
 			return x
 		})
 		for r, res := range results {
@@ -258,7 +264,7 @@ func TestHierarchicalAdasumSemantics(t *testing.T) {
 	g := WorldGroup(ranks)
 	results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		HierarchicalAdasum(p, g, x, layout, gpus)
+		NewHierarchy(C(p, g, StrategyRVH), gpus).Adasum(x, layout)
 		return x
 	})
 	for r, res := range results {
@@ -287,7 +293,7 @@ func TestHierarchicalAdasumManyShapes(t *testing.T) {
 		g := WorldGroup(ranks)
 		results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 			x := tensor.Clone(inputs[p.Rank()])
-			HierarchicalAdasum(p, g, x, layout, gpus)
+			NewHierarchy(C(p, g, StrategyRVH), gpus).Adasum(x, layout)
 			return x
 		})
 		for r, res := range results {
@@ -308,7 +314,7 @@ func TestHierarchicalSumMatchesSerial(t *testing.T) {
 	g := WorldGroup(ranks)
 	results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		HierarchicalSum(p, g, x, gpus)
+		NewHierarchy(C(p, g, StrategyRing), gpus).AllreduceSum(x)
 		return x
 	})
 	for r, res := range results {
@@ -328,7 +334,7 @@ func TestBroadcast(t *testing.T) {
 			if p.Rank() == 0 {
 				copy(x, payload)
 			}
-			Broadcast(p, g, 0, x)
+			C(p, g, StrategyAuto).Broadcast(0, x)
 			return x
 		})
 		for r, res := range results {
@@ -349,7 +355,7 @@ func TestBroadcastNonZeroRoot(t *testing.T) {
 		if p.Rank() == 2 {
 			copy(x, payload)
 		}
-		Broadcast(p, g, 2, x)
+		C(p, g, StrategyAuto).Broadcast(2, x)
 		return x
 	})
 	for r, res := range results {
@@ -364,7 +370,7 @@ func TestGather(t *testing.T) {
 	w := comm.NewWorld(ranks, nil)
 	g := WorldGroup(ranks)
 	results := comm.RunCollect(w, func(p *comm.Proc) [][]float32 {
-		return Gather(p, g, 0, []float32{float32(p.Rank())})
+		return C(p, g, StrategyAuto).Gather(0, []float32{float32(p.Rank())})
 	})
 	if results[0] == nil {
 		t.Fatal("root got nil")
@@ -412,7 +418,7 @@ func ringTime(model *simnet.Model, ranks, n int) float64 {
 	g := WorldGroup(ranks)
 	return comm.MaxClock(w, func(p *comm.Proc) {
 		x := make([]float32, n)
-		RingAllreduceSum(p, g, x)
+		C(p, g, StrategyRing).AllreduceSum(x)
 	})
 }
 
@@ -439,7 +445,7 @@ func adasumTime(model *simnet.Model, ranks, n int) float64 {
 	return comm.MaxClock(w, func(p *comm.Proc) {
 		x := make([]float32, n)
 		x[p.Rank()] = 1
-		AdasumRVH(p, g, x, tensor.FlatLayout(n))
+		C(p, g, StrategyRVH).Adasum(x, tensor.FlatLayout(n))
 	})
 }
 

@@ -22,85 +22,69 @@ func randVecs(ranks, n int, seed int64) [][]float32 {
 	return out
 }
 
-// runCompressed reduces per-rank vectors through body (one compressed
-// collective) and returns the results plus the World's wire bytes.
-func runCompressed(ranks int, vecs [][]float32, codec compress.Codec,
-	body func(p *comm.Proc, g Group, x []float32, st *compress.Stream)) ([][]float32, int64) {
+// runCodec reduces per-rank vectors through body on a communicator
+// configured with the codec and returns the results plus the World's
+// wire bytes.
+func runCodec(ranks int, vecs [][]float32, strategy Strategy, codec compress.Codec,
+	body func(c *Communicator, x []float32)) ([][]float32, int64) {
 	w := comm.NewWorld(ranks, nil)
 	g := WorldGroup(ranks)
 	out := make([][]float32, ranks)
-	streams := make([]*compress.Stream, ranks)
-	for r := range streams {
-		if codec != nil {
-			streams[r] = compress.NewStream(codec)
-			streams[r].Begin()
-		}
-	}
 	w.Run(func(p *comm.Proc) {
+		c := New(p, g, Config{Strategy: strategy, Codec: codec})
+		if st := c.Stream(); st != nil {
+			st.Begin()
+		}
 		x := append([]float32(nil), vecs[p.Rank()]...)
-		body(p, g, x, streams[p.Rank()])
+		body(c, x)
 		out[p.Rank()] = x
 	})
 	return out, w.WireBytes()
 }
 
-// TestCompressedNoneBitwiseIdentical: with a nil stream (or the None
-// codec) every compressed collective must produce bitwise the same
-// floats as its plain counterpart.
-func TestCompressedNoneBitwiseIdentical(t *testing.T) {
+// TestCodecNoneBitwiseIdentical: a communicator built with a nil codec
+// and one built with compress.None() must produce bitwise the same
+// floats and the same wire bytes as each other — the single-code-path
+// guarantee that replaced the separate compressed collectives.
+func TestCodecNoneBitwiseIdentical(t *testing.T) {
 	const ranks, n = 8, 3000
 	layout := tensor.NewLayout([]string{"a", "b", "c"}, []int{1000, 1500, 500})
 	vecs := randVecs(ranks, n, 42)
 	type variant struct {
-		name  string
-		plain func(p *comm.Proc, g Group, x []float32)
-		comp  func(p *comm.Proc, g Group, x []float32, st *compress.Stream)
+		name     string
+		strategy Strategy
+		run      func(c *Communicator, x []float32)
 	}
 	variants := []variant{
-		{"tree", func(p *comm.Proc, g Group, x []float32) { TreeAdasum(p, g, x, layout) },
-			func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
-				CompressedTreeAdasum(p, g, x, layout, st)
-			}},
-		{"rvh", func(p *comm.Proc, g Group, x []float32) { AdasumRVH(p, g, x, layout) },
-			func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
-				CompressedAdasumRVH(p, g, x, layout, st)
-			}},
-		{"ring", func(p *comm.Proc, g Group, x []float32) { RingAllreduceMean(p, g, x) },
-			func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
-				CompressedRingAllreduceMean(p, g, x, st)
-			}},
+		{"tree", StrategyTree, func(c *Communicator, x []float32) { c.Adasum(x, layout) }},
+		{"rvh", StrategyRVH, func(c *Communicator, x []float32) { c.Adasum(x, layout) }},
+		{"ring", StrategyRing, func(c *Communicator, x []float32) { c.AllreduceMean(x) }},
 	}
 	for _, v := range variants {
-		want, wantWire := runCompressed(ranks, vecs, nil,
-			func(p *comm.Proc, g Group, x []float32, _ *compress.Stream) { v.plain(p, g, x) })
-		for _, codec := range []compress.Codec{nil, compress.None()} {
-			got, gotWire := runCompressed(ranks, vecs, codec, v.comp)
-			for r := range got {
-				if !tensor.Equal(got[r], want[r], 0) {
-					t.Fatalf("%s: rank %d not bitwise-identical under None", v.name, r)
-				}
+		want, wantWire := runCodec(ranks, vecs, v.strategy, nil, v.run)
+		got, gotWire := runCodec(ranks, vecs, v.strategy, compress.None(), v.run)
+		for r := range got {
+			if !tensor.Equal(got[r], want[r], 0) {
+				t.Fatalf("%s: rank %d not bitwise-identical under None", v.name, r)
 			}
-			if gotWire != wantWire {
-				t.Fatalf("%s: None wire bytes %d != plain %d", v.name, gotWire, wantWire)
-			}
+		}
+		if gotWire != wantWire {
+			t.Fatalf("%s: None wire bytes %d != plain %d", v.name, gotWire, wantWire)
 		}
 	}
 }
 
-// TestCompressedFP16CloseAndCheaper: the fp16-compressed collectives
-// stay within half-precision tolerance of the uncompressed result and
-// move about half the wire bytes.
-func TestCompressedFP16CloseAndCheaper(t *testing.T) {
+// TestCodecFP16CloseAndCheaper: the fp16-compressed collectives stay
+// within half-precision tolerance of the uncompressed result and move
+// about half the wire bytes.
+func TestCodecFP16CloseAndCheaper(t *testing.T) {
 	const ranks, n = 8, 4096
 	layout := tensor.FlatLayout(n)
 	vecs := randVecs(ranks, n, 7)
 
-	plain, plainWire := runCompressed(ranks, vecs, nil,
-		func(p *comm.Proc, g Group, x []float32, _ *compress.Stream) { AdasumRVH(p, g, x, layout) })
-	comp, compWire := runCompressed(ranks, vecs, compress.FP16(),
-		func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
-			CompressedAdasumRVH(p, g, x, layout, st)
-		})
+	adasum := func(c *Communicator, x []float32) { c.Adasum(x, layout) }
+	plain, plainWire := runCodec(ranks, vecs, StrategyRVH, nil, adasum)
+	comp, compWire := runCodec(ranks, vecs, StrategyRVH, compress.FP16(), adasum)
 
 	// Wire bytes: the gradient payloads halve; the uncompressed float64
 	// dot-product side traffic is still there, so require >= 40% saved.
@@ -118,17 +102,14 @@ func TestCompressedFP16CloseAndCheaper(t *testing.T) {
 	}
 }
 
-// TestCompressedRingMeanClose: the ring path under int8 stays within the
+// TestCodecRingMeanClose: the ring path under int8 stays within the
 // quantization error bound of the exact mean.
-func TestCompressedRingMeanClose(t *testing.T) {
+func TestCodecRingMeanClose(t *testing.T) {
 	const ranks, n = 4, 2048
 	vecs := randVecs(ranks, n, 13)
-	plain, _ := runCompressed(ranks, vecs, nil,
-		func(p *comm.Proc, g Group, x []float32, _ *compress.Stream) { RingAllreduceMean(p, g, x) })
-	comp, _ := runCompressed(ranks, vecs, compress.Int8(0),
-		func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
-			CompressedRingAllreduceMean(p, g, x, st)
-		})
+	mean := func(c *Communicator, x []float32) { c.AllreduceMean(x) }
+	plain, _ := runCodec(ranks, vecs, StrategyRing, nil, mean)
+	comp, _ := runCodec(ranks, vecs, StrategyRing, compress.Int8(0), mean)
 	for r := range comp {
 		for i := range comp[r] {
 			if err := math.Abs(float64(comp[r][i] - plain[r][i])); err > 3e-2 {
@@ -138,22 +119,77 @@ func TestCompressedRingMeanClose(t *testing.T) {
 	}
 }
 
-// TestCompressedTreeNonPowerOfTwo exercises the reduce-to-root plus
+// TestCodecTreeNonPowerOfTwo exercises the reduce-to-root plus
 // compressed-broadcast path, which only non-power-of-two groups hit.
-func TestCompressedTreeNonPowerOfTwo(t *testing.T) {
+func TestCodecTreeNonPowerOfTwo(t *testing.T) {
 	const ranks, n = 6, 1024
 	layout := tensor.FlatLayout(n)
 	vecs := randVecs(ranks, n, 19)
-	plain, _ := runCompressed(ranks, vecs, nil,
-		func(p *comm.Proc, g Group, x []float32, _ *compress.Stream) { TreeAdasum(p, g, x, layout) })
-	comp, _ := runCompressed(ranks, vecs, compress.FP16(),
-		func(p *comm.Proc, g Group, x []float32, st *compress.Stream) {
-			CompressedTreeAdasum(p, g, x, layout, st)
-		})
+	adasum := func(c *Communicator, x []float32) { c.Adasum(x, layout) }
+	plain, _ := runCodec(ranks, vecs, StrategyTree, nil, adasum)
+	comp, _ := runCodec(ranks, vecs, StrategyTree, compress.FP16(), adasum)
 	for r := range comp {
 		for i := range comp[r] {
 			if err := math.Abs(float64(comp[r][i] - plain[r][i])); err > 2e-2 {
 				t.Fatalf("rank %d element %d: fp16 tree %v vs plain %v", r, i, comp[r][i], plain[r][i])
+			}
+		}
+	}
+}
+
+// TestCodecHierarchyErrorFeedbackCarries: a Hierarchy reused across
+// steps begins a new stream step per invocation, so an error-feedback
+// codec's residuals are added back at the same sites instead of
+// accreting fresh ones — observable as the second identical-input step
+// producing a different (residual-corrected) result than the first.
+func TestCodecHierarchyErrorFeedbackCarries(t *testing.T) {
+	const gpus, ranks, n = 2, 8, 1024
+	layout := tensor.NewLayout([]string{"a", "b"}, []int{600, n - 600})
+	vecs := randVecs(ranks, n, 29)
+	w := comm.NewWorld(ranks, nil)
+	g := WorldGroup(ranks)
+	steps := make([][][]float32, 2)
+	for s := range steps {
+		steps[s] = make([][]float32, ranks)
+	}
+	hiers := make([]*Hierarchy, ranks)
+	w.Run(func(p *comm.Proc) {
+		c := New(p, g, Config{Strategy: StrategyRVH, Codec: compress.TopK(0.05, true)})
+		hiers[p.Rank()] = NewHierarchy(c, gpus)
+	})
+	for s := range steps {
+		w.Run(func(p *comm.Proc) {
+			x := tensor.Clone(vecs[p.Rank()])
+			hiers[p.Rank()].Adasum(x, layout)
+			steps[s][p.Rank()] = x
+		})
+	}
+	// Residuals from step 1 feed step 2's encodes: with identical inputs
+	// the results must differ (zero residuals would make them equal,
+	// meaning error feedback never carried).
+	if tensor.Equal(steps[0][0], steps[1][0], 0) {
+		t.Fatal("second step identical to first: hierarchy error feedback is not carrying residuals")
+	}
+}
+
+// TestCodecHierarchy: the hierarchical composition inherits the codec —
+// a compressed 2-level Adasum saves wire bytes and stays within fp16
+// tolerance of the exact hierarchical result.
+func TestCodecHierarchy(t *testing.T) {
+	const gpus, nodes = 2, 4
+	const ranks, n = gpus * nodes, 2048
+	layout := tensor.NewLayout([]string{"a", "b", "c", "d"}, []int{512, 768, 512, 256})
+	vecs := randVecs(ranks, n, 23)
+	hier := func(c *Communicator, x []float32) { NewHierarchy(c, gpus).Adasum(x, layout) }
+	plain, plainWire := runCodec(ranks, vecs, StrategyRVH, nil, hier)
+	comp, compWire := runCodec(ranks, vecs, StrategyRVH, compress.FP16(), hier)
+	if float64(compWire) > 0.6*float64(plainWire) {
+		t.Fatalf("fp16 hierarchy wire bytes %d vs plain %d: less than 40%% saved", compWire, plainWire)
+	}
+	for r := range comp {
+		for i := range comp[r] {
+			if err := math.Abs(float64(comp[r][i] - plain[r][i])); err > 0.15 {
+				t.Fatalf("rank %d element %d: fp16 hierarchy %v vs plain %v", r, i, comp[r][i], plain[r][i])
 			}
 		}
 	}

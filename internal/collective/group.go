@@ -1,20 +1,29 @@
 // Package collective implements the allreduce algorithms that carry
-// Adasum in Horovod's backend (§4.2 of the paper):
+// Adasum in Horovod's backend (§4.2 of the paper) behind an MPI/NCCL-
+// style Communicator: an object binding a comm.Proc endpoint to a
+// Group, selected-by-Strategy collectives as methods, and Split for
+// carving sub-communicators with MPI_Comm_split semantics. The
+// algorithms:
 //
 //   - ring allreduce with elementwise sum — the "NCCL sum" baseline of
 //     Figure 4;
 //   - recursive vector halving/doubling with elementwise sum;
-//   - AdasumRVH, the modified recursive-vector-halving algorithm of
+//   - Adasum over recursive vector halving, the modified algorithm of
 //     Algorithm 1, which inserts a small-vector allreduce of per-layer
 //     dot products between the halving exchange and the combine;
+//   - Adasum over recursive doubling (the parity tree), bitwise-equal
+//     to the host-side adasum.Reducer;
 //   - a linear (chained) Adasum, the latency-suboptimal variant §4.2.3
 //     found slower than RVH;
-//   - the hierarchical scheme of §4.2.2: intra-node reduce-scatter (sum),
-//     cross-node AdasumRVH on layer-aligned shards, intra-node allgather.
+//   - the hierarchical scheme of §4.2.2 as communicator composition
+//     (Hierarchy): reduce-scatter (sum) within each scatter domain,
+//     Adasum across the outermost level on layer-aligned shards,
+//     allgathers unwinding — nesting to GPU/node/rack and beyond.
 //
-// All collectives run on comm.Proc endpoints and operate within a Group,
-// an ordered subset of world ranks, so hierarchical variants can build
-// sub-communicators.
+// Every collective runs on one codec-aware code path: a Communicator
+// built with a compress.Codec encodes each gradient hop for the wire
+// and decodes on arrival, while a nil/None codec is bitwise- and
+// virtual-clock-identical to the plain substrate.
 //
 // The recursive-vector-halving collectives operate fully in place: every
 // rank keeps its working window inside the caller's buffer at its home
@@ -40,7 +49,9 @@ func WorldGroup(size int) Group {
 }
 
 // Pos returns the group rank of world rank r, panicking if r is not a
-// member.
+// member. The scan is O(n); a Communicator caches this lookup in a map
+// built once at construction, which is what the collective hot paths
+// use.
 func (g Group) Pos(r int) int {
 	for i, v := range g {
 		if v == r {

@@ -1,23 +1,25 @@
 package collective
 
-import (
-	"repro/internal/comm"
-)
+// Exchange primitives shared by the allreduce algorithms: the float64
+// dot-product allreduce of Algorithm 1 line 17, binomial-tree
+// broadcast, gather, and the ring reduce-scatter/allgather phases. All
+// ride the communicator's codec-aware transport except the dot-product
+// side payloads, which are tiny and always travel uncompressed.
 
-// allreduceF64RD sums float64 vectors across a contiguous block of group
-// positions [base, base+size) by recursive doubling. size must be a power
-// of two. v is updated in place with the blockwise sum. This implements
-// the ALLREDUCE(v, +, group) primitive on line 17 of Algorithm 1, which
-// completes the partial dot products.
-func allreduceF64RD(p *comm.Proc, g Group, base, size int, v []float64) {
+// allreduceF64RD sums float64 vectors across a contiguous block of
+// group positions [base, base+size) by recursive doubling. size must be
+// a power of two. v is updated in place with the blockwise sum. This
+// implements the ALLREDUCE(v, +, group) primitive on line 17 of
+// Algorithm 1, which completes the partial dot products.
+func (c *Communicator) allreduceF64RD(base, size int, v []float64) {
 	if size <= 1 {
 		return
 	}
 	if size&(size-1) != 0 {
 		panic("collective: dot-product group size must be a power of two")
 	}
-	gpos := g.Pos(p.Rank())
-	rel := gpos - base
+	p, g := c.p, c.shared.group
+	rel := c.mypos - base
 	for mask := 1; mask < size; mask <<= 1 {
 		peer := g[base+(rel^mask)]
 		got := p.SendRecvMeta(peer, v)
@@ -28,20 +30,19 @@ func allreduceF64RD(p *comm.Proc, g Group, base, size int, v []float64) {
 	}
 }
 
-// Broadcast distributes root's vector to every rank in the group using a
-// binomial tree. root is a group position, not a world rank. Non-root
-// callers pass their (correctly sized) buffer in x and receive into it;
-// the root's x is sent. x is returned for convenience.
-func Broadcast(p *comm.Proc, g Group, root int, x []float32) []float32 {
+// Broadcast distributes the vector held at group position root to every
+// rank using a binomial tree. Non-root callers pass their (correctly
+// sized) buffer in x and receive into it in place; the root's x is
+// sent. The steady-state op allocates nothing.
+func (c *Communicator) Broadcast(root int, x []float32) {
+	g := c.shared.group
 	n := len(g)
 	if n == 1 {
-		return x
+		return
 	}
-	gpos := g.Pos(p.Rank())
 	// Rotate so root behaves as position 0.
-	rel := (gpos - root + n) % n
-	// Find the highest power of two <= n covering all positions; use
-	// simple doubling rounds: in round k, positions < 2^k send to
+	rel := (c.mypos - root + n) % n
+	// Simple doubling rounds: in round k, positions < 2^k send to
 	// position + 2^k (if it exists).
 	received := rel == 0
 	for step := 1; step < n; step <<= 1 {
@@ -49,23 +50,40 @@ func Broadcast(p *comm.Proc, g Group, root int, x []float32) []float32 {
 			if !received {
 				panic("collective: broadcast internal ordering error")
 			}
-			p.Send(g[(root+rel+step)%n], x)
+			c.send(g[(root+rel+step)%n], x)
 		} else if rel >= step && rel < 2*step {
 			src := g[(root+rel-step)%n]
-			p.RecvInto(src, x)
+			c.recvInto(src, x)
 			received = true
 		}
 	}
-	return x
 }
 
-// Gather collects every group member's vector at root (a group
-// position). All vectors must have the same length. Only the root's
-// return value is meaningful; it holds the vectors indexed by group rank.
-func Gather(p *comm.Proc, g Group, root int, x []float32) [][]float32 {
-	gpos := g.Pos(p.Rank())
-	if gpos != root {
-		p.Send(g[root], x)
+// BroadcastInto is Broadcast with separate source and destination
+// buffers: every rank — root included — finishes with the payload in
+// dst, and the root's src is never written. Non-root callers may pass
+// src as nil. Like Broadcast it allocates nothing in steady state, so
+// callers that must preserve their source vector need no staging copy.
+func (c *Communicator) BroadcastInto(root int, dst, src []float32) {
+	if c.mypos == root {
+		if len(src) != len(dst) {
+			panic("collective: BroadcastInto src/dst length mismatch")
+		}
+		copy(dst, src)
+	}
+	c.Broadcast(root, dst)
+}
+
+// Gather collects every member's vector at group position root. All
+// vectors must have the same length. Only the root's return value is
+// meaningful; it holds the vectors indexed by group rank. The root's
+// rows are freshly allocated for the uncompressed case only in the
+// sense that transport buffers are handed to the caller — steady-state
+// callers use GatherInto.
+func (c *Communicator) Gather(root int, x []float32) [][]float32 {
+	g := c.shared.group
+	if c.mypos != root {
+		c.send(g[root], x)
 		return nil
 	}
 	out := make([][]float32, len(g))
@@ -74,20 +92,47 @@ func Gather(p *comm.Proc, g Group, root int, x []float32) [][]float32 {
 			out[i] = append([]float32(nil), x...)
 			continue
 		}
-		out[i] = p.Recv(g[i])
+		if c.stream == nil {
+			out[i] = c.p.Recv(g[i])
+		} else {
+			out[i] = make([]float32, len(x))
+			c.p.RecvCompressed(g[i], c.shared.codec, out[i])
+		}
 	}
 	return out
 }
 
+// GatherInto is the zero-allocation Gather: the root receives each
+// member's vector directly into into[i] (rows pre-sized to len(x));
+// non-root callers may pass into as nil. The root's own row is copied
+// from x.
+func (c *Communicator) GatherInto(root int, x []float32, into [][]float32) {
+	g := c.shared.group
+	if c.mypos != root {
+		c.send(g[root], x)
+		return
+	}
+	if len(into) != len(g) {
+		panic("collective: GatherInto needs one destination row per group member")
+	}
+	for i := range g {
+		if i == root {
+			copy(into[i], x)
+			continue
+		}
+		c.recvInto(g[i], into[i])
+	}
+}
+
 // boundsFn maps a group rank to the [lo, hi) element range of the chunk
-// it owns. The ring primitives take their chunking through this accessor
-// so one implementation serves both the arithmetic equal split and the
-// layer-aligned range tables; non-escaping closures keep both callers
-// allocation-free.
+// it owns. The ring primitives take their chunking through this
+// accessor so one implementation serves both the arithmetic equal split
+// and the layer-aligned range tables; non-escaping closures keep both
+// callers allocation-free.
 type boundsFn func(i int) (lo, hi int)
 
-// rangeBounds adapts an explicit range table (layer-aligned shards) to a
-// boundsFn.
+// rangeBounds adapts an explicit range table (layer-aligned shards) to
+// a boundsFn.
 func rangeBounds(ranges [][2]int) boundsFn {
 	return func(i int) (int, int) { return ranges[i][0], ranges[i][1] }
 }
@@ -114,12 +159,13 @@ func equalChunk(n, parts, i int) (lo, hi int) {
 // reduceScatterRing performs a ring reduce-scatter with elementwise sum
 // over contiguous chunks. bounds(i) is the element range group rank i
 // owns at the end. x is the caller's full vector; on return,
-// x[bounds(me)] holds the group-wide sum of that range, and the function
-// returns that slice. Other regions of x are clobbered with partial
-// sums.
-func reduceScatterRing(p *comm.Proc, g Group, x []float32, bounds boundsFn) []float32 {
+// x[bounds(me)] holds the group-wide sum of that range, and the
+// function returns that slice. Other regions of x are clobbered with
+// partial sums.
+func (c *Communicator) reduceScatterRing(x []float32, bounds boundsFn) []float32 {
+	p, g := c.p, c.shared.group
 	n := len(g)
-	me := g.Pos(p.Rank())
+	me := c.mypos
 	if n == 1 {
 		lo, hi := bounds(0)
 		return x[lo:hi]
@@ -133,9 +179,9 @@ func reduceScatterRing(p *comm.Proc, g Group, x []float32, bounds boundsFn) []fl
 		sendIdx := ((me-s-1)%n + n) % n
 		recvIdx := ((me-s-2)%n + n) % n
 		slo, shi := bounds(sendIdx)
-		p.Send(next, x[slo:shi])
+		c.send(next, x[slo:shi])
 		rlo, rhi := bounds(recvIdx)
-		got := p.Recv(prev)
+		got := c.recvNew(prev, rhi-rlo)
 		dst := x[rlo:rhi]
 		for i := range dst {
 			dst[i] += got[i]
@@ -150,12 +196,13 @@ func reduceScatterRing(p *comm.Proc, g Group, x []float32, bounds boundsFn) []fl
 // allgatherRing performs a ring allgather over contiguous chunks: on
 // entry x[bounds(me)] is this rank's finished chunk; on return every
 // chunk of x is filled with its owner's data.
-func allgatherRing(p *comm.Proc, g Group, x []float32, bounds boundsFn) {
+func (c *Communicator) allgatherRing(x []float32, bounds boundsFn) {
+	g := c.shared.group
 	n := len(g)
 	if n == 1 {
 		return
 	}
-	me := g.Pos(p.Rank())
+	me := c.mypos
 	next := g[(me+1)%n]
 	prev := g[(me-1+n)%n]
 	// Step s: pass chunk (me-s) mod n along, receiving (me-s-1) mod n;
@@ -164,8 +211,8 @@ func allgatherRing(p *comm.Proc, g Group, x []float32, bounds boundsFn) {
 		sendIdx := ((me-s)%n + n) % n
 		recvIdx := ((me-s-1)%n + n) % n
 		slo, shi := bounds(sendIdx)
-		p.Send(next, x[slo:shi])
+		c.send(next, x[slo:shi])
 		rlo, rhi := bounds(recvIdx)
-		p.RecvInto(prev, x[rlo:rhi])
+		c.recvInto(prev, x[rlo:rhi])
 	}
 }

@@ -41,7 +41,7 @@ func TestRandomizedShapesAdasumRVH(t *testing.T) {
 		g := WorldGroup(ranks)
 		results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 			x := tensor.Clone(inputs[p.Rank()])
-			AdasumRVH(p, g, x, layout)
+			C(p, g, StrategyRVH).Adasum(x, layout)
 			return x
 		})
 		for r, res := range results {
@@ -87,7 +87,7 @@ func TestRandomizedShapesHierarchical(t *testing.T) {
 		g := WorldGroup(ranks)
 		results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 			x := tensor.Clone(inputs[p.Rank()])
-			HierarchicalAdasum(p, g, x, layout, gpus)
+			NewHierarchy(C(p, g, StrategyRVH), gpus).Adasum(x, layout)
 			return x
 		})
 		for r, res := range results {
@@ -122,7 +122,7 @@ func TestRandomizedRingSum(t *testing.T) {
 		g := WorldGroup(ranks)
 		results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 			x := tensor.Clone(inputs[p.Rank()])
-			RingAllreduceSum(p, g, x)
+			C(p, g, StrategyRing).AllreduceSum(x)
 			return x
 		})
 		for r, res := range results {
@@ -156,7 +156,7 @@ func TestGroupSubsetCollectives(t *testing.T) {
 			return nil // idle rank
 		}
 		x := tensor.Clone(inputs[p.Rank()])
-		AdasumRVH(p, g, x, tensor.FlatLayout(n))
+		C(p, g, StrategyRVH).Adasum(x, tensor.FlatLayout(n))
 		return x
 	})
 	for _, r := range g {

@@ -29,7 +29,7 @@ func TestAdasumRVHRepeatedRunsIdentical(t *testing.T) {
 	for iter := 0; iter < 5; iter++ {
 		res := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 			x := tensor.Clone(inputs[p.Rank()])
-			AdasumRVH(p, g, x, layout)
+			C(p, g, StrategyRVH).Adasum(x, layout)
 			return x
 		})
 		if iter == 0 {
@@ -64,14 +64,14 @@ func TestMixedCollectivesShareWorld(t *testing.T) {
 	runRing := func() [][]float32 {
 		return comm.RunCollect(w, func(p *comm.Proc) []float32 {
 			x := tensor.Clone(inputs[p.Rank()])
-			RingAllreduceSum(p, g, x)
+			C(p, g, StrategyRing).AllreduceSum(x)
 			return x
 		})
 	}
 	runRVH := func() [][]float32 {
 		return comm.RunCollect(w, func(p *comm.Proc) []float32 {
 			x := tensor.Clone(inputs[p.Rank()])
-			AdasumRVH(p, g, x, layout)
+			C(p, g, StrategyRVH).Adasum(x, layout)
 			return x
 		})
 	}
@@ -83,6 +83,94 @@ func TestMixedCollectivesShareWorld(t *testing.T) {
 		}
 		if !tensor.Equal(rvh1[r], rvh2[r], 0) {
 			t.Fatalf("AdasumRVH results changed between runs on rank %d", r)
+		}
+	}
+}
+
+// TestBroadcastIntoGatherIntoReuse drives the pooled Into variants
+// repeatedly over one World with fixed destination buffers: results
+// must be identical every iteration (no pool-state leakage) and the
+// source vectors must never be clobbered. Together with
+// BenchmarkCommunicatorBroadcastGather16Ranks this pins the
+// steady-state 0 allocs/op contract of the Into variants.
+func TestBroadcastIntoGatherIntoReuse(t *testing.T) {
+	const ranks, n = 8, 700
+	rng := rand.New(rand.NewSource(17))
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = rng.Float32() - 0.5
+	}
+	srcCopy := tensor.Clone(src)
+	mine := make([][]float32, ranks)
+	for r := range mine {
+		mine[r] = make([]float32, n)
+		for i := range mine[r] {
+			mine[r][i] = float32(r) + float32(i)*1e-3
+		}
+	}
+	w := comm.NewWorld(ranks, nil)
+	g := WorldGroup(ranks)
+	comms := make([]*Communicator, ranks)
+	dsts := make([][]float32, ranks)
+	rows := make([][][]float32, ranks)
+	w.Run(func(p *comm.Proc) {
+		comms[p.Rank()] = New(p, g, Config{})
+		dsts[p.Rank()] = make([]float32, n)
+		rows[p.Rank()] = make([][]float32, ranks)
+		for i := range rows[p.Rank()] {
+			rows[p.Rank()][i] = make([]float32, n)
+		}
+	})
+	for iter := 0; iter < 5; iter++ {
+		w.Run(func(p *comm.Proc) {
+			c := comms[p.Rank()]
+			var bsrc []float32
+			if c.Rank() == 2 {
+				bsrc = src
+			}
+			c.BroadcastInto(2, dsts[p.Rank()], bsrc)
+			c.GatherInto(3, mine[p.Rank()], rows[p.Rank()])
+		})
+		for r := range dsts {
+			if !tensor.Equal(dsts[r], src, 0) {
+				t.Fatalf("iter %d rank %d: BroadcastInto result differs from source", iter, r)
+			}
+		}
+		if !tensor.Equal(src, srcCopy, 0) {
+			t.Fatalf("iter %d: BroadcastInto mutated the root's source", iter)
+		}
+		for i := 0; i < ranks; i++ {
+			if !tensor.Equal(rows[3][i], mine[i], 0) {
+				t.Fatalf("iter %d: GatherInto row %d differs from member vector", iter, i)
+			}
+		}
+	}
+}
+
+// TestGatherIntoMatchesGather cross-checks the pooled variant against
+// the allocating one, root at an interior position.
+func TestGatherIntoMatchesGather(t *testing.T) {
+	const ranks, n = 5, 33
+	inputs := makeInputs(71, ranks, n)
+	w := comm.NewWorld(ranks, nil)
+	g := WorldGroup(ranks)
+	gathered := comm.RunCollect(w, func(p *comm.Proc) [][]float32 {
+		return C(p, g, StrategyAuto).Gather(1, inputs[p.Rank()])
+	})
+	into := make([][]float32, ranks)
+	for i := range into {
+		into[i] = make([]float32, n)
+	}
+	w.Run(func(p *comm.Proc) {
+		var dst [][]float32
+		if p.Rank() == g[1] {
+			dst = into
+		}
+		C(p, g, StrategyAuto).GatherInto(1, inputs[p.Rank()], dst)
+	})
+	for i := range into {
+		if !tensor.Equal(into[i], gathered[1][i], 0) {
+			t.Fatalf("row %d: GatherInto differs from Gather", i)
 		}
 	}
 }

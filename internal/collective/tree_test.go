@@ -37,7 +37,7 @@ func TestTreeAdasumBitwiseParity(t *testing.T) {
 			g := WorldGroup(ranks)
 			results := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 				x := tensor.Clone(grads[p.Rank()])
-				TreeAdasum(p, g, x, layout)
+				C(p, g, StrategyTree).Adasum(x, layout)
 				return x
 			})
 			for r, got := range results {
@@ -65,7 +65,7 @@ func TestTreeAdasumSubgroup(t *testing.T) {
 			return nil
 		}
 		x := tensor.Clone(grads[g.Pos(p.Rank())])
-		TreeAdasum(p, g, x, layout)
+		C(p, g, StrategyTree).Adasum(x, layout)
 		return x
 	})
 	for _, r := range g {
@@ -85,7 +85,7 @@ func TestTreeAdasumClocks(t *testing.T) {
 	g := WorldGroup(ranks)
 	total := comm.MaxClock(w, func(p *comm.Proc) {
 		x := tensor.Clone(grads[p.Rank()])
-		TreeAdasum(p, g, x, layout)
+		C(p, g, StrategyTree).Adasum(x, layout)
 	})
 	// Symmetric recursive doubling: 3 levels, each one exchange of cost 1.
 	if total != 3 {

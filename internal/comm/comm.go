@@ -43,6 +43,7 @@ import (
 type message struct {
 	data    []float32
 	meta    []float64 // secondary channel for dot-product partials
+	ctl     []int     // control-plane payload (communicator construction)
 	arrival float64   // sender clock + transfer cost
 }
 
@@ -356,6 +357,34 @@ func (p *Proc) RecvCompressed(src int, c compress.Codec, dst []float32) {
 	p.ComputeMemCopy(int64(len(dst)) * 4)
 }
 
+// SendCtl transmits a control-plane payload to dst. Control traffic is
+// communicator-construction metadata (the color/key exchange of a
+// Split), the kind of out-of-band setup real stacks do once when a
+// communicator is created, not per collective — so it is charged to
+// neither the virtual clock nor the wire-byte meter, and its buffers
+// are not pooled (construction is not a steady-state path).
+func (p *Proc) SendCtl(dst int, vals []int) {
+	if dst == p.rank {
+		panic("comm: send to self")
+	}
+	c := make([]int, len(vals))
+	copy(c, vals)
+	p.chans[p.rank][dst] <- message{ctl: c}
+}
+
+// RecvCtl receives a control-plane payload from src without touching
+// the virtual clock. Control and data traffic share the per-(src, dst)
+// FIFO, so a deterministic program that matches every SendCtl with a
+// RecvCtl at the same point on both ranks cannot cross the streams; a
+// mismatch panics rather than silently interpreting bits.
+func (p *Proc) RecvCtl(src int) []int {
+	msg := <-p.chans[src][p.rank]
+	if msg.ctl == nil {
+		panic("comm: RecvCtl received a data message (control/data ordering mismatch)")
+	}
+	return msg.ctl
+}
+
 // Recv blocks until a message from src arrives and returns its payload,
 // advancing the virtual clock to the arrival time. The returned buffer is
 // owned by the caller; handing it back with Release once consumed lets
@@ -407,6 +436,9 @@ func (p *Proc) ScratchMeta(n int) []float64 { return p.world.pool.getF64(n) }
 
 func (p *Proc) recv(src int) ([]float32, []float64) {
 	msg := <-p.chans[src][p.rank]
+	if msg.ctl != nil {
+		panic("comm: data receive got a control message (control/data ordering mismatch)")
+	}
 	if msg.arrival > p.clock {
 		p.clock = msg.arrival
 	}

@@ -216,3 +216,65 @@ func TestWorldSizeValidation(t *testing.T) {
 	}()
 	NewWorld(0, nil)
 }
+
+// TestCtlPlaneClockAndMeterNeutral: control-plane messages (communicator
+// construction metadata) move data between ranks without advancing any
+// virtual clock or touching the wire-byte meter, even under a cost
+// model, and interleave with charged data traffic on the same FIFO.
+func TestCtlPlaneClockAndMeterNeutral(t *testing.T) {
+	w := NewWorld(2, simnet.Uniform(2, 1.0, 1e-6))
+	w.Run(func(p *Proc) {
+		peer := 1 - p.Rank()
+		if p.Rank() == 0 {
+			p.SendCtl(peer, []int{7, 8, 9})
+		} else {
+			got := p.RecvCtl(peer)
+			if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+				t.Errorf("ctl payload corrupted: %v", got)
+			}
+		}
+		if p.Clock() != 0 {
+			t.Errorf("rank %d: ctl traffic advanced the clock to %v", p.Rank(), p.Clock())
+		}
+	})
+	if w.WireBytes() != 0 {
+		t.Fatalf("ctl traffic metered %d wire bytes", w.WireBytes())
+	}
+	// Interleaving: ctl then data on the same (src, dst) pair, received
+	// in the same order, keeps both planes intact.
+	w2 := NewWorld(2, nil)
+	w2.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.SendCtl(1, []int{42})
+			p.Send(1, []float32{1, 2})
+		} else {
+			if got := p.RecvCtl(0); got[0] != 42 {
+				t.Errorf("ctl before data corrupted: %v", got)
+			}
+			data := p.Recv(0)
+			if len(data) != 2 || data[1] != 2 {
+				t.Errorf("data after ctl corrupted: %v", data)
+			}
+			p.Release(data)
+		}
+	})
+}
+
+// TestCtlDataMismatchPanics: receiving a data message where a control
+// message is expected is a loud ordering bug, re-raised by World.Run
+// with rank context.
+func TestCtlDataMismatchPanics(t *testing.T) {
+	w := NewWorld(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for data message on the ctl path")
+		}
+	}()
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, []float32{1})
+		} else {
+			p.RecvCtl(0) // data message on the ctl path must panic
+		}
+	})
+}

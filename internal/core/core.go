@@ -6,8 +6,9 @@
 //
 // becomes
 //
+//	c := collective.New(proc, group, collective.Config{})
 //	dopt := core.NewDistributedOptimizer(opt, core.OpAdasum, core.Options{})
-//	dopt.Step(proc, group, net, lr)
+//	dopt.Step(c, net, lr)
 //
 // For OpAdasum the wrapper implements the Figure 3 pattern: the inner
 // optimizer runs locally on each rank's gradient, and the allreduce
@@ -15,14 +16,17 @@
 // why Adasum composes with Adam and LAMB without increasing their
 // effective minibatch.
 //
-// The distributed collectives (AdasumRVH of Algorithm 1, ring sum,
-// hierarchical variants), tensor fusion, fp16 quantization and dynamic
-// loss scaling all hang off Options.
+// Everything communicates through a collective.Communicator — the
+// rank's endpoint bound to its group, with the collective algorithm
+// chosen by the communicator's Strategy (StrategyAuto reproduces the
+// paper's dispatch: Algorithm 1 on power-of-two groups, the linear
+// chain otherwise) and on-the-wire compression by its Codec.
+// Hierarchical reduction (§4.2.2), tensor fusion, fp16 quantization and
+// dynamic loss scaling hang off Options.
 package core
 
 import (
 	"repro/internal/collective"
-	"repro/internal/comm"
 	"repro/internal/float16"
 	"repro/internal/fusion"
 	"repro/internal/nn"
@@ -58,7 +62,8 @@ func (o Op) String() string {
 // Options tunes the communication path.
 type Options struct {
 	// Hierarchical enables the §4.2.2 scheme: intra-node reduce-scatter
-	// (sum), cross-node reduction, intra-node allgather. Requires
+	// (sum), cross-node reduction, intra-node allgather — composed from
+	// sub-communicators split off the caller's communicator. Requires
 	// GPUsPerNode to divide the group size.
 	Hierarchical bool
 	// GPUsPerNode is the node width for Hierarchical mode.
@@ -75,53 +80,78 @@ type Options struct {
 	Scaler *scaling.LossScaler
 }
 
-// Allreduce reduces x in place across the group with the chosen op.
+// Allreduce reduces x in place across c's group with the chosen op.
 // layout provides per-layer boundaries for Adasum (§3.6); pass
-// tensor.FlatLayout(len(x)) for whole-gradient semantics. Adasum
-// requires a power-of-two group (or node count in hierarchical mode);
-// non-power-of-two groups fall back to the linear chain, which is valid
-// for any size.
-func Allreduce(p *comm.Proc, g collective.Group, x []float32, layout tensor.Layout, op Op, o Options) {
+// tensor.FlatLayout(len(x)) for whole-gradient semantics. The algorithm
+// follows c's Strategy (StrategyAuto: Algorithm 1 on power-of-two
+// groups, linear chain otherwise; ring for sum/average). All members of
+// the group must call Allreduce with the same op and options.
+//
+// Hierarchical mode splits sub-communicators off c on every call;
+// per-step callers hold the composition instead — DistributedOptimizer
+// caches its Hierarchy, and AllreduceTensors splits once per batch of
+// buckets.
+func Allreduce(c *collective.Communicator, x []float32, layout tensor.Layout, op Op, o Options) {
 	if o.FP16 {
 		quantize(x, o.Scaler)
 	}
-	switch op {
-	case OpSum:
-		if o.Hierarchical && o.GPUsPerNode > 1 {
-			collective.HierarchicalSum(p, g, x, o.GPUsPerNode)
-		} else {
-			collective.RingAllreduceSum(p, g, x)
-		}
-	case OpAverage:
-		if o.Hierarchical && o.GPUsPerNode > 1 {
-			collective.HierarchicalSum(p, g, x, o.GPUsPerNode)
-			tensor.Scale(1/float32(len(g)), x)
-		} else {
-			collective.RingAllreduceMean(p, g, x)
-		}
-	case OpAdasum:
-		switch {
-		case o.Hierarchical && o.GPUsPerNode > 1:
-			collective.HierarchicalAdasum(p, g, x, layout, o.GPUsPerNode)
-		case g.IsPowerOfTwo():
-			collective.AdasumRVH(p, g, x, layout)
-		default:
-			collective.LinearAdasum(p, g, x, layout)
-		}
+	if o.Hierarchical && o.GPUsPerNode > 1 {
+		hierarchicalAllreduce(collective.NewHierarchy(c, o.GPUsPerNode), x, layout, op)
+	} else {
+		flatAllreduce(c, x, layout, op)
 	}
 	if o.FP16 {
 		quantize(x, nil) // result travels back as fp16 too
 	}
 }
 
+func flatAllreduce(c *collective.Communicator, x []float32, layout tensor.Layout, op Op) {
+	switch op {
+	case OpSum:
+		c.AllreduceSum(x)
+	case OpAverage:
+		c.AllreduceMean(x)
+	case OpAdasum:
+		c.Adasum(x, layout)
+	}
+}
+
+func hierarchicalAllreduce(h *collective.Hierarchy, x []float32, layout tensor.Layout, op Op) {
+	switch op {
+	case OpSum:
+		h.AllreduceSum(x)
+	case OpAverage:
+		h.AllreduceMean(x)
+	case OpAdasum:
+		h.Adasum(x, layout)
+	}
+}
+
 // AllreduceTensors fuses the named tensors into buffers bounded by the
 // fusion threshold, reduces each fused buffer (per-layer boundaries are
-// the member tensors), and scatters results back — the full §4.4.3 path.
-func AllreduceTensors(p *comm.Proc, g collective.Group, tensors [][]float32, names []string, op Op, o Options) {
+// the member tensors), and scatters results back — the full §4.4.3
+// path. In hierarchical mode the sub-communicators are split once and
+// reused across every bucket.
+func AllreduceTensors(c *collective.Communicator, tensors [][]float32, names []string, op Op, o Options) {
 	groups := fusion.Fuse(tensors, names, o.FusionThresholdBytes)
+	var h *collective.Hierarchy
+	if o.Hierarchical && o.GPUsPerNode > 1 {
+		h = collective.NewHierarchy(c, o.GPUsPerNode)
+	}
+	p := c.Proc()
 	for i := range groups {
 		p.ComputeMemCopy(groups[i].Bytes())
-		Allreduce(p, g, groups[i].Data, groups[i].Layout, op, o)
+		if o.FP16 {
+			quantize(groups[i].Data, o.Scaler)
+		}
+		if h != nil {
+			hierarchicalAllreduce(h, groups[i].Data, groups[i].Layout, op)
+		} else {
+			flatAllreduce(c, groups[i].Data, groups[i].Layout, op)
+		}
+		if o.FP16 {
+			quantize(groups[i].Data, nil)
+		}
 		p.ComputeMemCopy(groups[i].Bytes())
 	}
 	fusion.UnfuseAll(groups, tensors)
@@ -149,7 +179,9 @@ type DistributedOptimizer struct {
 	op    Op
 	opts  Options
 
-	start []float32 // scratch: pre-step parameter snapshot (Figure 3)
+	hier  *collective.Hierarchy    // cached hierarchical composition
+	hierC *collective.Communicator // the communicator hier was split from
+	start []float32                // scratch: pre-step parameter snapshot (Figure 3)
 	delta []float32
 }
 
@@ -161,20 +193,41 @@ func NewDistributedOptimizer(inner optim.Optimizer, op Op, opts Options) *Distri
 // Inner returns the wrapped optimizer.
 func (d *DistributedOptimizer) Inner() optim.Optimizer { return d.inner }
 
-// Step performs one distributed update of net on rank p:
+// allreduce reduces x through the wrapper's options, caching the
+// hierarchical composition so the per-step path splits communicators
+// once, not every step.
+func (d *DistributedOptimizer) allreduce(c *collective.Communicator, x []float32, layout tensor.Layout, op Op) {
+	if d.opts.FP16 {
+		quantize(x, d.opts.Scaler)
+	}
+	if d.opts.Hierarchical && d.opts.GPUsPerNode > 1 {
+		if d.hier == nil || d.hierC != c {
+			d.hier = collective.NewHierarchy(c, d.opts.GPUsPerNode)
+			d.hierC = c
+		}
+		hierarchicalAllreduce(d.hier, x, layout, op)
+	} else {
+		flatAllreduce(c, x, layout, op)
+	}
+	if d.opts.FP16 {
+		quantize(x, nil)
+	}
+}
+
+// Step performs one distributed update of net on the rank behind c:
 //
 //   - Sum/Average ops reduce the gradients first, then run the inner
 //     optimizer once — synchronous SGD;
 //   - Adasum runs the inner optimizer on the local gradient, computes the
 //     effective gradient (current - start), Adasum-allreduces it, and
 //     rewinds the model to start + combined delta (Figure 3).
-func (d *DistributedOptimizer) Step(p *comm.Proc, g collective.Group, net *nn.Network, lr float64) {
+func (d *DistributedOptimizer) Step(c *collective.Communicator, net *nn.Network, lr float64) {
 	params := net.Params()
 	grads := net.Grads()
 	layout := net.Layout()
 	switch d.op {
 	case OpSum, OpAverage:
-		Allreduce(p, g, grads, layout, OpAverage, d.opts)
+		d.allreduce(c, grads, layout, OpAverage)
 		d.inner.Step(params, grads, lr)
 	case OpAdasum:
 		if cap(d.start) < len(params) {
@@ -186,7 +239,7 @@ func (d *DistributedOptimizer) Step(p *comm.Proc, g collective.Group, net *nn.Ne
 		copy(d.start, params)
 		d.inner.Step(params, grads, lr)
 		tensor.Sub(d.delta, params, d.start)
-		Allreduce(p, g, d.delta, layout, OpAdasum, d.opts)
+		d.allreduce(c, d.delta, layout, OpAdasum)
 		copy(params, d.start)
 		tensor.Axpy(1, d.delta, params)
 	}

@@ -37,7 +37,7 @@ func TestAllreduceSumAverage(t *testing.T) {
 
 	sums := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		Allreduce(p, g, x, layout, OpSum, Options{})
+		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpSum, Options{})
 		return x
 	})
 	for _, s := range sums {
@@ -51,7 +51,7 @@ func TestAllreduceSumAverage(t *testing.T) {
 	tensor.Scale(0.25, avgWant)
 	avgs := comm.RunCollect(w2, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		Allreduce(p, g, x, layout, OpAverage, Options{})
+		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpAverage, Options{})
 		return x
 	})
 	for _, s := range avgs {
@@ -70,7 +70,7 @@ func TestAllreduceAdasumMatchesHostTree(t *testing.T) {
 	g := collective.WorldGroup(ranks)
 	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		Allreduce(p, g, x, layout, OpAdasum, Options{})
+		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpAdasum, Options{})
 		return x
 	})
 	for _, v := range got {
@@ -89,7 +89,7 @@ func TestAllreduceAdasumNonPowerOfTwoFallsBack(t *testing.T) {
 	g := collective.WorldGroup(ranks)
 	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		Allreduce(p, g, x, layout, OpAdasum, Options{})
+		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpAdasum, Options{})
 		return x
 	})
 	for _, v := range got {
@@ -114,7 +114,7 @@ func TestAllreduceHierarchicalAdasum(t *testing.T) {
 	g := collective.WorldGroup(ranks)
 	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		Allreduce(p, g, x, layout, OpAdasum, Options{Hierarchical: true, GPUsPerNode: gpus})
+		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpAdasum, Options{Hierarchical: true, GPUsPerNode: gpus})
 		return x
 	})
 	for _, v := range got {
@@ -132,7 +132,7 @@ func TestAllreduceFP16Quantizes(t *testing.T) {
 	layout := tensor.FlatLayout(n)
 	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		Allreduce(p, g, x, layout, OpSum, Options{FP16: true})
+		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpSum, Options{FP16: true})
 		return x
 	})
 	want := adasum.SumReduce(inputs)
@@ -160,7 +160,7 @@ func TestAllreduceFP16WithScaler(t *testing.T) {
 	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(small)
 		s := scaling.NewLossScaler()
-		Allreduce(p, g, x, layout, OpSum, Options{FP16: true, Scaler: s})
+		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpSum, Options{FP16: true, Scaler: s})
 		return x
 	})
 	for _, v := range got {
@@ -201,7 +201,7 @@ func TestAllreduceTensorsFusionRoundTrip(t *testing.T) {
 		for i := range sizes {
 			mine[i] = tensor.Clone(perRank[p.Rank()][i])
 		}
-		AllreduceTensors(p, g, mine, names, OpAdasum, Options{FusionThresholdBytes: 1 << 20})
+		AllreduceTensors(collective.New(p, g, collective.Config{}), mine, names, OpAdasum, Options{FusionThresholdBytes: 1 << 20})
 		return mine
 	})
 	for _, rankOut := range got {
@@ -250,7 +250,7 @@ func TestDistributedOptimizerAdasumFigure3Semantics(t *testing.T) {
 		x, labels := shard.Batch([]int{0, 1, 2, 3})
 		net.Gradient(x, labels, 4)
 		dopt := NewDistributedOptimizer(optim.NewAdam(), OpAdasum, Options{})
-		dopt.Step(p, g, net, 0.01)
+		dopt.Step(collective.New(p, g, collective.Config{}), net, 0.01)
 		return tensor.Clone(net.Params())
 	})
 	for r, v := range got {
@@ -280,7 +280,7 @@ func TestDistributedOptimizerSumMatchesSequentialAveragedStep(t *testing.T) {
 		net.SetParams(start)
 		copy(net.Grads(), inputs[p.Rank()])
 		dopt := NewDistributedOptimizer(optim.NewSGD(), OpSum, Options{})
-		dopt.Step(p, g, net, 0.1)
+		dopt.Step(collective.New(p, g, collective.Config{}), net, 0.1)
 		return tensor.Clone(net.Params())
 	})
 	for r, v := range got {
@@ -303,6 +303,7 @@ func TestDistributedTrainingEndToEnd(t *testing.T) {
 	accs := comm.RunCollect(w, func(p *comm.Proc) float64 {
 		net := nn.NewMLP(12, 16, 3)
 		net.SetParams(init)
+		c := collective.New(p, g, collective.Config{})
 		dopt := NewDistributedOptimizer(optim.NewMomentum(0.9), OpAdasum, Options{})
 		shard := train.Shard(p.Rank(), ranks)
 		it := data.NewIterator(shard.N, 16, int64(100+p.Rank()))
@@ -310,7 +311,7 @@ func TestDistributedTrainingEndToEnd(t *testing.T) {
 			idx := it.Next()
 			x, labels := shard.Batch(idx)
 			net.Gradient(x, labels, len(idx))
-			dopt.Step(p, g, net, 0.05)
+			dopt.Step(c, net, 0.05)
 		}
 		tx, tl := test.Batch(seqInts(test.N))
 		return net.Accuracy(tx, tl, test.N)

@@ -57,6 +57,7 @@ func TestTrainerMatchesDistributedLoop(t *testing.T) {
 	w := comm.NewWorld(ranks, nil)
 	g := collective.WorldGroup(ranks)
 	finals := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		c := collective.New(p, g, collective.Config{})
 		net := mkNet()
 		net.SetParams(init)
 		shard := train.Shard(p.Rank(), ranks)
@@ -65,7 +66,7 @@ func TestTrainerMatchesDistributedLoop(t *testing.T) {
 			idx := it.Next()
 			x, labels := shard.Batch(idx)
 			net.Gradient(x, labels, len(idx))
-			Allreduce(p, g, net.Grads(), net.Layout(), OpAdasum, Options{})
+			Allreduce(c, net.Grads(), net.Layout(), OpAdasum, Options{})
 			optim.NewSGD().Step(net.Params(), net.Grads(), lr)
 		}
 		return tensor.Clone(net.Params())
@@ -101,6 +102,7 @@ func TestFP16TrainingEndToEnd(t *testing.T) {
 		net.SetParams(init)
 		scaler := scaling.NewLossScaler()
 		opts := Options{FP16: true, Scaler: scaler}
+		c := collective.New(p, g, collective.Config{})
 		dopt := NewDistributedOptimizer(optim.NewMomentum(0.9), OpAdasum, opts)
 		shard := train.Shard(p.Rank(), ranks)
 		it := data.NewIterator(shard.N, 16, int64(40+p.Rank()))
@@ -108,7 +110,7 @@ func TestFP16TrainingEndToEnd(t *testing.T) {
 			idx := it.Next()
 			x, labels := shard.Batch(idx)
 			net.Gradient(x, labels, len(idx))
-			dopt.Step(p, g, net, 0.05)
+			dopt.Step(c, net, 0.05)
 		}
 		tx, tl := test.Batch(seqInts(test.N))
 		return net.Accuracy(tx, tl, test.N)
@@ -140,6 +142,7 @@ func TestHierarchicalFusedTraining(t *testing.T) {
 	g := collective.WorldGroup(ranks)
 	opts := Options{Hierarchical: true, GPUsPerNode: gpus}
 	accs := comm.RunCollect(w, func(p *comm.Proc) float64 {
+		c := collective.New(p, g, collective.Config{})
 		net := nn.NewMLP(12, 16, 3)
 		net.SetParams(init)
 		shard := train.Shard(p.Rank(), ranks)
@@ -148,7 +151,7 @@ func TestHierarchicalFusedTraining(t *testing.T) {
 			idx := it.Next()
 			x, labels := shard.Batch(idx)
 			net.Gradient(x, labels, len(idx))
-			Allreduce(p, g, net.Grads(), net.Layout(), OpAdasum, opts)
+			Allreduce(c, net.Grads(), net.Layout(), OpAdasum, opts)
 			for i, gr := range net.Grads() {
 				net.Params()[i] -= 0.05 * gr
 			}

@@ -149,7 +149,7 @@ func measureCompressedStep(cfg CompressionConfig, layout tensor.Layout, stepSec 
 	for r := range engines {
 		engines[r] = overlap.New(overlap.Options{
 			Group: group, Layout: layout,
-			FusionBytes: cfg.FusionBytes, Algo: overlap.AlgoRVH,
+			FusionBytes: cfg.FusionBytes, Strategy: collective.StrategyRVH,
 			Overlap: true, StepSeconds: stepSec,
 			Compression: codec,
 		})
@@ -180,7 +180,7 @@ func measureCompressedConvergence(cfg CompressionConfig, codec compress.Codec) (
 		Reduction:   trainer.ReduceAdasum,
 		Scope:       trainer.PostOptimizer,
 		PerLayer:    true,
-		Comm:        trainer.CommSync,
+		Comm:        trainer.CommCluster,
 		FusionBytes: 16 << 10, // several buckets per step
 		Compression: codec,
 		Model: func() *nn.Network {

@@ -112,6 +112,13 @@ func measureAllreduce(cfg Fig4Config, logicalBytes int, useAdasum bool) float64 
 	w := comm.NewWorld(cfg.Ranks, model)
 	g := collective.WorldGroup(cfg.Ranks)
 	return comm.MaxClock(w, func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{Strategy: collective.StrategyRVH})
+		// Every rank takes the same branch, so the Split collective inside
+		// NewHierarchy stays matched — and the Adasum arm skips it.
+		var hier *collective.Hierarchy
+		if !useAdasum {
+			hier = collective.NewHierarchy(c, cfg.GPUsPerNode)
+		}
 		tensors := make([][]float32, cfg.Tensors)
 		for i := range tensors {
 			tensors[i] = make([]float32, sizes[i])
@@ -123,9 +130,9 @@ func measureAllreduce(cfg Fig4Config, logicalBytes int, useAdasum bool) float64 
 		for gi := range groups {
 			p.ComputeMemCopy(groups[gi].Bytes())
 			if useAdasum {
-				collective.AdasumRVH(p, g, groups[gi].Data, groups[gi].Layout)
+				c.Adasum(groups[gi].Data, groups[gi].Layout)
 			} else {
-				collective.HierarchicalSum(p, g, groups[gi].Data, cfg.GPUsPerNode)
+				hier.AllreduceSum(groups[gi].Data)
 			}
 			p.ComputeMemCopy(groups[gi].Bytes())
 		}

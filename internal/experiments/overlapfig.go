@@ -99,7 +99,7 @@ func measureOverlapStep(cfg OverlapConfig, layout tensor.Layout, stepSec float64
 	for r := range engines {
 		engines[r] = overlap.New(overlap.Options{
 			Group: group, Layout: layout,
-			FusionBytes: threshold, Algo: overlap.AlgoRVH,
+			FusionBytes: threshold, Strategy: collective.StrategyRVH,
 			Overlap: async, StepSeconds: stepSec,
 		})
 	}

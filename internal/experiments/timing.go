@@ -34,17 +34,18 @@ func allreduceSeconds(mkModel func(ranks int) *simnet.Model, ranks, gpusPerNode,
 	g := collective.WorldGroup(ranks)
 	layout := tensor.FlatLayout(realFloats)
 	return comm.MaxClock(w, func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{Strategy: collective.StrategyRVH})
 		x := make([]float32, realFloats)
 		for i := range x {
 			x[i] = float32(p.Rank()%7) + 0.25
 		}
 		switch kind {
 		case "sum":
-			collective.HierarchicalSum(p, g, x, gpusPerNode)
+			collective.NewHierarchy(c, gpusPerNode).AllreduceSum(x)
 		case "adasum":
-			collective.AdasumRVH(p, g, x, layout)
+			c.Adasum(x, layout)
 		case "hier-adasum":
-			collective.HierarchicalAdasum(p, g, x, layout, gpusPerNode)
+			collective.NewHierarchy(c, gpusPerNode).Adasum(x, layout)
 		default:
 			panic("experiments: unknown allreduce kind " + kind)
 		}

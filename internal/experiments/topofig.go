@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// TopologyResult is the multi-level topology sweep enabled by the
+// communicator Split API: simulated latency of one Adasum allreduce on
+// a racked cluster (GPU/node/rack, with an oversubscribed spine) under
+// a flat single-communicator reduction, the paper's 2-level hierarchy
+// (sum within nodes, Adasum across), and the 3-level composition that
+// additionally reduce-scatters within each rack before crossing the
+// spine. The 3-level variant is pure composition — NewHierarchy(c,
+// gpus, nodesPerRack) — no new collective code.
+type TopologyResult struct {
+	Ranks        int
+	GPUsPerNode  int
+	NodesPerRack int
+	Racks        int
+
+	Bytes      []int
+	FlatMs     []float64
+	TwoLvlMs   []float64
+	ThreeLvlMs []float64
+}
+
+// TopologyConfig parameterizes the sweep.
+type TopologyConfig struct {
+	GPUsPerNode  int
+	NodesPerRack int
+	Racks        int
+	Layers       int
+	MinExp       int // smallest payload, 2^MinExp bytes
+	MaxExp       int
+	// MaxRealFloats bounds the actually-allocated vector; larger logical
+	// payloads scale the cost model's per-byte terms instead (exact
+	// under the linear alpha-beta model).
+	MaxRealFloats int
+}
+
+func topologyConfig(scale Scale) TopologyConfig {
+	cfg := TopologyConfig{
+		GPUsPerNode: 4, NodesPerRack: 2, Racks: 4,
+		Layers: 32,
+		MinExp: 18, MaxExp: 26,
+		MaxRealFloats: 1 << 16,
+	}
+	if scale == ScaleQuick {
+		cfg.Racks = 2
+		cfg.MaxExp = 24
+		cfg.MaxRealFloats = 1 << 14
+	}
+	return cfg
+}
+
+// RunTopology measures the three reduction topologies on the racked
+// TCP-40Gb cluster across payload sizes.
+func RunTopology(scale Scale) *TopologyResult {
+	cfg := topologyConfig(scale)
+	ranks := cfg.GPUsPerNode * cfg.NodesPerRack * cfg.Racks
+	res := &TopologyResult{
+		Ranks: ranks, GPUsPerNode: cfg.GPUsPerNode,
+		NodesPerRack: cfg.NodesPerRack, Racks: cfg.Racks,
+	}
+	for exp := cfg.MinExp; exp <= cfg.MaxExp; exp += 2 {
+		logicalBytes := 1 << exp
+		res.Bytes = append(res.Bytes, logicalBytes)
+		res.FlatMs = append(res.FlatMs, 1e3*measureTopology(cfg, ranks, logicalBytes, 0))
+		res.TwoLvlMs = append(res.TwoLvlMs, 1e3*measureTopology(cfg, ranks, logicalBytes, 1))
+		res.ThreeLvlMs = append(res.ThreeLvlMs, 1e3*measureTopology(cfg, ranks, logicalBytes, 2))
+	}
+	return res
+}
+
+// measureTopology returns the simulated seconds of one reduction of
+// logicalBytes with the given number of scatter levels (0 = flat RVH,
+// 1 = node hierarchy, 2 = node+rack hierarchy).
+func measureTopology(cfg TopologyConfig, ranks, logicalBytes, levels int) float64 {
+	realFloats := logicalBytes / 4
+	if realFloats < cfg.Layers {
+		realFloats = cfg.Layers
+	}
+	scaleF := 1.0
+	if realFloats > cfg.MaxRealFloats {
+		scaleF = float64(realFloats) / float64(cfg.MaxRealFloats)
+		realFloats = cfg.MaxRealFloats
+	}
+	model := simnet.TCP40Racked(ranks, cfg.NodesPerRack)
+	model.BetaIntra *= scaleF
+	model.BetaInter *= scaleF
+	model.BetaCross *= scaleF
+	model.FlopBeta *= scaleF
+	model.MemCopyBeta *= scaleF
+
+	// A multi-layer layout gives the layer-aligned reduce-scatter real
+	// boundaries to split at.
+	names := make([]string, cfg.Layers)
+	sizes := make([]int, cfg.Layers)
+	per := realFloats / cfg.Layers
+	for i := range names {
+		names[i] = fmt.Sprintf("l%d", i)
+		sizes[i] = per
+	}
+	layout := tensor.NewLayout(names, sizes)
+
+	w := comm.NewWorld(ranks, model)
+	g := collective.WorldGroup(ranks)
+	return comm.MaxClock(w, func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{Strategy: collective.StrategyRVH})
+		x := make([]float32, layout.TotalSize())
+		for i := range x {
+			x[i] = float32(p.Rank()%5) + 0.5
+		}
+		switch levels {
+		case 0:
+			c.Adasum(x, layout)
+		case 1:
+			collective.NewHierarchy(c, cfg.GPUsPerNode).Adasum(x, layout)
+		default:
+			collective.NewHierarchy(c, cfg.GPUsPerNode, cfg.NodesPerRack).Adasum(x, layout)
+		}
+	})
+}
+
+// Render writes the sweep table.
+func (r *TopologyResult) Render(w io.Writer) {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Multi-level topology: Adasum on TCP-40Gb-racked, %d ranks (%d GPUs/node, %d nodes/rack, %d racks)",
+			r.Ranks, r.GPUsPerNode, r.NodesPerRack, r.Racks),
+		Columns: []string{"bytes", "flat_ms", "2level_ms", "3level_ms", "3lvl/2lvl"},
+	}
+	for i := range r.Bytes {
+		t.Add(r.Bytes[i], r.FlatMs[i], r.TwoLvlMs[i], r.ThreeLvlMs[i],
+			r.ThreeLvlMs[i]/r.TwoLvlMs[i])
+	}
+	t.Write(w)
+}
+
+// BestThreeLevelSpeedup returns the largest 2-level/3-level latency
+// ratio of the sweep — above 1 means the extra rack stage paid for
+// itself somewhere in the payload range.
+func (r *TopologyResult) BestThreeLevelSpeedup() float64 {
+	var m float64
+	for i := range r.Bytes {
+		if q := r.TwoLvlMs[i] / r.ThreeLvlMs[i]; q > m {
+			m = q
+		}
+	}
+	return m
+}

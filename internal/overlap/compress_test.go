@@ -38,11 +38,11 @@ func TestCompressionNoneBitwiseAndClockIdentical(t *testing.T) {
 	layout := testLayout()
 	grads := randGrads(ranks, layout, 77)
 	model := simnet.TCP40(ranks)
-	for _, algo := range []Algo{AlgoTree, AlgoRVH, AlgoRingSum} {
+	for _, strat := range []collective.Strategy{collective.StrategyTree, collective.StrategyRVH, collective.StrategyRing} {
 		for _, overlapOn := range []bool{false, true} {
 			base := Options{
 				Group: collective.WorldGroup(ranks), Layout: layout,
-				FusionBytes: 4096, Algo: algo, Overlap: overlapOn,
+				FusionBytes: 4096, Strategy: strat, Overlap: overlapOn,
 				StepSeconds: 1e-3,
 			}
 			withNone := base
@@ -51,16 +51,16 @@ func TestCompressionNoneBitwiseAndClockIdentical(t *testing.T) {
 			got, gotSec, gotWire, gotClocks := runStepWire(ranks, model, withNone, grads)
 			for r := range got {
 				if !tensor.Equal(got[r], want[r], 0) {
-					t.Fatalf("%v overlap=%v: rank %d result differs under Compression=None", algo, overlapOn, r)
+					t.Fatalf("%v overlap=%v: rank %d result differs under Compression=None", strat, overlapOn, r)
 				}
 				if gotClocks[r] != wantClocks[r] {
 					t.Fatalf("%v overlap=%v: rank %d clock %v != %v under Compression=None",
-						algo, overlapOn, r, gotClocks[r], wantClocks[r])
+						strat, overlapOn, r, gotClocks[r], wantClocks[r])
 				}
 			}
 			if gotSec != wantSec || gotWire != wantWire {
 				t.Fatalf("%v overlap=%v: step sec/wire (%v, %d) != (%v, %d) under Compression=None",
-					algo, overlapOn, gotSec, gotWire, wantSec, wantWire)
+					strat, overlapOn, gotSec, gotWire, wantSec, wantWire)
 			}
 		}
 	}
@@ -76,11 +76,11 @@ func TestCompressedOverlapBitwiseEqualsSync(t *testing.T) {
 	layout := testLayout()
 	grads := randGrads(ranks, layout, 5)
 	for _, codec := range []compress.Codec{compress.FP16(), compress.Int8(0), compress.TopK(0.1, true)} {
-		for _, algo := range []Algo{AlgoTree, AlgoRVH, AlgoRingSum} {
+		for _, strat := range []collective.Strategy{collective.StrategyTree, collective.StrategyRVH, collective.StrategyRing} {
 			mk := func(overlapOn bool) Options {
 				return Options{
 					Group: collective.WorldGroup(ranks), Layout: layout,
-					FusionBytes: 4096, Algo: algo, Overlap: overlapOn,
+					FusionBytes: 4096, Strategy: strat, Overlap: overlapOn,
 					StepSeconds: 1e-3, Compression: codec,
 				}
 			}
@@ -88,7 +88,7 @@ func TestCompressedOverlapBitwiseEqualsSync(t *testing.T) {
 			overRes, _, _, _ := runStepWire(ranks, simnet.TCP40(ranks), mk(true), grads)
 			for r := range syncRes {
 				if !tensor.Equal(syncRes[r], overRes[r], 0) {
-					t.Fatalf("%s %v: rank %d sync/overlap results differ", codec, algo, r)
+					t.Fatalf("%s %v: rank %d sync/overlap results differ", codec, strat, r)
 				}
 			}
 		}
@@ -105,7 +105,7 @@ func TestCompressedStepCutsWireAndTime(t *testing.T) {
 	grads := randGrads(ranks, layout, 23)
 	base := Options{
 		Group: collective.WorldGroup(ranks), Layout: layout,
-		FusionBytes: 4096, Algo: AlgoRVH, Overlap: true,
+		FusionBytes: 4096, Strategy: collective.StrategyRVH, Overlap: true,
 	}
 	_, baseSec, baseWire, _ := runStepWire(ranks, simnet.TCP40(ranks), base, grads)
 	for _, codec := range []compress.Codec{compress.FP16(), compress.Int8(0), compress.TopK(0.05, true)} {
@@ -129,7 +129,7 @@ func TestCompressedStepAccuracy(t *testing.T) {
 	grads := randGrads(ranks, layout, 31)
 	base := Options{
 		Group: collective.WorldGroup(ranks), Layout: layout,
-		FusionBytes: 4096, Algo: AlgoTree, Overlap: true,
+		FusionBytes: 4096, Strategy: collective.StrategyTree, Overlap: true,
 	}
 	exact, _, _, _ := runStepWire(ranks, nil, base, grads)
 	opt := base

@@ -17,10 +17,10 @@
 // Overlap is on or off; the synchronous mode simply blocks at each
 // launch. The two modes therefore produce bitwise-identical results —
 // the property the trainer's A/B tests pin down — and differ only in
-// virtual time. With AlgoTree the result is additionally bitwise-equal
-// to the host-side adasum.Reducer tree reduction, so the whole bucketed
-// substrate can be verified against the monolithic path at zero
-// tolerance.
+// virtual time. With collective.StrategyTree the result is additionally
+// bitwise-equal to the host-side adasum.Reducer tree reduction, so the
+// whole bucketed substrate can be verified against the monolithic path
+// at zero tolerance.
 package overlap
 
 import (
@@ -33,35 +33,6 @@ import (
 	"repro/internal/tensor"
 )
 
-// Algo selects the per-bucket collective.
-type Algo int
-
-// Per-bucket collectives.
-const (
-	// AlgoTree is collective.TreeAdasum: recursive doubling on full
-	// vectors, bitwise-identical to the host-side Reducer tree. The
-	// deterministic-parity default.
-	AlgoTree Algo = iota
-	// AlgoRVH is collective.AdasumRVH, Algorithm 1 of the paper:
-	// bandwidth-optimal vector halving with the distributed per-layer
-	// dot-product completion. Requires a power-of-two group.
-	AlgoRVH
-	// AlgoRingSum is collective.RingAllreduceMean: the synchronous-SGD
-	// mean combiner on the bandwidth-optimal ring.
-	AlgoRingSum
-)
-
-func (a Algo) String() string {
-	switch a {
-	case AlgoRVH:
-		return "rvh"
-	case AlgoRingSum:
-		return "ring-sum"
-	default:
-		return "tree"
-	}
-}
-
 // Options configures an Engine.
 type Options struct {
 	// Group is the set of world ranks reducing together.
@@ -72,8 +43,13 @@ type Options struct {
 	// FusionBytes is the bucket threshold (<= 0 selects 2 MB, Horovod's
 	// default fusion buffer).
 	FusionBytes int
-	// Algo is the per-bucket collective.
-	Algo Algo
+	// Strategy selects the per-bucket collective on the unified
+	// collective.Strategy axis: StrategyTree (default) and StrategyRVH
+	// run the Adasum combine (host-tree parity and Algorithm 1
+	// respectively); StrategyRing runs the synchronous-SGD mean on the
+	// bandwidth-optimal ring. StrategyAuto resolves to the parity tree —
+	// the deterministic default the A/B harness verifies against.
+	Strategy collective.Strategy
 	// Overlap launches buckets asynchronously against the remaining
 	// backward compute; when false every bucket blocks at launch (the
 	// bulk-synchronous A/B baseline with identical arithmetic).
@@ -99,29 +75,39 @@ type Options struct {
 	Compression compress.Codec
 }
 
+// strategy resolves the configured per-bucket algorithm.
+func (o Options) strategy() collective.Strategy {
+	if o.Strategy == collective.StrategyAuto {
+		return collective.StrategyTree
+	}
+	return o.Strategy
+}
+
 // Engine is one rank's bucket scheduler. It owns the per-rank packer,
-// handle list and layer-time table, all reused across steps; every rank
-// of the group must drive its own Engine with the same Options so the
-// bucket sequence (and the plane numbering derived from it) agrees
-// everywhere. An Engine is not safe for concurrent use.
+// handle list, layer-time table and per-bucket-slot communicators, all
+// reused across steps; every rank of the group must drive its own
+// Engine with the same Options so the bucket sequence (and the plane
+// numbering derived from it) agrees everywhere. An Engine is not safe
+// for concurrent use.
 type Engine struct {
 	opt      Options
-	codec    compress.Codec // nil when uncompressed
 	packer   *fusion.Packer
 	layerSec []float64   // backward seconds per layer
 	slices   [][]float32 // per-step layer views of x, for unfusing
 	pending  []pendingOp
-	// streams holds this rank's per-bucket-slot compression state,
-	// indexed by launch order within a step; bucket sequences repeat
-	// across steps, so slot i's error-feedback residuals always belong
-	// to the same semantic bucket.
-	streams []*compress.Stream
+	// comms holds this rank's per-bucket-slot communicators, indexed by
+	// launch order within a step; bucket sequences repeat across steps,
+	// so slot i's communicator (and therefore its error-feedback
+	// residual stream) always belongs to the same semantic bucket. The
+	// first Step binds the prototype to the rank's Proc.
+	proto *collective.Communicator
+	comms []*collective.Communicator
 }
 
 type pendingOp struct {
-	h  *comm.Handle
-	g  *fusion.Group
-	st *compress.Stream
+	h *comm.Handle
+	g *fusion.Group
+	c *collective.Communicator
 }
 
 // New builds an Engine for one rank.
@@ -135,8 +121,14 @@ func New(opt Options) *Engine {
 	if opt.FusionBytes <= 0 {
 		opt.FusionBytes = 2 << 20
 	}
-	if opt.Algo == AlgoRVH && !opt.Group.IsPowerOfTwo() {
-		panic("overlap: AlgoRVH requires a power-of-two group")
+	switch opt.strategy() {
+	case collective.StrategyTree, collective.StrategyRing:
+	case collective.StrategyRVH:
+		if !opt.Group.IsPowerOfTwo() {
+			panic("overlap: StrategyRVH requires a power-of-two group")
+		}
+	default:
+		panic(fmt.Sprintf("overlap: per-bucket collectives take StrategyTree, StrategyRVH or StrategyRing (got %v)", opt.Strategy))
 	}
 	total := opt.Layout.TotalSize()
 	layerSec := make([]float64, opt.Layout.NumLayers())
@@ -145,13 +137,11 @@ func New(opt Options) *Engine {
 			layerSec[l] = opt.StepSeconds * float64(opt.Layout.Size(l)) / float64(total)
 		}
 	}
-	codec := opt.Compression
-	if compress.IsNone(codec) {
-		codec = nil // the uncompressed fast paths key off nil
+	if compress.IsNone(opt.Compression) {
+		opt.Compression = nil
 	}
 	return &Engine{
 		opt:      opt,
-		codec:    codec,
 		packer:   fusion.NewPacker(opt.FusionBytes),
 		layerSec: layerSec,
 		slices:   make([][]float32, opt.Layout.NumLayers()),
@@ -169,6 +159,12 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	layout := e.opt.Layout
 	if layout.TotalSize() != len(x) {
 		panic(fmt.Sprintf("overlap: x has %d elements, layout covers %d", len(x), layout.TotalSize()))
+	}
+	if e.proto == nil {
+		e.proto = collective.New(p, e.opt.Group, collective.Config{
+			Strategy: e.opt.strategy(),
+			Codec:    e.opt.Compression,
+		})
 	}
 	p.Compute(e.opt.PreSeconds)
 	e.packer.Reset()
@@ -191,7 +187,7 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	// MemCopy for the decode that materializes the dense result.
 	for _, op := range e.pending {
 		op.h.Wait(p)
-		if op.st != nil {
+		if op.c.Codec() != nil {
 			p.ComputeMemCopy(op.g.Bytes())
 		}
 		p.ComputeMemCopy(op.g.Bytes())
@@ -208,9 +204,8 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 // completes.
 func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	p.ComputeMemCopy(g.Bytes())
-	var st *compress.Stream
-	if e.codec != nil {
-		st = e.stream(len(e.pending))
+	c := e.slotComm(len(e.pending))
+	if st := c.Stream(); st != nil {
 		st.Begin()
 		st.Quantize(g.Data)
 		p.ComputeMemCopy(g.Bytes())
@@ -221,36 +216,35 @@ func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	}
 	plane := len(e.pending) + 1
 	h := p.Launch(plane, after, func(ap *comm.Proc) {
-		e.reduceBucket(ap, g, st)
+		e.reduceBucket(c.OnProc(ap), g)
 	})
-	e.pending = append(e.pending, pendingOp{h: h, g: g, st: st})
+	e.pending = append(e.pending, pendingOp{h: h, g: g, c: c})
 	if !e.opt.Overlap {
 		h.Wait(p)
 	}
 }
 
-// stream returns this rank's compression state for bucket slot i,
-// creating it on first use. The engine's join-before-next-step ordering
+// slotComm returns this rank's communicator for bucket slot i, creating
+// it on first use as a Fork of the prototype so each slot owns its own
+// error-feedback stream. The engine's join-before-next-step ordering
 // guarantees a slot's previous collective finished before the slot is
-// reused, so the stream hand-off between the rank goroutine and its
-// async op is race-free.
-func (e *Engine) stream(i int) *compress.Stream {
-	for len(e.streams) <= i {
-		e.streams = append(e.streams, compress.NewStream(e.codec))
+// reused, so the communicator hand-off between the rank goroutine and
+// its async op is race-free.
+func (e *Engine) slotComm(i int) *collective.Communicator {
+	for len(e.comms) <= i {
+		e.comms = append(e.comms, e.proto.Fork())
 	}
-	return e.streams[i]
+	return e.comms[i]
 }
 
-// reduceBucket dispatches the bucket's collective; the Compressed*
-// entry points delegate to the plain variants when st is nil, so one
-// switch serves both modes.
-func (e *Engine) reduceBucket(ap *comm.Proc, g *fusion.Group, st *compress.Stream) {
-	switch e.opt.Algo {
-	case AlgoRVH:
-		collective.CompressedAdasumRVH(ap, e.opt.Group, g.Data, g.Layout, st)
-	case AlgoRingSum:
-		collective.CompressedRingAllreduceMean(ap, e.opt.Group, g.Data, st)
-	default:
-		collective.CompressedTreeAdasum(ap, e.opt.Group, g.Data, g.Layout, st)
+// reduceBucket dispatches the bucket's collective on the communicator
+// bound to the async op's endpoint: StrategyRing buckets run the
+// synchronous-SGD mean, everything else the Adasum combine under the
+// communicator's own strategy.
+func (e *Engine) reduceBucket(c *collective.Communicator, g *fusion.Group) {
+	if c.Strategy() == collective.StrategyRing {
+		c.AllreduceMean(g.Data)
+		return
 	}
+	c.Adasum(g.Data, g.Layout)
 }

@@ -54,32 +54,32 @@ func TestOverlapBitwiseEqualsSync(t *testing.T) {
 	layout := testLayout()
 	const ranks = 8
 	model := simnet.TCP40(ranks)
-	for _, algo := range []Algo{AlgoTree, AlgoRVH, AlgoRingSum} {
+	for _, strat := range []collective.Strategy{collective.StrategyTree, collective.StrategyRVH, collective.StrategyRing} {
 		for _, threshold := range []int{1 << 11, 1 << 13, 1 << 22} {
 			grads := randGrads(ranks, layout, 42)
 			opt := Options{
 				Group: collective.WorldGroup(ranks), Layout: layout,
-				FusionBytes: threshold, Algo: algo, StepSeconds: 1e-3,
+				FusionBytes: threshold, Strategy: strat, StepSeconds: 1e-3,
 			}
 			syncRes, syncT := runStep(ranks, model, opt, grads)
 			opt.Overlap = true
 			overRes, overT := runStep(ranks, model, opt, grads)
 			for r := range syncRes {
 				if !tensor.Equal(syncRes[r], overRes[r], 0) {
-					t.Fatalf("algo=%v threshold=%d rank=%d: overlap result not bitwise-equal to sync",
-						algo, threshold, r)
+					t.Fatalf("strat=%v threshold=%d rank=%d: overlap result not bitwise-equal to sync",
+						strat, threshold, r)
 				}
 			}
 			if overT > syncT {
-				t.Fatalf("algo=%v threshold=%d: overlap time %v exceeds sync time %v",
-					algo, threshold, overT, syncT)
+				t.Fatalf("strat=%v threshold=%d: overlap time %v exceeds sync time %v",
+					strat, threshold, overT, syncT)
 			}
 		}
 	}
 }
 
 // TestTreeEngineBitwiseEqualsHostReducer pins the stronger parity: the
-// bucketed AlgoTree engine — any threshold, any rank count — reproduces
+// bucketed StrategyTree engine — any threshold, any rank count — reproduces
 // the host-side monolithic tree reduction bit for bit.
 func TestTreeEngineBitwiseEqualsHostReducer(t *testing.T) {
 	layout := testLayout()
@@ -90,7 +90,7 @@ func TestTreeEngineBitwiseEqualsHostReducer(t *testing.T) {
 			want := red.TreeReduce(grads, layout)
 			opt := Options{
 				Group: collective.WorldGroup(ranks), Layout: layout,
-				FusionBytes: threshold, Algo: AlgoTree, Overlap: true,
+				FusionBytes: threshold, Strategy: collective.StrategyTree, Overlap: true,
 			}
 			results, _ := runStep(ranks, nil, opt, grads)
 			for r := range results {
@@ -111,7 +111,7 @@ func TestRingEngineMatchesMean(t *testing.T) {
 	want := adasum.MeanReduce(grads)
 	opt := Options{
 		Group: collective.WorldGroup(ranks), Layout: layout,
-		Algo: AlgoRingSum, Overlap: true, FusionBytes: 1 << 12,
+		Strategy: collective.StrategyRing, Overlap: true, FusionBytes: 1 << 12,
 	}
 	results, _ := runStep(ranks, nil, opt, grads)
 	for r := range results {
@@ -139,7 +139,7 @@ func TestOverlapHidesCommunication(t *testing.T) {
 	opt := Options{
 		Group: collective.WorldGroup(ranks), Layout: layout,
 		FusionBytes: 4 * 4096 * 4, // four layers per bucket
-		Algo:        AlgoRVH,
+		Strategy:    collective.StrategyRVH,
 		StepSeconds: 0.004,
 	}
 	_, syncT := runStep(ranks, model, opt, grads)
@@ -170,7 +170,7 @@ func TestEngineStepIsRepeatable(t *testing.T) {
 	for r := range engines {
 		engines[r] = New(Options{
 			Group: collective.WorldGroup(ranks), Layout: layout,
-			FusionBytes: 1 << 13, Algo: AlgoTree, Overlap: true, StepSeconds: 1e-3,
+			FusionBytes: 1 << 13, Strategy: collective.StrategyTree, Overlap: true, StepSeconds: 1e-3,
 		})
 	}
 	red := adasum.NewReducer()

@@ -20,12 +20,16 @@ package simnet
 
 import "fmt"
 
-// Topology places ranks onto nodes: ranks [0, GPUsPerNode) share node 0,
-// and so on. Link class between two ranks is intra-node iff they share a
-// node.
+// Topology places ranks onto nodes (and optionally nodes onto racks):
+// ranks [0, GPUsPerNode) share node 0, and so on; nodes [0,
+// NodesPerRack) share rack 0. Link class between two ranks is
+// intra-node iff they share a node, inter-node within a rack, and
+// cross-rack otherwise. NodesPerRack = 0 disables the rack tier (every
+// inter-node link is equal), preserving the two-tier models unchanged.
 type Topology struct {
-	Ranks       int
-	GPUsPerNode int
+	Ranks        int
+	GPUsPerNode  int
+	NodesPerRack int
 }
 
 // Node returns the node index hosting rank r.
@@ -47,6 +51,19 @@ func (t Topology) Nodes() int {
 	return (t.Ranks + t.GPUsPerNode - 1) / t.GPUsPerNode
 }
 
+// Rack returns the rack index hosting rank r (0 when the rack tier is
+// disabled).
+func (t Topology) Rack(r int) int {
+	if t.NodesPerRack <= 0 {
+		return 0
+	}
+	return t.Node(r) / t.NodesPerRack
+}
+
+// SameRack reports whether ranks a and b share a rack; always true when
+// the rack tier is disabled.
+func (t Topology) SameRack(a, b int) bool { return t.Rack(a) == t.Rack(b) }
+
 // Model is the full hardware cost model for a cluster.
 type Model struct {
 	Name string
@@ -55,8 +72,13 @@ type Model struct {
 	// AlphaIntra/BetaIntra: per-message latency (s) and per-byte cost
 	// (s/B) for ranks on the same node.
 	AlphaIntra, BetaIntra float64
-	// AlphaInter/BetaInter: same for ranks on different nodes.
+	// AlphaInter/BetaInter: same for ranks on different nodes (within a
+	// rack, when the rack tier is enabled).
 	AlphaInter, BetaInter float64
+	// AlphaCross/BetaCross: same for ranks in different racks. Used only
+	// when Topo.NodesPerRack > 0 — the oversubscribed spine/aggregation
+	// hop of a multi-rack fabric.
+	AlphaCross, BetaCross float64
 	// FlopBeta: seconds per byte of reduction arithmetic (sum or the
 	// Adasum scaled-combine). Dot products cost the same per byte.
 	FlopBeta float64
@@ -74,6 +96,9 @@ func (m *Model) Transfer(src, dst int, n int64) float64 {
 	}
 	if m.Topo.SameNode(src, dst) {
 		return m.AlphaIntra + float64(n)*m.BetaIntra
+	}
+	if m.Topo.NodesPerRack > 0 && !m.Topo.SameRack(src, dst) {
+		return m.AlphaCross + float64(n)*m.BetaCross
 	}
 	return m.AlphaInter + float64(n)*m.BetaInter
 }
@@ -132,6 +157,23 @@ func TCP40(ranks int) *Model {
 		FlopBeta:    1.0 / 500e9,
 		MemCopyBeta: 1.0 / 300e9,
 	}
+}
+
+// TCP40Racked extends the TCP-40Gb cluster with a rack tier: 4-GPU
+// nodes, nodesPerRack nodes per rack on the 40 Gb leaf fabric, and an
+// oversubscribed spine between racks (twice the latency, roughly a
+// third of the per-stream bandwidth — the classic 3:1 oversubscription
+// of a cost-optimized datacenter fabric). This is the topology where a
+// third reduction level pays: cross-rack traffic is expensive enough
+// that shrinking it below the cross-node volume shows up directly in
+// step latency.
+func TCP40Racked(ranks, nodesPerRack int) *Model {
+	m := TCP40(ranks)
+	m.Name = "TCP-40Gb-racked"
+	m.Topo.NodesPerRack = nodesPerRack
+	m.AlphaCross = 2 * m.AlphaInter
+	m.BetaCross = 3 * m.BetaInter
+	return m
 }
 
 // Uniform builds a flat, fully symmetric model — every pair of ranks pays

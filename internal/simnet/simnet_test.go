@@ -140,3 +140,39 @@ func TestBERTCalibrationBands(t *testing.T) {
 		t.Fatalf("monolithic update = %v, want 1.82", full)
 	}
 }
+
+func TestRackTierTransferClasses(t *testing.T) {
+	// 2 GPUs/node, 2 nodes/rack: ranks 0-3 share rack 0, 4-7 rack 1.
+	m := TCP40Racked(8, 2)
+	m.Topo.GPUsPerNode = 2
+	intra := m.Transfer(0, 1, 1000) // same node
+	inter := m.Transfer(0, 2, 1000) // same rack, different node
+	cross := m.Transfer(0, 4, 1000) // different rack
+	if !(intra < inter && inter < cross) {
+		t.Fatalf("link classes not ordered: intra %v, inter %v, cross %v", intra, inter, cross)
+	}
+	if got := m.Transfer(2, 3, 1000); got != intra {
+		t.Fatalf("ranks 2,3 share a node: cost %v != intra %v", got, intra)
+	}
+	// Rack tier disabled (TCP40 has 4 GPUs/node): every inter-node link
+	// is equal no matter how far apart the nodes sit.
+	flat := TCP40(16)
+	if flat.Transfer(0, 4, 1000) != flat.Transfer(0, 12, 1000) {
+		t.Fatal("two-tier model charged a rack premium")
+	}
+}
+
+func TestRackIndexing(t *testing.T) {
+	topo := Topology{Ranks: 16, GPUsPerNode: 2, NodesPerRack: 4}
+	if topo.Rack(0) != 0 || topo.Rack(7) != 0 || topo.Rack(8) != 1 || topo.Rack(15) != 1 {
+		t.Fatal("rack indexing wrong")
+	}
+	if !topo.SameRack(0, 7) || topo.SameRack(7, 8) {
+		t.Fatal("SameRack wrong")
+	}
+	// Disabled tier: everything is rack 0.
+	flat := Topology{Ranks: 8, GPUsPerNode: 2}
+	if flat.Rack(7) != 0 || !flat.SameRack(0, 7) {
+		t.Fatal("disabled rack tier should collapse to one rack")
+	}
+}

@@ -12,17 +12,17 @@ import (
 // both bucketed comm modes bitwise-identical — parameters AND simulated
 // seconds — to the pre-codec paths.
 func TestCompressionNoneBitwiseIdenticalToCurrent(t *testing.T) {
-	for _, mode := range []CommMode{CommSync, CommOverlap} {
-		base := overlapCfg(4, mode)
-		withNone := overlapCfg(4, mode)
+	for _, over := range []bool{false, true} {
+		base := overlapCfg(4, CommCluster, over)
+		withNone := overlapCfg(4, CommCluster, over)
 		withNone.Compression = compress.None()
 		want := Run(base)
 		got := Run(withNone)
 		if !tensor.Equal(got.FinalParams, want.FinalParams, 0) {
-			t.Fatalf("mode=%v: params not bitwise-identical under Compression=None", mode)
+			t.Fatalf("overlap=%v: params not bitwise-identical under Compression=None", over)
 		}
 		if got.SimSeconds != want.SimSeconds {
-			t.Fatalf("mode=%v: SimSeconds %v != %v under Compression=None", mode, got.SimSeconds, want.SimSeconds)
+			t.Fatalf("overlap=%v: SimSeconds %v != %v under Compression=None", over, got.SimSeconds, want.SimSeconds)
 		}
 	}
 }
@@ -32,9 +32,9 @@ func TestCompressionNoneBitwiseIdenticalToCurrent(t *testing.T) {
 // deterministic bucket programs and error-feedback site sequences.
 func TestCompressedSyncOverlapBitwiseEqual(t *testing.T) {
 	for _, codec := range []compress.Codec{compress.FP16(), compress.TopK(0.1, true)} {
-		syncCfg := overlapCfg(4, CommSync)
+		syncCfg := overlapCfg(4, CommCluster, false)
 		syncCfg.Compression = codec
-		overCfg := overlapCfg(4, CommOverlap)
+		overCfg := overlapCfg(4, CommCluster, true)
 		overCfg.Compression = codec
 		syncRes := Run(syncCfg)
 		overRes := Run(overCfg)
@@ -51,9 +51,9 @@ func TestCompressedSyncOverlapBitwiseEqual(t *testing.T) {
 // reaches essentially the same training quality as the exact run on the
 // small MLP config (half precision is where the paper actually trains).
 func TestCompressedTrainingStillLearns(t *testing.T) {
-	exactCfg := overlapCfg(4, CommSync)
+	exactCfg := overlapCfg(4, CommCluster, false)
 	exact := Run(exactCfg)
-	fp16Cfg := overlapCfg(4, CommSync)
+	fp16Cfg := overlapCfg(4, CommCluster, false)
 	fp16Cfg.Compression = compress.FP16()
 	got := Run(fp16Cfg)
 	if got.FinalAccuracy < exact.FinalAccuracy-0.05 {
@@ -64,7 +64,7 @@ func TestCompressedTrainingStillLearns(t *testing.T) {
 // TestCompressionRequiresBucketedComm pins the Config validation: the
 // host path has no wire to compress.
 func TestCompressionRequiresBucketedComm(t *testing.T) {
-	cfg := overlapCfg(4, CommHost)
+	cfg := overlapCfg(4, CommHost, false)
 	cfg.Compression = compress.FP16()
 	defer func() {
 		if recover() == nil {

@@ -3,17 +3,17 @@ package trainer
 import (
 	"testing"
 
+	"repro/internal/collective"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/optim"
-	"repro/internal/overlap"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
 
 // overlapCfg is a small but multi-layer training setup shared by the
 // comm-mode equivalence tests.
-func overlapCfg(workers int, mode CommMode) Config {
+func overlapCfg(workers int, mode CommMode, over bool) Config {
 	train, test := data.GeneratePair(data.Config{
 		N: 512, Dim: 96, Classes: 6, Noise: 0.5, Seed: 21,
 	}, 128)
@@ -24,6 +24,7 @@ func overlapCfg(workers int, mode CommMode) Config {
 		Scope:      PreOptimizer,
 		PerLayer:   true,
 		Comm:       mode,
+		Overlap:    over,
 		// Small threshold so several buckets form per step.
 		FusionBytes: 2048,
 		Net:         simnet.TCP40(workers),
@@ -45,35 +46,35 @@ func overlapCfg(workers int, mode CommMode) Config {
 func TestOverlapStepBitwiseEqualsSyncStep(t *testing.T) {
 	for _, tc := range []struct {
 		workers int
-		algo    overlap.Algo
-	}{{4, overlap.AlgoTree}, {5, overlap.AlgoTree}, {4, overlap.AlgoRVH}, {8, overlap.AlgoRVH}} {
-		syncCfg := overlapCfg(tc.workers, CommSync)
-		syncCfg.BucketAlgo = tc.algo
-		overCfg := overlapCfg(tc.workers, CommOverlap)
-		overCfg.BucketAlgo = tc.algo
+		strat   collective.Strategy
+	}{{4, collective.StrategyTree}, {5, collective.StrategyTree}, {4, collective.StrategyRVH}, {8, collective.StrategyRVH}} {
+		syncCfg := overlapCfg(tc.workers, CommCluster, false)
+		syncCfg.Strategy = tc.strat
+		overCfg := overlapCfg(tc.workers, CommCluster, true)
+		overCfg.Strategy = tc.strat
 		syncRes := Run(syncCfg)
 		overRes := Run(overCfg)
 		if !tensor.Equal(syncRes.FinalParams, overRes.FinalParams, 0) {
-			t.Fatalf("workers=%d algo=%v: overlapped params not bitwise-equal to sync", tc.workers, tc.algo)
+			t.Fatalf("workers=%d strategy=%v: overlapped params not bitwise-equal to sync", tc.workers, tc.strat)
 		}
 		if overRes.SimSeconds >= syncRes.SimSeconds {
-			t.Fatalf("workers=%d algo=%v: overlap sim time %v not below sync %v",
-				tc.workers, tc.algo, overRes.SimSeconds, syncRes.SimSeconds)
+			t.Fatalf("workers=%d strategy=%v: overlap sim time %v not below sync %v",
+				tc.workers, tc.strat, overRes.SimSeconds, syncRes.SimSeconds)
 		}
 	}
 }
 
 // TestBucketedTreeBitwiseEqualsHostPath pins the bucketed substrate to
-// the monolithic host reducer: with AlgoTree the collective run is
+// the monolithic host reducer: with StrategyTree the collective run is
 // bitwise-identical to the CommHost run — same buckets or not, same
 // floats.
 func TestBucketedTreeBitwiseEqualsHostPath(t *testing.T) {
 	for _, workers := range []int{2, 3, 4} {
-		host := Run(overlapCfg(workers, CommHost))
-		for _, mode := range []CommMode{CommSync, CommOverlap} {
-			got := Run(overlapCfg(workers, mode))
+		host := Run(overlapCfg(workers, CommHost, false))
+		for _, over := range []bool{false, true} {
+			got := Run(overlapCfg(workers, CommCluster, over))
 			if !tensor.Equal(got.FinalParams, host.FinalParams, 0) {
-				t.Fatalf("workers=%d mode=%v: bucketed params not bitwise-equal to host path", workers, mode)
+				t.Fatalf("workers=%d overlap=%v: bucketed params not bitwise-equal to host path", workers, over)
 			}
 		}
 	}
@@ -83,14 +84,14 @@ func TestBucketedTreeBitwiseEqualsHostPath(t *testing.T) {
 // ring collective against the host mean at float tolerance (the ring's
 // summation order legitimately differs).
 func TestBucketedSumMatchesHostMean(t *testing.T) {
-	mk := func(mode CommMode) Config {
-		cfg := overlapCfg(4, mode)
+	mk := func(mode CommMode, over bool) Config {
+		cfg := overlapCfg(4, mode, over)
 		cfg.Reduction = ReduceSum
 		cfg.PerLayer = false
 		return cfg
 	}
-	host := Run(mk(CommHost))
-	over := Run(mk(CommOverlap))
+	host := Run(mk(CommHost, false))
+	over := Run(mk(CommCluster, true))
 	if !tensor.Equal(host.FinalParams, over.FinalParams, 1e-4) {
 		t.Fatalf("bucketed ring-sum run diverged from host mean run beyond tolerance")
 	}
@@ -101,8 +102,8 @@ func TestBucketedSumMatchesHostMean(t *testing.T) {
 // communication with backprop must shorten the simulated run, and the
 // overlapped run can never beat its own compute floor.
 func TestOverlapSimTimeBelowSyncUnderInterNodeModel(t *testing.T) {
-	syncRes := Run(overlapCfg(4, CommSync))
-	overRes := Run(overlapCfg(4, CommOverlap))
+	syncRes := Run(overlapCfg(4, CommCluster, false))
+	overRes := Run(overlapCfg(4, CommCluster, true))
 	if overRes.SimSeconds >= syncRes.SimSeconds {
 		t.Fatalf("overlap sim time %v not below sync %v", overRes.SimSeconds, syncRes.SimSeconds)
 	}
@@ -120,37 +121,44 @@ func TestBucketedAdasumRequiresPerLayer(t *testing.T) {
 			t.Fatal("expected panic for bucketed whole-gradient Adasum")
 		}
 	}()
-	cfg := overlapCfg(4, CommOverlap)
+	cfg := overlapCfg(4, CommCluster, true)
 	cfg.PerLayer = false
 	Run(cfg)
 }
 
 // TestBucketedAdasumRejectsRingSum documents that the mean combiner
-// cannot be selected for an Adasum reduction: AlgoRingSum would silently
-// replace the Adasum combine with plain averaging.
+// cannot be selected for an Adasum reduction: StrategyRing would
+// silently replace the Adasum combine with plain averaging. The reject
+// surfaces as a Validate error first, then as Run's panic.
 func TestBucketedAdasumRejectsRingSum(t *testing.T) {
+	cfg := overlapCfg(4, CommCluster, true)
+	cfg.Strategy = collective.StrategyRing
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected Validate error for ReduceAdasum with StrategyRing")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for ReduceAdasum with BucketAlgo AlgoRingSum")
+			t.Fatal("expected panic for ReduceAdasum with StrategyRing")
 		}
 	}()
-	cfg := overlapCfg(4, CommOverlap)
-	cfg.BucketAlgo = overlap.AlgoRingSum
 	Run(cfg)
 }
 
 // TestBucketedSumRejectsRVH is the converse: an explicitly requested
-// AlgoRVH must not be silently replaced by the ring collective when the
-// reduction is a sum.
+// StrategyRVH must not be silently replaced by the ring collective when
+// the reduction is a sum.
 func TestBucketedSumRejectsRVH(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for ReduceSum with BucketAlgo AlgoRVH")
-		}
-	}()
-	cfg := overlapCfg(4, CommOverlap)
+	cfg := overlapCfg(4, CommCluster, true)
 	cfg.Reduction = ReduceSum
 	cfg.PerLayer = false
-	cfg.BucketAlgo = overlap.AlgoRVH
+	cfg.Strategy = collective.StrategyRVH
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected Validate error for ReduceSum with StrategyRVH")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ReduceSum with StrategyRVH")
+		}
+	}()
 	Run(cfg)
 }

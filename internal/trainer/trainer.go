@@ -60,7 +60,10 @@ func (r Reduction) String() string {
 	return "sum"
 }
 
-// CommMode selects the substrate the reduction executes on.
+// CommMode selects the substrate the reduction executes on — and only
+// the substrate. Scheduling (Config.Overlap) and the collective
+// algorithm (Config.Strategy) are orthogonal knobs; they used to be
+// folded into this enum and a separate BucketAlgo.
 type CommMode int
 
 // CommMode values.
@@ -69,27 +72,20 @@ const (
 	// — no communication is simulated (the seed behaviour, and the
 	// algorithmic-efficiency default).
 	CommHost CommMode = iota
-	// CommSync runs the reduction as bucketed collectives on a simulated
-	// cluster (workers become comm ranks), each bucket blocking — the
-	// bulk-synchronous A/B baseline for the overlapped engine, with
-	// identical arithmetic.
-	CommSync
-	// CommOverlap schedules each bucket's collective asynchronously
-	// against the remaining backward compute (§4.4.3): the overlapped
-	// step loop. Results are bitwise-identical to CommSync; only the
-	// simulated step time differs.
-	CommOverlap
+	// CommCluster runs the reduction as bucketed collectives on a
+	// simulated cluster (workers become comm ranks) through per-rank
+	// communicators. Buckets block at launch unless Config.Overlap
+	// schedules them against the remaining backward compute (§4.4.3);
+	// either way the results are bitwise-identical — only the simulated
+	// step time differs.
+	CommCluster
 )
 
 func (m CommMode) String() string {
-	switch m {
-	case CommSync:
-		return "bucket-sync"
-	case CommOverlap:
-		return "bucket-overlap"
-	default:
-		return "host"
+	if m == CommCluster {
+		return "cluster"
 	}
+	return "host"
 }
 
 // Scope selects where the reduction happens relative to the optimizer.
@@ -129,32 +125,41 @@ type Config struct {
 	Scope     Scope
 	PerLayer  bool // per-layer Adasum (§3.6); false = whole-gradient
 
-	// Comm selects the reduction substrate. The bucketed modes require
+	// Comm selects the reduction substrate. CommCluster requires
 	// PerLayer for Adasum (bucket boundaries must not change the
-	// combine's segmentation, §3.6) and accept the knobs below.
+	// combine's segmentation, §3.6) and accepts the knobs below.
 	Comm CommMode
-	// FusionBytes is the bucket threshold of the bucketed comm modes
+	// Overlap schedules each bucket's collective asynchronously against
+	// the remaining backward compute (§4.4.3) — the overlapped step
+	// loop. Results are bitwise-identical with and without Overlap; only
+	// the simulated step time differs. CommCluster only.
+	Overlap bool
+	// FusionBytes is the bucket threshold of the cluster substrate
 	// (<= 0 selects the 2 MB Horovod default).
 	FusionBytes int
-	// Net is the simnet cost model for virtual-time accounting in the
-	// bucketed modes; nil simulates a free network (correctness only).
+	// Net is the simnet cost model for virtual-time accounting on the
+	// cluster substrate; nil simulates a free network (correctness only).
 	Net *simnet.Model
 	// StepSeconds is the simulated forward+backward time of one local
-	// step, overlapped against communication in CommOverlap and summed
-	// into Result.SimSeconds.
+	// step, overlapped against communication when Overlap is set and
+	// summed into Result.SimSeconds.
 	StepSeconds float64
-	// BucketAlgo selects the per-bucket collective for ReduceAdasum in
-	// the bucketed modes: overlap.AlgoTree (default) is bitwise-equal to
-	// the CommHost tree; overlap.AlgoRVH is the paper's Algorithm 1.
-	BucketAlgo overlap.Algo
-	// Compression selects the wire codec of the bucketed comm modes:
+	// Strategy selects the per-bucket collective on the unified
+	// collective.Strategy axis. For ReduceAdasum: StrategyTree (the
+	// StrategyAuto default) is bitwise-equal to the CommHost tree,
+	// StrategyRVH is the paper's Algorithm 1, and StrategyRing is
+	// rejected — a ring sum would silently replace the adaptive combine.
+	// For ReduceSum only StrategyRing (or Auto) is accepted.
+	// CommCluster only.
+	Strategy collective.Strategy
+	// Compression selects the wire codec of the cluster substrate:
 	// bucket payloads are quantized at launch and every collective hop
 	// carries encoded words, so the simulated clock and wire-byte meter
 	// see compressed sizes (error-feedback codecs keep their residuals
 	// per worker across steps). nil or compress.None() leaves the
 	// substrate bitwise-identical to the uncompressed paths; a lossy
-	// codec requires CommSync or CommOverlap (the host path has no
-	// wire to compress).
+	// codec requires CommCluster (the host path has no wire to
+	// compress).
 	Compression compress.Codec
 
 	Model     func() *nn.Network // replica factory; all replicas must be identical shapes
@@ -224,19 +229,74 @@ type worker struct {
 	grad  []float32 // scratch: this worker's contribution per reduction
 }
 
+// Validate checks the configuration and reports the first problem as an
+// error, covering everything Run would otherwise panic on: required
+// fields, substrate/knob compatibility (bucketed Adasum needs PerLayer,
+// lossy codecs need a wire, strategy/reduction agreement). Callers that
+// assemble configs from user input — the cmds — validate first and
+// report cleanly; Run still panics on an invalid config, programmer
+// error by then.
+func (c Config) Validate() error {
+	if c.Workers <= 0 || c.Microbatch <= 0 {
+		return fmt.Errorf("Workers and Microbatch must be positive (got %d, %d)", c.Workers, c.Microbatch)
+	}
+	if c.Model == nil || c.Optimizer == nil || c.Schedule == nil {
+		return fmt.Errorf("Model, Optimizer and Schedule are required")
+	}
+	if c.Train == nil || c.Test == nil {
+		return fmt.Errorf("Train and Test datasets are required")
+	}
+	switch c.Comm {
+	case CommHost:
+		if !compress.IsNone(c.Compression) {
+			return fmt.Errorf("Compression requires Comm = CommCluster; the host path has no wire to compress")
+		}
+		if c.Overlap {
+			return fmt.Errorf("Overlap requires Comm = CommCluster; the host path has no communication to overlap")
+		}
+	case CommCluster:
+		if c.Reduction == ReduceAdasum && !c.PerLayer {
+			return fmt.Errorf("bucketed Adasum requires PerLayer (bucket boundaries must not change the combine's segmentation, §3.6)")
+		}
+		if _, err := c.bucketStrategy(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown CommMode %d", c.Comm)
+	}
+	return nil
+}
+
+// bucketStrategy resolves Config.Strategy against the reduction for the
+// cluster substrate.
+func (c Config) bucketStrategy() (collective.Strategy, error) {
+	if c.Reduction == ReduceSum {
+		switch c.Strategy {
+		case collective.StrategyAuto, collective.StrategyRing:
+			return collective.StrategyRing, nil
+		default:
+			return 0, fmt.Errorf("Strategy %v selects an Adasum bucket collective; ReduceSum buckets run StrategyRing", c.Strategy)
+		}
+	}
+	switch c.Strategy {
+	case collective.StrategyAuto, collective.StrategyTree:
+		return collective.StrategyTree, nil
+	case collective.StrategyRVH:
+		return collective.StrategyRVH, nil
+	case collective.StrategyRing:
+		return 0, fmt.Errorf("Strategy %v is the ReduceSum combiner; ReduceAdasum buckets take StrategyTree or StrategyRVH", c.Strategy)
+	default:
+		return 0, fmt.Errorf("Strategy %v is not a bucket collective; ReduceAdasum buckets take StrategyTree or StrategyRVH", c.Strategy)
+	}
+}
+
 // Run executes the configured training and returns its history.
 func Run(cfg Config) *Result {
-	if cfg.Workers <= 0 || cfg.Microbatch <= 0 {
-		panic("trainer: Workers and Microbatch must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic("trainer: " + err.Error())
 	}
 	if cfg.LocalSteps <= 0 {
 		cfg.LocalSteps = 1
-	}
-	if cfg.Model == nil || cfg.Optimizer == nil || cfg.Schedule == nil {
-		panic("trainer: Model, Optimizer and Schedule are required")
-	}
-	if cfg.Train == nil || cfg.Test == nil {
-		panic("trainer: Train and Test datasets are required")
 	}
 
 	master := cfg.Model()
@@ -339,26 +399,15 @@ type commEngine struct {
 	engines []*overlap.Engine
 }
 
-// newCommEngine builds the substrate for the bucketed comm modes, or
-// returns nil for CommHost.
+// newCommEngine builds the substrate for CommCluster, or returns nil
+// for CommHost. The config has already been validated by Run.
 func newCommEngine(cfg Config, layout tensor.Layout) *commEngine {
 	if cfg.Comm == CommHost {
-		if !compress.IsNone(cfg.Compression) {
-			panic("trainer: Compression requires a bucketed comm mode (CommSync or CommOverlap); the host path has no wire to compress")
-		}
 		return nil
 	}
-	if cfg.Reduction == ReduceAdasum && !cfg.PerLayer {
-		panic("trainer: bucketed Adasum requires PerLayer (bucket boundaries must not change the combine's segmentation, §3.6)")
-	}
-	algo := cfg.BucketAlgo
-	if cfg.Reduction == ReduceSum {
-		if algo == overlap.AlgoRVH {
-			panic("trainer: BucketAlgo AlgoRVH is an Adasum bucket collective; ReduceSum buckets run AlgoRingSum")
-		}
-		algo = overlap.AlgoRingSum
-	} else if algo == overlap.AlgoRingSum {
-		panic("trainer: BucketAlgo AlgoRingSum is the ReduceSum combiner; ReduceAdasum buckets take AlgoTree or AlgoRVH")
+	strategy, err := cfg.bucketStrategy()
+	if err != nil {
+		panic("trainer: " + err.Error())
 	}
 	world := comm.NewWorld(cfg.Workers, cfg.Net)
 	group := collective.WorldGroup(cfg.Workers)
@@ -366,7 +415,7 @@ func newCommEngine(cfg Config, layout tensor.Layout) *commEngine {
 	for w := range engines {
 		engines[w] = overlap.New(overlap.Options{
 			Group: group, Layout: layout, FusionBytes: cfg.FusionBytes,
-			Algo: algo, Overlap: cfg.Comm == CommOverlap,
+			Strategy: strategy, Overlap: cfg.Overlap,
 			Compression: cfg.Compression,
 			StepSeconds: cfg.StepSeconds,
 			// Earlier local steps of an accumulated reduction cannot

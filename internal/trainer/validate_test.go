@@ -1,0 +1,60 @@
+package trainer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/compress"
+)
+
+// TestConfigValidate exercises the error paths that used to be
+// scattered panics: each invalid configuration comes back as a
+// descriptive error from Validate (so cmds can report it cleanly)
+// while a valid one passes.
+func TestConfigValidate(t *testing.T) {
+	valid := overlapCfg(4, CommCluster, true)
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid cluster config rejected: %v", err)
+	}
+	hostValid := overlapCfg(4, CommHost, false)
+	if err := hostValid.Validate(); err != nil {
+		t.Fatalf("valid host config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"no workers", func(c *Config) { c.Workers = 0 }, "Workers"},
+		{"no model", func(c *Config) { c.Model = nil }, "required"},
+		{"no data", func(c *Config) { c.Train = nil }, "datasets"},
+		{"host compression", func(c *Config) {
+			c.Comm = CommHost
+			c.Overlap = false
+			c.Compression = compress.FP16()
+		}, "no wire"},
+		{"host overlap", func(c *Config) {
+			c.Comm = CommHost
+			c.Overlap = true
+		}, "no communication to overlap"},
+		{"whole-gradient bucketed adasum", func(c *Config) { c.PerLayer = false }, "PerLayer"},
+		{"adasum over ring", func(c *Config) { c.Strategy = collective.StrategyRing }, "ReduceSum combiner"},
+		{"sum over rvh", func(c *Config) {
+			c.Reduction = ReduceSum
+			c.Strategy = collective.StrategyRVH
+		}, "StrategyRing"},
+	}
+	for _, tc := range cases {
+		cfg := overlapCfg(4, CommCluster, true)
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted an invalid config", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
