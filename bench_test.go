@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/nn"
 	"repro/internal/overlap"
+	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
 
@@ -511,6 +512,53 @@ func BenchmarkAblationTreeVsLinear(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = red.LinearReduce(grads, layout)
+		}
+	})
+}
+
+// BenchmarkElasticStep is the steady-state cost of one reduction step
+// on the failure-aware substrate, no failure injected: every receive
+// polls the sender's death latch, every clock advance checks the
+// fail-at deadline, and per-step compute is scaled through the
+// deterministic straggler model. This is the elasticity plumbing's tax
+// on the hot path, and it must stay at 0 allocs/op — the gate that
+// keeps fault tolerance from slowing down healthy training.
+func BenchmarkElasticStep(b *testing.B) {
+	const ranks, n = 16, 1 << 14
+	layout := tensor.NewLayout(
+		[]string{"conv", "bn", "fc", "head"},
+		[]int{n / 2, n / 8, n / 4, n / 8})
+	skew := make([]float64, ranks)
+	for i := range skew {
+		skew[i] = 1
+	}
+	skew[ranks-1] = 1.3
+	model := simnet.Uniform(ranks, 1e-6, 1e-10)
+	model.Faults = &simnet.Faults{
+		SkewFactors: skew,
+		Jitter:      0.05, JitterSeed: 11,
+		// A live (never-firing) deadline keeps the per-advance check on
+		// the real code path rather than the +Inf fast case alone.
+		FailAtSeconds: map[int]float64{0: 1e18},
+	}
+	w := comm.NewWorld(ranks, model)
+	inputs := make([][]float32, ranks)
+	xs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = randVec(n, int64(900+i))
+		xs[i] = make([]float32, n)
+	}
+	g := collective.WorldGroup(ranks)
+	b.SetBytes(int64(n * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{Strategy: collective.StrategyRVH})
+		x := xs[p.Rank()]
+		for i := 0; i < b.N; i++ {
+			p.Compute(1e-4 * model.Faults.ComputeScale(p.Rank(), i))
+			copy(x, inputs[p.Rank()])
+			c.Adasum(x, layout)
 		}
 	})
 }

@@ -12,18 +12,26 @@
 // schedules fused gradient buckets against simulated backprop (§4.4.3),
 // a compressed-communication subsystem (package compress: fp16, int8
 // and top-k-with-error-feedback wire codecs carried by the
-// communicator's single codec-aware code path), and runners that
-// regenerate every table and figure of the paper's evaluation on
-// synthetic substitutes for its hardware and datasets.
+// communicator's single codec-aware code path), an elastic
+// fault-tolerance subsystem — straggler and fail-at-virtual-time
+// injection (simnet.Faults), typed dead-rank unblocking and aggregated
+// rank errors in comm, survivor rebuild by dead-skipping communicator
+// Split with explicit engine rebinding, and bitwise checkpoint/resume
+// (package checkpoint) that captures optimizer state, data-iterator
+// cursors and error-feedback residuals — and runners that regenerate
+// every table and figure of the paper's evaluation on synthetic
+// substitutes for its hardware and datasets.
 //
 // See DESIGN.md for the design record of the reduction hot path — the
 // fused single-pass dot/norm kernels (with their AVX+FMA fast path), the
 // workspace-owning adasum.Reducer, the pooled communication buffers, the
 // in-place recursive-vector-halving collectives, the Communicator's
 // ownership/Strategy/Split design, the channel-plane/async-handle
-// machinery with its virtual-clock accounting rules, and the codec
+// machinery with its virtual-clock accounting rules, the codec
 // placement, error-feedback state ownership and compressed-byte clock
-// accounting of the compression subsystem — plus the experiment
+// accounting of the compression subsystem, and the failure semantics
+// (dead-rank unblocking, survivor Split, what a checkpoint must
+// contain and why EF residuals are part of it) — plus the experiment
 // substitution notes. The benchmark harness in bench_test.go
 // regenerates each experiment and micro-benchmarks the kernels:
 //

@@ -218,24 +218,57 @@ func (c *Communicator) Fork() *Communicator {
 // so communicator construction charges neither the virtual clock nor
 // the wire-byte meter (setup, not steady-state traffic).
 //
+// Dead members of the parent group are skipped: they neither
+// participate in the exchange (the root would hang gathering from
+// them) nor appear in any resulting group, and the exchange is rooted
+// at the group's first alive member. This is how an elastic trainer
+// re-splits a survivor communicator after a failure — every survivor
+// calls Split with the same color and the surviving ranks fall out as
+// the new group. Deadness must be settled when Split runs (between
+// collectives, after the failed Run returned); a rank dying mid-Split
+// collapses into the usual RankFailure cascade.
+//
 // The sub-communicator inherits the parent's Strategy and Codec with a
 // fresh compression stream.
 func (c *Communicator) Split(color, key int) *Communicator {
 	g := c.shared.group
 	n := len(g)
-	table := make([]int, 2*n)
-	if c.mypos == 0 {
-		table[0], table[1] = color, key
-		for i := 1; i < n; i++ {
-			ck := c.p.RecvCtl(g[i])
-			table[2*i], table[2*i+1] = ck[0], ck[1]
+	root := -1
+	for i, r := range g {
+		if c.p.Alive(r) {
+			root = i
+			break
 		}
-		for i := 1; i < n; i++ {
-			c.p.SendCtl(g[i], table)
+	}
+	if root < 0 {
+		panic("collective: Split on a group with no alive members")
+	}
+	// deadColor marks a skipped member in the gathered table; negative,
+	// so it can never collide with a participating color (callers'
+	// negative colors are MPI_UNDEFINED and never enter the table
+	// comparison below for other members).
+	const deadColor = -1 << 30
+	table := make([]int, 2*n)
+	if c.mypos == root {
+		for i, r := range g {
+			switch {
+			case i == root:
+				table[2*i], table[2*i+1] = color, key
+			case !c.p.Alive(r):
+				table[2*i] = deadColor
+			default:
+				ck := c.p.RecvCtl(r)
+				table[2*i], table[2*i+1] = ck[0], ck[1]
+			}
+		}
+		for i, r := range g {
+			if i != root && c.p.Alive(r) {
+				c.p.SendCtl(r, table)
+			}
 		}
 	} else {
-		c.p.SendCtl(g[0], []int{color, key})
-		table = c.p.RecvCtl(g[0])
+		c.p.SendCtl(g[root], []int{color, key})
+		table = c.p.RecvCtl(g[root])
 	}
 	if color < 0 {
 		return nil

@@ -1,0 +1,78 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// TestSplitSkipsDeadMembers is the survivor-rebuild primitive: after a
+// rank dies, the remaining members re-split the world communicator with
+// one shared color and the dead rank falls out of the resulting group.
+func TestSplitSkipsDeadMembers(t *testing.T) {
+	w := comm.NewWorld(4, nil)
+	w.DeclareDead(2)
+	groups := make([]Group, 4)
+	if err := w.RunErr(func(p *comm.Proc) {
+		c := New(p, WorldGroup(4), Config{})
+		nc := c.Split(0, p.Rank())
+		groups[p.Rank()] = nc.Group()
+	}); err != nil {
+		t.Fatalf("survivor split failed: %v", err)
+	}
+	want := Group{0, 1, 3}
+	for _, r := range want {
+		g := groups[r]
+		if len(g) != 3 || g[0] != 0 || g[1] != 1 || g[2] != 3 {
+			t.Fatalf("rank %d split group = %v, want %v", r, g, want)
+		}
+	}
+}
+
+// TestSplitSkipsDeadRoot covers the harder case: the group's position-0
+// member (the old exchange root) is the dead one, so the first alive
+// member must take over as root.
+func TestSplitSkipsDeadRoot(t *testing.T) {
+	w := comm.NewWorld(4, nil)
+	w.DeclareDead(0)
+	groups := make([]Group, 4)
+	if err := w.RunErr(func(p *comm.Proc) {
+		c := New(p, WorldGroup(4), Config{})
+		nc := c.Split(0, p.Rank())
+		groups[p.Rank()] = nc.Group()
+	}); err != nil {
+		t.Fatalf("survivor split with dead root failed: %v", err)
+	}
+	for _, r := range []int{1, 2, 3} {
+		g := groups[r]
+		if len(g) != 3 || g[0] != 1 || g[1] != 2 || g[2] != 3 {
+			t.Fatalf("rank %d split group = %v, want [1 2 3]", r, g)
+		}
+	}
+}
+
+// TestSurvivorCommunicatorReduces: the group produced by a dead-skipping
+// Split is a fully working communicator — the survivors run an Adasum
+// on it and every survivor finishes with the same combined vector.
+func TestSurvivorCommunicatorReduces(t *testing.T) {
+	w := comm.NewWorld(4, nil)
+	w.DeclareDead(1)
+	out := make([][]float32, 4)
+	if err := w.RunErr(func(p *comm.Proc) {
+		c := New(p, WorldGroup(4), Config{Strategy: StrategyTree})
+		nc := c.Split(0, p.Rank())
+		x := []float32{float32(p.Rank()) + 1, 2, 3, 4}
+		nc.Adasum(x, tensor.FlatLayout(len(x)))
+		out[p.Rank()] = x
+	}); err != nil {
+		t.Fatalf("survivor reduction failed: %v", err)
+	}
+	for _, r := range []int{2, 3} {
+		for i := range out[0] {
+			if out[r][i] != out[0][i] {
+				t.Fatalf("survivor %d diverged from survivor 0: %v vs %v", r, out[r], out[0])
+			}
+		}
+	}
+}

@@ -3,6 +3,8 @@ package collective
 import (
 	"fmt"
 
+	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/tensor"
 )
 
@@ -65,6 +67,36 @@ func NewHierarchy(c *Communicator, widths ...int) *Hierarchy {
 	// Cross communicator: ranks sharing all scatter coordinates.
 	h.cross = c.Split(me%stride, me/stride)
 	return h
+}
+
+// OnProc rebinds every level of the hierarchy to another endpoint of
+// the same rank — the cloned Proc of an asynchronous op — without
+// re-running any Split exchange. Compression streams are shared with
+// the receiver, so error-feedback residuals persist across rebindings;
+// as with Communicator.OnProc, the caller's launch/join ordering must
+// keep the stream handoff race-free.
+func (h *Hierarchy) OnProc(p *comm.Proc) *Hierarchy {
+	nh := &Hierarchy{
+		scatter: make([]*Communicator, len(h.scatter)),
+		cross:   h.cross.OnProc(p),
+	}
+	for i, lc := range h.scatter {
+		nh.scatter[i] = lc.OnProc(p)
+	}
+	return nh
+}
+
+// Streams returns the per-level compression streams in deterministic
+// order (innermost scatter level first, cross level last) — the state a
+// checkpoint must capture so resumed error-feedback residuals land on
+// the sites that dropped them. Entries are nil for an uncompressed
+// hierarchy.
+func (h *Hierarchy) Streams() []*compress.Stream {
+	out := make([]*compress.Stream, 0, len(h.scatter)+1)
+	for _, lc := range h.scatter {
+		out = append(out, lc.Stream())
+	}
+	return append(out, h.cross.Stream())
 }
 
 // Levels returns the number of levels including the cross level.

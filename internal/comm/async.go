@@ -48,7 +48,7 @@ func (p *Proc) Launch(plane int, after *Handle, body func(ap *Proc)) *Handle {
 	if plane == 0 {
 		panic("comm: Launch requires a nonzero plane id (plane 0 is foreground traffic)")
 	}
-	ap := &Proc{world: p.world, rank: p.rank, clock: p.clock, chans: p.world.plane(plane)}
+	ap := &Proc{world: p.world, rank: p.rank, clock: p.clock, failAt: p.failAt, chans: p.world.plane(plane)}
 	h := &Handle{ap: ap, done: make(chan struct{})}
 	go func() {
 		defer close(h.done)
@@ -91,3 +91,10 @@ func (h *Handle) Wait(p *Proc) {
 		p.clock = t
 	}
 }
+
+// Drain blocks until the operation completes, swallowing its error —
+// the cleanup join a failing caller uses to guarantee no op goroutine
+// outlives it (an orphaned op could otherwise observe the World mid-
+// Reset). Ops always terminate under failure: every rank that dies is
+// marked dead, which unblocks any op receiving from it.
+func (h *Handle) Drain() { <-h.done }

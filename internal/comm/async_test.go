@@ -111,8 +111,12 @@ func TestAsyncPanicPropagates(t *testing.T) {
 		if e == nil {
 			t.Fatal("expected panic to propagate")
 		}
-		if !strings.Contains(e.(string), "boom") {
-			t.Fatalf("unexpected panic payload: %v", e)
+		re, ok := e.(*RunError)
+		if !ok {
+			t.Fatalf("expected *RunError, got %T: %v", e, e)
+		}
+		if !strings.Contains(re.Error(), "boom") || !strings.Contains(re.Error(), "rank 0") {
+			t.Fatalf("unexpected panic payload: %v", re)
 		}
 	}()
 	w := NewWorld(1, nil)

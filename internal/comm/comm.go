@@ -28,6 +28,12 @@
 // World's wire-byte meter all see the compressed size; RecvCompressed
 // decodes on arrival. Encode/decode passes are charged as MemCopy over
 // the uncompressed bytes.
+//
+// Ranks can die — by their own panic or an injected fail-at-virtual-
+// time deadline (simnet.Faults) — and the substrate fails fast instead
+// of wedging: peers blocked on a dead rank unblock with a typed
+// RankFailure, Run aggregates every rank's error into a RunError, and
+// Reset readies the survivors for a fresh collective. See failure.go.
 package comm
 
 import (
@@ -66,6 +72,16 @@ type World struct {
 	// interleave messages (see async.go).
 	planeMu sync.Mutex
 	planes  map[int][][]chan message
+
+	// dead holds the per-rank death latches; failed marks ranks whose
+	// failure was a root cause (they stay dead across Reset). failAt is
+	// the per-rank injected failure deadline (+Inf = never), snapshotted
+	// from the model's Faults. timeBase is where fresh Proc clocks start
+	// (see SetTimeBase). See failure.go.
+	dead     []deadLatch
+	failed   []bool
+	failAt   []float64
+	timeBase float64
 }
 
 // makeChanMatrix builds one (src, dst) matrix of channels buffered to
@@ -82,6 +98,15 @@ func makeChanMatrix(size, cap int) [][]chan message {
 	return m
 }
 
+// defaultPlaneCap is the per-(src, dst) buffering of the default plane.
+// The collectives alternate sends with receives, so per-pair skew stays
+// small; 64 slots is an order of magnitude of headroom. The old
+// 1024-slot matrix allocated size² × 1024 message slots up front, which
+// at 256 ranks exceeded the 32-bit address space (the GOARCH=386 CI
+// leg) before a single payload moved. Capacity affects only when
+// senders block, never the simulated times.
+const defaultPlaneCap = 64
+
 // NewWorld creates a communicator of the given size using the cost model
 // for clock accounting. model may be nil, in which case all communication
 // is free (pure correctness mode).
@@ -90,14 +115,18 @@ func NewWorld(size int, model *simnet.Model) *World {
 		panic("comm: world size must be positive")
 	}
 	w := &World{size: size, model: model}
-	// The collectives alternate sends with receives, so per-(src, dst)
-	// skew stays small; 64 slots is an order of magnitude of headroom.
-	// The old 1024-slot matrix allocated size² × 1024 message slots up
-	// front, which at 256 ranks exceeded the 32-bit address space (the
-	// GOARCH=386 CI leg) before a single payload moved. Capacity affects
-	// only when senders block, never the simulated times.
-	w.chans = makeChanMatrix(size, 64)
+	w.chans = makeChanMatrix(size, defaultPlaneCap)
 	w.pool.init()
+	w.dead = newLatches(size)
+	w.failed = make([]bool, size)
+	w.failAt = make([]float64, size)
+	for r := range w.failAt {
+		var f *simnet.Faults
+		if model != nil {
+			f = model.Faults
+		}
+		w.failAt[r] = f.FailAt(r)
+	}
 	return w
 }
 
@@ -217,7 +246,7 @@ func (w *World) Proc(r int) *Proc {
 	if r < 0 || r >= w.size {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", r, w.size))
 	}
-	return &Proc{world: w, rank: r, chans: w.chans}
+	return &Proc{world: w, rank: r, clock: w.timeBase, failAt: w.failAt[r], chans: w.chans}
 }
 
 // transferCost returns the simulated seconds to move n float32s (plus a
@@ -238,6 +267,10 @@ type Proc struct {
 	world *World
 	rank  int
 	clock float64
+	// failAt is this rank's injected failure deadline in virtual
+	// seconds (+Inf when the rank never fails); every clock advance
+	// checks it.
+	failAt float64
 	// chans is the channel matrix of this Proc's plane.
 	chans [][]chan message
 }
@@ -258,20 +291,24 @@ func (p *Proc) Clock() float64 { return p.clock }
 // compute outside the comm layer).
 func (p *Proc) SetClock(t float64) { p.clock = t }
 
-// Compute advances this rank's clock by dt seconds of local work.
-func (p *Proc) Compute(dt float64) { p.clock += dt }
+// Compute advances this rank's clock by dt seconds of local work,
+// failing the rank if the advance crosses its injected deadline.
+func (p *Proc) Compute(dt float64) {
+	p.clock += dt
+	p.maybeFail()
+}
 
 // ComputeReduce advances the clock by the model cost of reducing n bytes.
 func (p *Proc) ComputeReduce(bytes int64) {
 	if m := p.world.model; m != nil {
-		p.clock += m.Reduce(bytes)
+		p.Compute(m.Reduce(bytes))
 	}
 }
 
 // ComputeMemCopy advances the clock by the model cost of copying n bytes.
 func (p *Proc) ComputeMemCopy(bytes int64) {
 	if m := p.world.model; m != nil {
-		p.clock += m.MemCopy(bytes)
+		p.Compute(m.MemCopy(bytes))
 	}
 }
 
@@ -290,6 +327,7 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 	if dst == p.rank {
 		panic("comm: send to self")
 	}
+	p.checkPeer(dst)
 	var dc []float32
 	if data != nil {
 		dc = p.world.pool.getF32(len(data))
@@ -302,7 +340,27 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 	}
 	cost := p.world.transferCost(p.rank, dst, len(data), len(meta))
 	p.world.wireBytes.Add(int64(len(data))*4 + int64(len(meta))*8)
-	p.chans[p.rank][dst] <- message{data: dc, meta: mc, arrival: p.clock + cost}
+	p.deliver(dst, message{data: dc, meta: mc, arrival: p.clock + cost})
+}
+
+// deliver enqueues msg to dst, unblocking with a RankFailure if dst is
+// (or becomes) dead while the channel buffer is full — without this, a
+// sender that ran far enough ahead to fill the buffer would park on the
+// channel send forever once the receiver died, re-creating the wedge
+// the death latches exist to remove. The healthy steady state pays one
+// non-blocking attempt.
+func (p *Proc) deliver(dst int, msg message) {
+	ch := p.chans[p.rank][dst]
+	select {
+	case ch <- msg:
+		return
+	default:
+	}
+	select {
+	case ch <- msg:
+	case <-p.world.dead[dst].ch:
+		panic(RankFailure{Rank: dst})
+	}
 }
 
 // sendOwned transmits a pool-owned buffer without the defensive copy;
@@ -312,9 +370,10 @@ func (p *Proc) sendOwned(dst int, buf []float32) {
 	if dst == p.rank {
 		panic("comm: send to self")
 	}
+	p.checkPeer(dst)
 	cost := p.world.transferCost(p.rank, dst, len(buf), 0)
 	p.world.wireBytes.Add(int64(len(buf)) * 4)
-	p.chans[p.rank][dst] <- message{data: buf, arrival: p.clock + cost}
+	p.deliver(dst, message{data: buf, arrival: p.clock + cost})
 }
 
 // SendCompressed encodes data through st and transmits only the wire
@@ -367,9 +426,10 @@ func (p *Proc) SendCtl(dst int, vals []int) {
 	if dst == p.rank {
 		panic("comm: send to self")
 	}
+	p.checkPeer(dst)
 	c := make([]int, len(vals))
 	copy(c, vals)
-	p.chans[p.rank][dst] <- message{ctl: c}
+	p.deliver(dst, message{ctl: c})
 }
 
 // RecvCtl receives a control-plane payload from src without touching
@@ -378,7 +438,7 @@ func (p *Proc) SendCtl(dst int, vals []int) {
 // RecvCtl at the same point on both ranks cannot cross the streams; a
 // mismatch panics rather than silently interpreting bits.
 func (p *Proc) RecvCtl(src int) []int {
-	msg := <-p.chans[src][p.rank]
+	msg := p.recvMsg(src)
 	if msg.ctl == nil {
 		panic("comm: RecvCtl received a data message (control/data ordering mismatch)")
 	}
@@ -434,13 +494,40 @@ func (p *Proc) Scratch(n int) []float32 { return p.world.pool.getF32(n) }
 // unspecified contents. Return it with ReleaseMeta when done.
 func (p *Proc) ScratchMeta(n int) []float64 { return p.world.pool.getF64(n) }
 
+// recvMsg pulls the next message from src, unblocking with a typed
+// RankFailure if src is (or becomes) dead. A payload already in flight
+// before the death is still delivered — the fast non-blocking path also
+// keeps the healthy steady state at one cheap poll per receive.
+func (p *Proc) recvMsg(src int) message {
+	ch := p.chans[src][p.rank]
+	select {
+	case msg := <-ch:
+		return msg
+	default:
+	}
+	select {
+	case msg := <-ch:
+		return msg
+	case <-p.world.dead[src].ch:
+		// The close of the latch happens after every pre-death send, so
+		// one more poll drains any payload that beat the failure.
+		select {
+		case msg := <-ch:
+			return msg
+		default:
+		}
+		panic(RankFailure{Rank: src})
+	}
+}
+
 func (p *Proc) recv(src int) ([]float32, []float64) {
-	msg := <-p.chans[src][p.rank]
+	msg := p.recvMsg(src)
 	if msg.ctl != nil {
 		panic("comm: data receive got a control message (control/data ordering mismatch)")
 	}
 	if msg.arrival > p.clock {
 		p.clock = msg.arrival
+		p.maybeFail()
 	}
 	return msg.data, msg.meta
 }
@@ -459,29 +546,62 @@ func (p *Proc) SendRecvMeta(peer int, sendBuf []float64) []float64 {
 	return p.RecvMeta(peer)
 }
 
-// Run spawns one goroutine per rank executing body and waits for all of
-// them. Per-rank panics are re-raised on the caller with rank context.
+// Run spawns one goroutine per alive rank executing body and waits for
+// all of them. Per-rank panics are re-raised on the caller as a
+// *RunError carrying every rank's failure with rank context — a rank
+// that panics also marks itself dead, so peers blocked in Recv on it
+// unblock with a RankFailure instead of wedging wg.Wait forever.
 func (w *World) Run(body func(p *Proc)) {
+	if err := w.RunErr(body); err != nil {
+		panic(err)
+	}
+}
+
+// RunErr is Run returning the aggregate failure instead of panicking —
+// the entry point for elastic callers that rebuild on survivors. nil
+// means every alive rank completed. Ranks already dead when RunErr is
+// called are skipped entirely (their body never runs).
+func (w *World) RunErr(body func(p *Proc)) *RunError {
 	var wg sync.WaitGroup
 	errs := make([]any, w.size)
 	for r := 0; r < w.size; r++ {
+		if !w.Alive(r) {
+			continue
+		}
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if e := recover(); e != nil {
-					errs[rank] = fmt.Sprintf("rank %d: %v", rank, e)
+					errs[rank] = e
+					// Unblock everyone parked on this rank; without this
+					// a single panicking rank deadlocked the whole Run.
+					w.markDead(rank)
 				}
 			}()
-			body(w.Proc(rank))
+			p := w.Proc(rank)
+			// A time base already past the deadline kills the rank
+			// before it does any work.
+			p.maybeFail()
+			body(p)
 		}(r)
 	}
 	wg.Wait()
-	for _, e := range errs {
+	var fails []RankError
+	for r, e := range errs {
 		if e != nil {
-			panic(e)
+			fails = append(fails, RankError{Rank: r, Err: e})
 		}
 	}
+	if fails == nil {
+		return nil
+	}
+	err := &RunError{Failures: fails}
+	// Root causes stay dead across Reset; observers get revived.
+	for _, r := range err.Roots() {
+		w.failed[r] = true
+	}
+	return err
 }
 
 // RunCollect runs body on every rank and returns the per-rank results.

@@ -516,6 +516,41 @@ func (s *Stream) Quantize(x []float32) {
 	s.codec.Decode(x, enc)
 }
 
+// Snapshot returns a deep copy of the per-site error-feedback residuals
+// — the state a checkpoint must carry so a resumed run re-applies
+// exactly the error each site dropped (Zhong et al.: dropping residuals
+// at restart silently changes the trajectory). Codecs without error
+// feedback have no residuals and snapshot to nil.
+func (s *Stream) Snapshot() [][]float32 {
+	if len(s.res) == 0 {
+		return nil
+	}
+	out := make([][]float32, len(s.res))
+	for i, r := range s.res {
+		if r == nil {
+			continue
+		}
+		out[i] = append([]float32(nil), r...)
+	}
+	return out
+}
+
+// Restore replaces the stream's residual state with a deep copy of res
+// (a Snapshot from a checkpoint) and resets the site cursor. The next
+// Begin/Encode sequence must present the same payload lengths as the
+// run that captured the snapshot; site.length checking enforces it.
+func (s *Stream) Restore(res [][]float32) {
+	s.pos = 0
+	s.res = s.res[:0]
+	for _, r := range res {
+		if r == nil {
+			s.res = append(s.res, nil)
+			continue
+		}
+		s.res = append(s.res, append([]float32(nil), r...))
+	}
+}
+
 // site returns the residual buffer of the next encode site, zeroed on
 // first use, and advances the cursor.
 func (s *Stream) site(n int) []float32 {

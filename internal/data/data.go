@@ -187,12 +187,18 @@ func SyntheticMaskedLM(seed int64, trainN, testN int, maskFrac float64) (train, 
 }
 
 // Iterator yields minibatch index sets over a dataset, reshuffling every
-// epoch with its own deterministic stream.
+// epoch with its own deterministic stream. Its position is fully
+// described by (reshuffle count, cursor) — State/Seek below — because
+// the shuffle stream itself is a pure function of the seed, which is
+// what lets a checkpoint store two integers instead of generator
+// internals and still resume bitwise.
 type Iterator struct {
-	n, batch int
-	rng      *rand.Rand
-	perm     []int
-	cursor   int
+	n, batch   int
+	seed       int64
+	rng        *rand.Rand
+	perm       []int
+	cursor     int
+	reshuffles int64
 }
 
 // NewIterator creates an iterator over n samples with the given batch
@@ -201,7 +207,7 @@ func NewIterator(n, batch int, seed int64) *Iterator {
 	if batch <= 0 || n <= 0 {
 		panic("data: iterator needs positive n and batch")
 	}
-	it := &Iterator{n: n, batch: batch, rng: rand.New(rand.NewSource(seed))}
+	it := &Iterator{n: n, batch: batch, seed: seed, rng: rand.New(rand.NewSource(seed))}
 	it.reshuffle()
 	return it
 }
@@ -209,6 +215,33 @@ func NewIterator(n, batch int, seed int64) *Iterator {
 func (it *Iterator) reshuffle() {
 	it.perm = it.rng.Perm(it.n)
 	it.cursor = 0
+	it.reshuffles++
+}
+
+// State returns the iterator's replayable position: how many epoch
+// reshuffles have happened (>= 1; construction shuffles once) and the
+// cursor within the current permutation.
+func (it *Iterator) State() (reshuffles int64, cursor int) {
+	return it.reshuffles, it.cursor
+}
+
+// Restore rewinds (or fast-forwards) the iterator to a position captured
+// by State, replaying the deterministic shuffle stream from the seed so
+// the current permutation — and every future one — is bitwise-identical
+// to an iterator that walked there step by step.
+func (it *Iterator) Restore(reshuffles int64, cursor int) {
+	if reshuffles < 1 {
+		reshuffles = 1
+	}
+	if cursor < 0 || cursor > it.n {
+		panic(fmt.Sprintf("data: Restore cursor %d outside [0,%d]", cursor, it.n))
+	}
+	it.rng = rand.New(rand.NewSource(it.seed))
+	it.reshuffles = 0
+	for i := int64(0); i < reshuffles; i++ {
+		it.reshuffle()
+	}
+	it.cursor = cursor
 }
 
 // Next returns the next batch of sample indices, reshuffling at epoch

@@ -244,3 +244,33 @@ func TestPresetsShapes(t *testing.T) {
 		t.Fatalf("ImageNet preset: dim=%d classes=%d", tr.Dim, tr.Classes)
 	}
 }
+
+// TestIteratorRestoreReplaysExactly pins the checkpoint property the
+// trainer relies on: an iterator restored to (reshuffles, cursor)
+// yields exactly the batch sequence the original iterator yields from
+// that point, across epoch boundaries.
+func TestIteratorRestoreReplaysExactly(t *testing.T) {
+	a := NewIterator(37, 5, 99)
+	// Walk into the second epoch.
+	for i := 0; i < 11; i++ {
+		a.Next()
+	}
+	resh, cur := a.State()
+	if resh < 2 {
+		t.Fatalf("expected to be past the first reshuffle, got %d", resh)
+	}
+
+	b := NewIterator(37, 5, 99)
+	b.Restore(resh, cur)
+	for i := 0; i < 20; i++ {
+		x, y := a.Next(), b.Next()
+		if len(x) != len(y) {
+			t.Fatalf("batch %d length diverged: %d != %d", i, len(x), len(y))
+		}
+		for j := range x {
+			if x[j] != y[j] {
+				t.Fatalf("batch %d diverged at %d", i, j)
+			}
+		}
+	}
+}

@@ -186,3 +186,27 @@ func TestRunCompressionQuick(t *testing.T) {
 		t.Fatalf("naive top-k converged at step %d; the EF-vs-naive separation collapsed", r.StepsToTarget[naive])
 	}
 }
+
+func TestRunElasticQuick(t *testing.T) {
+	r := RunElastic(ScaleQuick)
+	if len(r.Rows) != 6 {
+		t.Fatalf("expected 6 (arm, condition) rows, got %d", len(r.Rows))
+	}
+	for _, arm := range []string{"flat-rvh", "hier-node"} {
+		healthy := r.Row(arm, "healthy")
+		straggler := r.Row(arm, "straggler")
+		failure := r.Row(arm, "failure")
+		if healthy == nil || straggler == nil || failure == nil {
+			t.Fatalf("%s: missing rows", arm)
+		}
+		if straggler.MeanStepMs <= healthy.MeanStepMs {
+			t.Fatalf("%s: straggler step %v not above healthy %v", arm, straggler.MeanStepMs, healthy.MeanStepMs)
+		}
+		if failure.Failures != 1 || failure.FinalWorkers != r.Ranks-1 {
+			t.Fatalf("%s: failure arm did not shrink by one: %+v", arm, *failure)
+		}
+		if failure.FinalAccuracy < 0.85 {
+			t.Fatalf("%s: shrunk run lost convergence: %v", arm, failure.FinalAccuracy)
+		}
+	}
+}

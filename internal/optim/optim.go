@@ -32,6 +32,47 @@ type Optimizer interface {
 	// parameter (0, 1, or 2) — used by the optimizer-state partitioning
 	// of §4.3 and its memory model.
 	StateSize() int
+	// Snapshot returns a deep copy of the optimizer's mutable state —
+	// what a checkpoint must carry per worker for a bitwise resume.
+	Snapshot() State
+	// Restore replaces the optimizer's mutable state with a deep copy
+	// of s (a Snapshot from the same optimizer type).
+	Restore(s State)
+}
+
+// State is a serializable snapshot of an optimizer's mutable state: the
+// step counter (Adam/LAMB bias correction) and the persistent
+// per-parameter vectors (momenta, moments) in a fixed per-optimizer
+// order. Nil vector entries mean "not yet allocated" (an optimizer that
+// has not stepped), so a snapshot taken before the first step restores
+// to exactly that condition.
+type State struct {
+	Step int64
+	Vecs [][]float32
+}
+
+func cloneVec(v []float32) []float32 {
+	if v == nil {
+		return nil
+	}
+	return append([]float32(nil), v...)
+}
+
+func cloneVecs(vs ...[]float32) [][]float32 {
+	out := make([][]float32, len(vs))
+	for i, v := range vs {
+		out[i] = cloneVec(v)
+	}
+	return out
+}
+
+// vecAt returns a deep copy of s.Vecs[i], tolerating short snapshots
+// (missing entries restore as unallocated).
+func (s State) vecAt(i int) []float32 {
+	if i >= len(s.Vecs) {
+		return nil
+	}
+	return cloneVec(s.Vecs[i])
 }
 
 // SGD is plain stochastic gradient descent with optional coupled weight
@@ -47,6 +88,8 @@ func (s *SGD) Name() string     { return "sgd" }
 func (s *SGD) Reset()           {}
 func (s *SGD) Clone() Optimizer { c := *s; return &c }
 func (s *SGD) StateSize() int   { return 0 }
+func (s *SGD) Snapshot() State  { return State{} }
+func (s *SGD) Restore(State)    {}
 
 func (s *SGD) Step(params, grads []float32, lr float64) {
 	wd := float32(s.WeightDecay)
@@ -72,6 +115,8 @@ func (m *Momentum) Name() string     { return "momentum" }
 func (m *Momentum) Reset()           { m.v = nil }
 func (m *Momentum) Clone() Optimizer { return &Momentum{Mu: m.Mu, WeightDecay: m.WeightDecay} }
 func (m *Momentum) StateSize() int   { return 1 }
+func (m *Momentum) Snapshot() State  { return State{Vecs: cloneVecs(m.v)} }
+func (m *Momentum) Restore(s State)  { m.v = s.vecAt(0) }
 
 func (m *Momentum) Step(params, grads []float32, lr float64) {
 	if m.v == nil {
@@ -106,6 +151,14 @@ func (a *Adam) Clone() Optimizer {
 	return &Adam{Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps, WeightDecay: a.WeightDecay}
 }
 func (a *Adam) StateSize() int { return 2 }
+
+func (a *Adam) Snapshot() State { return State{Step: int64(a.t), Vecs: cloneVecs(a.m, a.v)} }
+
+func (a *Adam) Restore(s State) {
+	a.t = int(s.Step)
+	a.m = s.vecAt(0)
+	a.v = s.vecAt(1)
+}
 
 func (a *Adam) Step(params, grads []float32, lr float64) {
 	if a.m == nil {
@@ -152,6 +205,9 @@ func (l *LARS) Clone() Optimizer {
 	return &LARS{Mu: l.Mu, Eta: l.Eta, WeightDecay: l.WeightDecay, Eps: l.Eps, Layout: l.Layout}
 }
 func (l *LARS) StateSize() int { return 1 }
+
+func (l *LARS) Snapshot() State { return State{Vecs: cloneVecs(l.v)} }
+func (l *LARS) Restore(s State) { l.v = s.vecAt(0) }
 
 func (l *LARS) Step(params, grads []float32, lr float64) {
 	if l.v == nil {
@@ -205,6 +261,20 @@ func (l *LAMB) Clone() Optimizer {
 	return &LAMB{Beta1: l.Beta1, Beta2: l.Beta2, Eps: l.Eps, WeightDecay: l.WeightDecay, Layout: l.Layout}
 }
 func (l *LAMB) StateSize() int { return 2 }
+
+func (l *LAMB) Snapshot() State { return State{Step: int64(l.t), Vecs: cloneVecs(l.m, l.v)} }
+
+func (l *LAMB) Restore(s State) {
+	l.t = int(s.Step)
+	l.m = s.vecAt(0)
+	l.v = s.vecAt(1)
+	// r is per-step scratch, but Step only allocates it together with m;
+	// a restore that brings m back non-nil must bring the scratch too.
+	l.r = nil
+	if l.m != nil {
+		l.r = make([]float32, len(l.m))
+	}
+}
 
 func (l *LAMB) Step(params, grads []float32, lr float64) {
 	if l.m == nil {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/fusion"
+	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
 
@@ -73,6 +74,20 @@ type Options struct {
 	// the cost model's MemCopy. nil or compress.None() leaves the engine
 	// bitwise- and clock-identical to the uncompressed substrate.
 	Compression compress.Codec
+	// Hierarchy, when non-empty, runs each bucket's reduction through
+	// collective.NewHierarchy(slotComm, Hierarchy...) instead of a flat
+	// collective: reduce-scatter (sum) within each width-sized domain,
+	// the configured combine across the outermost level, allgathers
+	// unwinding. The product of widths must divide the group size. After
+	// an elastic Rebind that breaks divisibility the engine falls back
+	// to the flat collective (see Rebind).
+	Hierarchy []int
+	// Faults injects the straggler model: each rank's per-step backward
+	// compute (StepSeconds, PreSeconds) is scaled by
+	// Faults.ComputeScale(rank, step) — per-rank skew plus deterministic
+	// jitter. nil leaves compute nominal. Hard failures ride the comm
+	// layer (simnet.Faults.FailAtSeconds), not the engine.
+	Faults *simnet.Faults
 }
 
 // strategy resolves the configured per-bucket algorithm.
@@ -89,25 +104,55 @@ func (o Options) strategy() collective.Strategy {
 // Engine with the same Options so the bucket sequence (and the plane
 // numbering derived from it) agrees everywhere. An Engine is not safe
 // for concurrent use.
+//
+// The communicator prototype is bound lazily on the first Step and
+// stays bound until Rebind replaces it — the rebinding an elastic
+// trainer performs after a failure shrinks the group (previously the
+// first Proc's binding was silently permanent).
 type Engine struct {
-	opt      Options
+	opt Options
+	// strategy is the effective per-bucket algorithm for the current
+	// group — opt.Strategy resolved at New, possibly downgraded by
+	// Rebind (RVH needs a power-of-two group; a shrink rarely leaves
+	// one).
+	strategy collective.Strategy
+	// hier is the active hierarchy widths (nil = flat), dropped by
+	// Rebind when the widths stop dividing the group size.
+	hier     []int
 	packer   *fusion.Packer
 	layerSec []float64   // backward seconds per layer
 	slices   [][]float32 // per-step layer views of x, for unfusing
 	pending  []pendingOp
-	// comms holds this rank's per-bucket-slot communicators, indexed by
-	// launch order within a step; bucket sequences repeat across steps,
-	// so slot i's communicator (and therefore its error-feedback
-	// residual stream) always belongs to the same semantic bucket. The
-	// first Step binds the prototype to the rank's Proc.
+	// proto is the communicator prototype bound on first Step; slots
+	// holds the per-bucket-slot state, indexed by launch order within a
+	// step. Bucket sequences repeat across steps, so slot i's
+	// communicator (and therefore its error-feedback residual stream)
+	// always belongs to the same semantic bucket.
 	proto *collective.Communicator
-	comms []*collective.Communicator
+	slots []*slotState
+	// savedRes carries per-slot stream residuals across a Rebind or in
+	// from a checkpoint, applied as slots (re)create their streams:
+	// savedRes[slot][0] is the slot's source stream, the rest the
+	// hierarchy level streams in Hierarchy.Streams order.
+	savedRes [][][][]float32
+	// stepIdx counts Steps driven through this engine — the step axis of
+	// the deterministic straggler jitter.
+	stepIdx int
+}
+
+// slotState is one bucket slot: its forked communicator and, in
+// hierarchical mode, its cached hierarchy. The struct is heap-allocated
+// per slot so the async op can fill hier through a stable pointer while
+// the rank goroutine appends more slots.
+type slotState struct {
+	c    *collective.Communicator
+	hier *collective.Hierarchy
 }
 
 type pendingOp struct {
-	h *comm.Handle
-	g *fusion.Group
-	c *collective.Communicator
+	h  *comm.Handle
+	g  *fusion.Group
+	sl *slotState
 }
 
 // New builds an Engine for one rank.
@@ -121,11 +166,28 @@ func New(opt Options) *Engine {
 	if opt.FusionBytes <= 0 {
 		opt.FusionBytes = 2 << 20
 	}
+	// rvhSize is the size of the group an RVH strategy actually runs on:
+	// the cross level when buckets reduce hierarchically (the scatter
+	// levels are rings, any size), the whole group when flat.
+	rvhSize := len(opt.Group)
+	if len(opt.Hierarchy) > 0 {
+		stride := 1
+		for _, w := range opt.Hierarchy {
+			if w <= 0 {
+				panic("overlap: Options.Hierarchy widths must be positive")
+			}
+			stride *= w
+		}
+		if len(opt.Group)%stride != 0 {
+			panic(fmt.Sprintf("overlap: group size %d not divisible by hierarchy widths %v", len(opt.Group), opt.Hierarchy))
+		}
+		rvhSize = len(opt.Group) / stride
+	}
 	switch opt.strategy() {
 	case collective.StrategyTree, collective.StrategyRing:
 	case collective.StrategyRVH:
-		if !opt.Group.IsPowerOfTwo() {
-			panic("overlap: StrategyRVH requires a power-of-two group")
+		if rvhSize&(rvhSize-1) != 0 {
+			panic(fmt.Sprintf("overlap: StrategyRVH requires a power-of-two reduction group (got %d)", rvhSize))
 		}
 	default:
 		panic(fmt.Sprintf("overlap: per-bucket collectives take StrategyTree, StrategyRVH or StrategyRing (got %v)", opt.Strategy))
@@ -142,9 +204,67 @@ func New(opt Options) *Engine {
 	}
 	return &Engine{
 		opt:      opt,
+		strategy: opt.strategy(),
+		hier:     opt.Hierarchy,
 		packer:   fusion.NewPacker(opt.FusionBytes),
 		layerSec: layerSec,
 		slices:   make([][]float32, opt.Layout.NumLayers()),
+	}
+}
+
+// Group returns the group the engine currently reduces over.
+func (e *Engine) Group() collective.Group { return e.opt.Group }
+
+// Strategy returns the effective per-bucket algorithm for the current
+// group (Rebind may have downgraded an RVH configuration).
+func (e *Engine) Strategy() collective.Strategy { return e.strategy }
+
+// Hierarchical reports whether buckets currently reduce hierarchically.
+func (e *Engine) Hierarchical() bool { return len(e.hier) > 0 }
+
+// Rebind replaces the engine's group — the survivor set after an
+// elastic reshape — making the previously implicit lifetime of the
+// cached communicator prototype explicit: the prototype and every slot
+// communicator are dropped and rebuilt over the new group on the next
+// Step. Per-slot error-feedback residuals survive the rebuild (the
+// bucket program is unchanged, so site shapes still match). Algorithm
+// fallbacks mirror the construction-time rules: an RVH engine falls
+// back to the parity tree when the new group is not a power of two, and
+// the hierarchy is dropped when its widths no longer divide the group
+// size (or its cross level would break RVH's power-of-two requirement).
+func (e *Engine) Rebind(g collective.Group) {
+	if len(g) == 0 {
+		panic("overlap: Rebind requires a non-empty group")
+	}
+	// Hop residuals are shaped by the old group's exchange pattern and
+	// cannot be replayed onto the new one; the source-quantization
+	// residual (the fused bucket itself) carries over.
+	e.savedRes = TruncateResidualsToSource(e.SnapshotStreams())
+	ng := make(collective.Group, len(g))
+	copy(ng, g)
+	e.opt.Group = ng
+	e.proto = nil
+	e.slots = nil
+	e.strategy = e.opt.strategy()
+	// The hierarchy survives iff its widths still divide the group; then
+	// RVH's power-of-two requirement applies to the group it actually
+	// runs on — the cross level if hierarchical, the whole group if flat
+	// — mirroring the construction-time rules.
+	e.hier = e.opt.Hierarchy
+	rvhSize := len(ng)
+	if len(e.hier) > 0 {
+		stride := 1
+		for _, w := range e.hier {
+			stride *= w
+		}
+		if len(ng)%stride != 0 {
+			e.hier = nil
+		} else {
+			rvhSize = len(ng) / stride
+		}
+	}
+	if e.strategy == collective.StrategyRVH && rvhSize&(rvhSize-1) != 0 {
+		e.strategy = collective.StrategyTree
 	}
 }
 
@@ -162,11 +282,28 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	}
 	if e.proto == nil {
 		e.proto = collective.New(p, e.opt.Group, collective.Config{
-			Strategy: e.opt.strategy(),
+			Strategy: e.strategy,
 			Codec:    e.opt.Compression,
 		})
 	}
-	p.Compute(e.opt.PreSeconds)
+	// A panic mid-step (an injected failure, a peer's death) must not
+	// leave launched bucket ops running: their goroutines would outlive
+	// this rank's Run slot and could observe the World mid-Reset during
+	// an elastic rebuild. Draining is deadlock-free — every launched op
+	// is eventually unblocked by completion or by a dead peer's latch.
+	defer func() {
+		if rec := recover(); rec != nil {
+			for _, op := range e.pending {
+				op.h.Drain()
+			}
+			panic(rec)
+		}
+	}()
+	// The straggler model scales this rank's whole-step compute: skew is
+	// a property of the rank, jitter of the (rank, step) pair.
+	scale := e.opt.Faults.ComputeScale(p.Rank(), e.stepIdx)
+	e.stepIdx++
+	p.Compute(e.opt.PreSeconds * scale)
 	e.packer.Reset()
 	e.pending = e.pending[:0]
 	for l := 0; l < layout.NumLayers(); l++ {
@@ -174,7 +311,7 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	}
 	// Backward walk: the last layer's gradient materializes first.
 	for l := layout.NumLayers() - 1; l >= 0; l-- {
-		p.Compute(e.layerSec[l])
+		p.Compute(e.layerSec[l] * scale)
 		if g := e.packer.Ready(l, layout.Name(l), e.slices[l]); g != nil {
 			e.launch(p, g)
 		}
@@ -187,7 +324,7 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	// MemCopy for the decode that materializes the dense result.
 	for _, op := range e.pending {
 		op.h.Wait(p)
-		if op.c.Codec() != nil {
+		if op.sl.c.Codec() != nil {
 			p.ComputeMemCopy(op.g.Bytes())
 		}
 		p.ComputeMemCopy(op.g.Bytes())
@@ -204,8 +341,8 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 // completes.
 func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	p.ComputeMemCopy(g.Bytes())
-	c := e.slotComm(len(e.pending))
-	if st := c.Stream(); st != nil {
+	sl := e.slot(len(e.pending))
+	if st := sl.c.Stream(); st != nil {
 		st.Begin()
 		st.Quantize(g.Data)
 		p.ComputeMemCopy(g.Bytes())
@@ -215,36 +352,191 @@ func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 		after = e.pending[n-1].h
 	}
 	plane := len(e.pending) + 1
+	slot := len(e.pending)
 	h := p.Launch(plane, after, func(ap *comm.Proc) {
-		e.reduceBucket(c.OnProc(ap), g)
+		e.reduceBucket(slot, sl, ap, g)
 	})
-	e.pending = append(e.pending, pendingOp{h: h, g: g, c: c})
+	e.pending = append(e.pending, pendingOp{h: h, g: g, sl: sl})
 	if !e.opt.Overlap {
 		h.Wait(p)
 	}
 }
 
-// slotComm returns this rank's communicator for bucket slot i, creating
-// it on first use as a Fork of the prototype so each slot owns its own
-// error-feedback stream. The engine's join-before-next-step ordering
-// guarantees a slot's previous collective finished before the slot is
-// reused, so the communicator hand-off between the rank goroutine and
-// its async op is race-free.
-func (e *Engine) slotComm(i int) *collective.Communicator {
-	for len(e.comms) <= i {
-		e.comms = append(e.comms, e.proto.Fork())
+// slot returns this rank's state for bucket slot i, creating it on
+// first use: the communicator is a Fork of the prototype so each slot
+// owns its own error-feedback stream, seeded from savedRes when a
+// Rebind or checkpoint restore left residuals to carry over. The
+// engine's join-before-next-step ordering guarantees a slot's previous
+// collective finished before the slot is reused, so the hand-off
+// between the rank goroutine and its async op is race-free.
+func (e *Engine) slot(i int) *slotState {
+	for len(e.slots) <= i {
+		sl := &slotState{c: e.proto.Fork()}
+		if st := sl.c.Stream(); st != nil {
+			if res := e.savedStream(len(e.slots), 0); res != nil {
+				st.Restore(res)
+			}
+		}
+		e.slots = append(e.slots, sl)
 	}
-	return e.comms[i]
+	return e.slots[i]
+}
+
+// savedStream returns the pending residual snapshot of (slot, stream)
+// or nil; stream 0 is the slot's source stream, 1.. the hierarchy
+// levels.
+func (e *Engine) savedStream(slot, stream int) [][]float32 {
+	if slot >= len(e.savedRes) || stream >= len(e.savedRes[slot]) {
+		return nil
+	}
+	return e.savedRes[slot][stream]
 }
 
 // reduceBucket dispatches the bucket's collective on the communicator
 // bound to the async op's endpoint: StrategyRing buckets run the
 // synchronous-SGD mean, everything else the Adasum combine under the
-// communicator's own strategy.
-func (e *Engine) reduceBucket(c *collective.Communicator, g *fusion.Group) {
+// communicator's own strategy — hierarchically when a Hierarchy is
+// active. The slot's hierarchy is built on first use (its Split
+// exchanges ride the slot's own plane, so every rank constructs it at
+// the same program point) and rebound to each step's op endpoint
+// afterwards, keeping the level streams' residuals with the slot.
+func (e *Engine) reduceBucket(slot int, sl *slotState, ap *comm.Proc, g *fusion.Group) {
+	c := sl.c.OnProc(ap)
+	if len(e.hier) > 0 && c.Size() > 1 {
+		h := sl.hier
+		if h == nil {
+			h = collective.NewHierarchy(c, e.hier...)
+			for li, st := range h.Streams() {
+				if st == nil {
+					continue
+				}
+				if res := e.savedStream(slot, li+1); res != nil {
+					st.Restore(res)
+				}
+			}
+			sl.hier = h
+		} else {
+			h = h.OnProc(ap)
+		}
+		if c.Strategy() == collective.StrategyRing {
+			h.AllreduceMean(g.Data)
+			return
+		}
+		h.Adasum(g.Data, g.Layout)
+		return
+	}
 	if c.Strategy() == collective.StrategyRing {
 		c.AllreduceMean(g.Data)
 		return
 	}
 	c.Adasum(g.Data, g.Layout)
+}
+
+// SnapshotStreams returns a deep copy of every error-feedback residual
+// the engine carries, in deterministic (slot, stream) order — stream 0
+// is the slot's source-quantization stream, streams 1.. the hierarchy
+// levels. nil when the engine runs uncompressed. This is the state a
+// checkpoint must include for a bitwise resume under error-feedback
+// codecs.
+func (e *Engine) SnapshotStreams() [][][][]float32 {
+	if e.opt.Compression == nil {
+		return nil
+	}
+	if len(e.slots) == 0 {
+		// Nothing materialized yet: whatever was restored is still
+		// pending verbatim — deep-copied, like every other path, so the
+		// caller's snapshot never aliases engine-internal state.
+		return copyResiduals(e.savedRes)
+	}
+	out := make([][][][]float32, len(e.slots))
+	for i, sl := range e.slots {
+		var streams [][][]float32
+		if st := sl.c.Stream(); st != nil {
+			streams = append(streams, st.Snapshot())
+		}
+		if sl.hier != nil {
+			for _, st := range sl.hier.Streams() {
+				if st != nil {
+					streams = append(streams, st.Snapshot())
+				}
+			}
+		}
+		out[i] = streams
+	}
+	return out
+}
+
+// RestoreStreams re-applies residuals captured by SnapshotStreams:
+// already-materialized slots (and hierarchies) are rewritten in place —
+// the rollback an elastic retry performs after an aborted attempt
+// contaminated the streams — and slots not yet created pick their
+// entries up lazily (the checkpoint-restore path on a fresh or rebound
+// engine). A nil entry restores the stream to "no residuals yet".
+func (e *Engine) RestoreStreams(res [][][][]float32) {
+	e.savedRes = res
+	for i, sl := range e.slots {
+		if st := sl.c.Stream(); st != nil {
+			st.Restore(e.savedStream(i, 0))
+		}
+		if sl.hier != nil {
+			for li, st := range sl.hier.Streams() {
+				if st != nil {
+					st.Restore(e.savedStream(i, li+1))
+				}
+			}
+		}
+	}
+}
+
+// SeekStep sets the engine's step counter — the step axis of the
+// deterministic straggler jitter — so a checkpoint resume continues the
+// same per-step jitter sequence an uninterrupted run would have seen.
+func (e *Engine) SeekStep(step int) { e.stepIdx = step }
+
+// copyResiduals deep-copies a SnapshotStreams-shaped capture.
+func copyResiduals(res [][][][]float32) [][][][]float32 {
+	if res == nil {
+		return nil
+	}
+	out := make([][][][]float32, len(res))
+	for i, slot := range res {
+		if slot == nil {
+			continue
+		}
+		out[i] = make([][][]float32, len(slot))
+		for j, stream := range slot {
+			if stream == nil {
+				continue
+			}
+			out[i][j] = make([][]float32, len(stream))
+			for k, site := range stream {
+				if site == nil {
+					continue
+				}
+				out[i][j][k] = append([]float32(nil), site...)
+			}
+		}
+	}
+	return out
+}
+
+// TruncateResidualsToSource reduces a SnapshotStreams capture to the
+// residuals that survive a group reshape: for every slot, only site 0
+// of stream 0 — the source-quantization residual, whose shape is the
+// fused bucket and therefore group-independent. Every per-hop residual
+// is shaped by the old group's exchange pattern (window and shard
+// lengths change with the member count) and would panic the stream's
+// site-length check if replayed onto the new group. nil passes through.
+func TruncateResidualsToSource(res [][][][]float32) [][][][]float32 {
+	if res == nil {
+		return nil
+	}
+	out := make([][][][]float32, len(res))
+	for i, slot := range res {
+		if len(slot) == 0 || len(slot[0]) == 0 {
+			continue
+		}
+		out[i] = [][][]float32{{slot[0][0]}}
+	}
+	return out
 }

@@ -1,0 +1,75 @@
+package simnet
+
+import "math"
+
+// Faults injects the failure modes a real cluster produces into the
+// simulated one: stragglers (per-rank compute skew plus deterministic
+// step-to-step jitter) and hard failures (a rank dies when its virtual
+// clock crosses a deadline). The knobs are pure data — the comm layer
+// consumes FailAtSeconds to kill ranks at virtual times, and the
+// overlap engine consumes ComputeScale to stretch per-rank backward
+// compute — so the same Faults value drives both injection sites and
+// every run with the same Faults is exactly reproducible.
+type Faults struct {
+	// SkewFactors[r] multiplies rank r's compute times: 1.0 is nominal,
+	// 1.3 a 30% straggler. Missing entries (nil or short slice) are 1.0.
+	SkewFactors []float64
+	// Jitter is the fractional amplitude of deterministic per-(rank,
+	// step) compute noise: each step's compute is further scaled by a
+	// factor drawn uniformly from [1-Jitter, 1+Jitter] by a hash of
+	// (rank, step, JitterSeed). Zero disables jitter.
+	Jitter float64
+	// JitterSeed decorrelates the jitter streams of otherwise identical
+	// configurations.
+	JitterSeed int64
+	// FailAtSeconds maps a rank to the virtual time (seconds) at which
+	// it fails: the first clock advance at or past the deadline raises a
+	// comm.RankFailure on that rank. Deadlines are measured on the
+	// cumulative virtual clock (the World's time base plus per-step
+	// progress), so "fail 5 simulated seconds into training" is one map
+	// entry regardless of step boundaries.
+	FailAtSeconds map[int]float64
+}
+
+// ComputeScale returns the compute-time multiplier of one (rank, step):
+// the rank's skew factor times the step's jitter draw. A nil receiver
+// returns 1.
+func (f *Faults) ComputeScale(rank, step int) float64 {
+	if f == nil {
+		return 1
+	}
+	s := 1.0
+	if rank >= 0 && rank < len(f.SkewFactors) && f.SkewFactors[rank] > 0 {
+		s = f.SkewFactors[rank]
+	}
+	if f.Jitter > 0 {
+		u := hashUnit(uint64(rank)+1, uint64(step)+1, uint64(f.JitterSeed))
+		s *= 1 + f.Jitter*(2*u-1)
+	}
+	return s
+}
+
+// FailAt returns rank r's failure deadline in virtual seconds, or +Inf
+// when the rank never fails. A nil receiver never fails.
+func (f *Faults) FailAt(rank int) float64 {
+	if f == nil || f.FailAtSeconds == nil {
+		return math.Inf(1)
+	}
+	if t, ok := f.FailAtSeconds[rank]; ok {
+		return t
+	}
+	return math.Inf(1)
+}
+
+// hashUnit maps (a, b, seed) to a uniform value in [0, 1) with a
+// splitmix64-style mixer — deterministic jitter without math/rand state
+// that would have to be checkpointed.
+func hashUnit(a, b, seed uint64) float64 {
+	x := seed ^ a*0x9E3779B97F4A7C15 ^ b*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

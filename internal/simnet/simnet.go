@@ -85,6 +85,13 @@ type Model struct {
 	// MemCopyBeta: seconds per byte of local packing/unpacking
 	// (tensor-fusion copies, §4.4.3).
 	MemCopyBeta float64
+
+	// Faults, when non-nil, injects stragglers and rank failures into
+	// runs over this model: comm kills ranks at their FailAtSeconds
+	// deadlines, and the overlap engine stretches per-rank compute by
+	// ComputeScale. nil simulates an always-healthy cluster (every
+	// preset's default).
+	Faults *Faults
 }
 
 // Transfer returns the cost in seconds of moving n bytes from rank src to

@@ -1,0 +1,183 @@
+package trainer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/collective"
+	"repro/internal/compress"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/simnet"
+)
+
+// ckCfg builds a small multi-layer run for the resume property: Adam
+// state (step counter + two moments), several buckets per step on the
+// cluster substrate, mid-epoch checkpoints.
+func ckCfg(scope Scope, comm CommMode, overlap bool, codec compress.Codec) Config {
+	train, test := data.GeneratePair(data.Config{
+		N: 512, Dim: 48, Classes: 4, Noise: 0.5, Seed: 51,
+	}, 128)
+	cfg := Config{
+		Workers:    4,
+		Microbatch: 8,
+		Reduction:  ReduceAdasum,
+		Scope:      scope,
+		PerLayer:   true,
+		Comm:       comm,
+		Overlap:    overlap,
+		Model:      func() *nn.Network { return nn.NewMLP(48, 16, 4) },
+		Optimizer:  optim.NewAdam(),
+		Schedule:   optim.Constant{Base: 0.002},
+		Train:      train, Test: test,
+		MaxEpochs: 2,
+		Seed:      53,
+	}
+	if scope == LocalSGD {
+		cfg.LocalSteps = 2
+	}
+	if comm == CommCluster {
+		cfg.FusionBytes = 2048
+		cfg.Net = simnet.TCP40(cfg.Workers)
+		cfg.StepSeconds = 1e-3
+		cfg.Strategy = collective.StrategyRVH
+		cfg.Compression = codec
+	}
+	return cfg
+}
+
+// TestResumeIsBitwiseIdentical is the checkpoint/resume acceptance
+// property: for every Scope × Comm × codec combination — including
+// top-k with error feedback, whose residuals a naive checkpoint would
+// silently drop — a run that is checkpointed mid-epoch, serialized to
+// bytes, deserialized and resumed in a fresh process-equivalent run
+// produces bitwise-identical FinalParams (and identical simulated time
+// and accuracy) to the run that was never interrupted.
+func TestResumeIsBitwiseIdentical(t *testing.T) {
+	type combo struct {
+		name    string
+		scope   Scope
+		comm    CommMode
+		overlap bool
+		codec   compress.Codec
+	}
+	combos := []combo{
+		{"pre/host", PreOptimizer, CommHost, false, nil},
+		{"post/host", PostOptimizer, CommHost, false, nil},
+		{"localsgd/host", LocalSGD, CommHost, false, nil},
+		{"pre/cluster-sync", PreOptimizer, CommCluster, false, nil},
+		{"post/cluster-overlap", PostOptimizer, CommCluster, true, nil},
+		{"localsgd/cluster-overlap", LocalSGD, CommCluster, true, nil},
+		{"pre/cluster-overlap/fp16", PreOptimizer, CommCluster, true, compress.FP16()},
+		{"post/cluster-overlap/int8", PostOptimizer, CommCluster, true, compress.Int8(0)},
+		{"post/cluster-sync/topk-ef", PostOptimizer, CommCluster, false, compress.TopK(0.25, true)},
+		{"post/cluster-overlap/topk-ef", PostOptimizer, CommCluster, true, compress.TopK(0.25, true)},
+		{"localsgd/cluster-overlap/topk-ef", LocalSGD, CommCluster, true, compress.TopK(0.25, true)},
+	}
+	for _, tc := range combos {
+		t.Run(tc.name, func(t *testing.T) {
+			base := ckCfg(tc.scope, tc.comm, tc.overlap, tc.codec)
+			uninterrupted := Run(base)
+
+			// Capture a mid-epoch snapshot (step 13 of 16 per epoch),
+			// forcing it through the wire format so the serialization is
+			// part of the property.
+			var blob []byte
+			capCfg := ckCfg(tc.scope, tc.comm, tc.overlap, tc.codec)
+			capCfg.CheckpointEverySteps = 13
+			capCfg.OnCheckpoint = func(s *checkpoint.State) {
+				if s.Step == 13 {
+					blob = s.Marshal()
+				}
+			}
+			Run(capCfg)
+			if blob == nil {
+				t.Fatal("no checkpoint captured at step 13")
+			}
+			state, err := checkpoint.Unmarshal(blob)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+
+			resCfg := ckCfg(tc.scope, tc.comm, tc.overlap, tc.codec)
+			resCfg.Resume = state
+			resumed := Run(resCfg)
+
+			if len(resumed.FinalParams) != len(uninterrupted.FinalParams) {
+				t.Fatalf("param count mismatch")
+			}
+			for i, v := range uninterrupted.FinalParams {
+				if resumed.FinalParams[i] != v {
+					t.Fatalf("FinalParams diverged at %d: %v != %v (resume is not bitwise)", i, resumed.FinalParams[i], v)
+				}
+			}
+			if resumed.SimSeconds != uninterrupted.SimSeconds {
+				t.Fatalf("SimSeconds diverged: %v != %v", resumed.SimSeconds, uninterrupted.SimSeconds)
+			}
+			if resumed.FinalAccuracy != uninterrupted.FinalAccuracy {
+				t.Fatalf("FinalAccuracy diverged: %v != %v", resumed.FinalAccuracy, uninterrupted.FinalAccuracy)
+			}
+			// The resumed run re-records the epoch containing the
+			// checkpoint and everything after; its tail must match the
+			// uninterrupted history exactly.
+			tail := resumed.Epochs
+			full := uninterrupted.Epochs[len(uninterrupted.Epochs)-len(tail):]
+			for i := range tail {
+				if tail[i] != full[i] {
+					t.Fatalf("epoch stat %d diverged: %+v != %+v", i, tail[i], full[i])
+				}
+			}
+		})
+	}
+}
+
+// TestResumeUnderFaultsKeepsTimeline: resuming a run whose cost model
+// injects deterministic jitter must reproduce the uninterrupted
+// virtual-time trajectory too — the engines' step counters (the jitter
+// axis) are part of the restored state.
+func TestResumeUnderFaultsKeepsTimeline(t *testing.T) {
+	mk := func() Config {
+		cfg := ckCfg(PostOptimizer, CommCluster, true, nil)
+		cfg.Net.Faults = &simnet.Faults{
+			SkewFactors: []float64{1, 1.4, 1, 1.1},
+			Jitter:      0.1, JitterSeed: 21,
+		}
+		return cfg
+	}
+	uninterrupted := Run(mk())
+
+	var state *checkpoint.State
+	capCfg := mk()
+	capCfg.CheckpointEverySteps = 7
+	capCfg.OnCheckpoint = func(s *checkpoint.State) {
+		if s.Step == 7 {
+			state = s
+		}
+	}
+	Run(capCfg)
+	resCfg := mk()
+	resCfg.Resume = state
+	resumed := Run(resCfg)
+	if resumed.SimSeconds != uninterrupted.SimSeconds {
+		t.Fatalf("jittered timeline diverged after resume: %v != %v", resumed.SimSeconds, uninterrupted.SimSeconds)
+	}
+	for i, v := range uninterrupted.FinalParams {
+		if resumed.FinalParams[i] != v {
+			t.Fatal("params diverged after resume under faults")
+		}
+	}
+}
+
+// TestResumeRejectsWorkerMismatch: a snapshot from a different gang
+// size must be rejected loudly at validation time.
+func TestResumeRejectsWorkerMismatch(t *testing.T) {
+	cfg := ckCfg(PreOptimizer, CommHost, false, nil)
+	cfg.Resume = &checkpoint.State{Workers: 8}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected a worker-count mismatch error")
+	} else if got := err.Error(); !strings.Contains(got, "8") || !strings.Contains(got, "4") {
+		t.Fatalf("error %q does not name both worker counts", got)
+	}
+}

@@ -12,12 +12,14 @@ import (
 )
 
 // overlapCfg is a small but multi-layer training setup shared by the
-// comm-mode equivalence tests.
+// comm-mode equivalence tests. Cluster-only knobs are set only on the
+// cluster substrate — Validate now rejects them under CommHost instead
+// of silently ignoring them.
 func overlapCfg(workers int, mode CommMode, over bool) Config {
 	train, test := data.GeneratePair(data.Config{
 		N: 512, Dim: 96, Classes: 6, Noise: 0.5, Seed: 21,
 	}, 128)
-	return Config{
+	cfg := Config{
 		Workers:    workers,
 		Microbatch: 8,
 		Reduction:  ReduceAdasum,
@@ -25,17 +27,20 @@ func overlapCfg(workers int, mode CommMode, over bool) Config {
 		PerLayer:   true,
 		Comm:       mode,
 		Overlap:    over,
-		// Small threshold so several buckets form per step.
-		FusionBytes: 2048,
-		Net:         simnet.TCP40(workers),
-		StepSeconds: 1e-3,
-		Model:       func() *nn.Network { return nn.NewMLP(96, 24, 6) },
-		Optimizer:   optim.NewMomentum(0.9),
-		Schedule:    optim.Constant{Base: 0.05},
-		Train:       train, Test: test,
+		Model:      func() *nn.Network { return nn.NewMLP(96, 24, 6) },
+		Optimizer:  optim.NewMomentum(0.9),
+		Schedule:   optim.Constant{Base: 0.05},
+		Train:      train, Test: test,
 		MaxEpochs: 2,
 		Seed:      11,
 	}
+	if mode == CommCluster {
+		// Small threshold so several buckets form per step.
+		cfg.FusionBytes = 2048
+		cfg.Net = simnet.TCP40(workers)
+		cfg.StepSeconds = 1e-3
+	}
+	return cfg
 }
 
 // TestOverlapStepBitwiseEqualsSyncStep is the trainer-level overlap-

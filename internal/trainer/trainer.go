@@ -18,6 +18,13 @@
 // The harness measures algorithmic efficiency (epochs/steps to a target
 // accuracy); system efficiency comes from the simnet cost model and is
 // composed with these results by the experiments package.
+//
+// On the cluster substrate the harness is elastic: injected stragglers
+// stretch simulated step time without touching the floats, a rank
+// failure is absorbed by the OnFailure policy (shrink-and-continue or
+// gang-restart on the survivors — see elastic.go), and
+// CheckpointEverySteps/Resume give deterministic checkpoint/restart
+// whose resumed runs are bitwise-identical to uninterrupted ones.
 package trainer
 
 import (
@@ -27,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/adasum"
+	"repro/internal/checkpoint"
 	"repro/internal/collective"
 	"repro/internal/comm"
 	"repro/internal/compress"
@@ -161,6 +169,35 @@ type Config struct {
 	// codec requires CommCluster (the host path has no wire to
 	// compress).
 	Compression compress.Codec
+	// Hierarchy, when non-empty, reduces each bucket hierarchically
+	// (collective.NewHierarchy widths: e.g. {4} sums within 4-GPU nodes
+	// before the cross-node combine, {4, 2} adds racks of 2 nodes). The
+	// product of widths must divide Workers. CommCluster only.
+	Hierarchy []int
+
+	// OnFailure selects the reaction to a rank failure on the cluster
+	// substrate — injected through Net.Faults.FailAtSeconds or a genuine
+	// worker panic. The zero value FailStop re-raises the failure; the
+	// elastic policies rebuild on the survivors and keep training. See
+	// FailurePolicy. CommCluster only (the host reducer has no ranks to
+	// lose).
+	OnFailure FailurePolicy
+	// CheckpointEverySteps > 0 captures a full training snapshot every n
+	// reduction steps; OnCheckpoint (when set) receives each one.
+	// GangRestart requires this, and keeps the latest snapshot
+	// internally either way.
+	CheckpointEverySteps int
+	// OnCheckpoint observes each captured snapshot. The state is a deep
+	// copy — the caller may serialize (checkpoint.State.Marshal) or
+	// retain it freely.
+	OnCheckpoint func(*checkpoint.State)
+	// Resume restores the run from a snapshot before the first step:
+	// parameters, every worker's optimizer state and data-iterator
+	// position, error-feedback residuals and the loop bookkeeping, so
+	// the resumed run is bitwise-identical to one that was never
+	// interrupted. Worker count and model shape must match the capturing
+	// run.
+	Resume *checkpoint.State
 
 	Model     func() *nn.Network // replica factory; all replicas must be identical shapes
 	Optimizer optim.Optimizer    // prototype; cloned per worker (post-opt) or used directly (pre-opt)
@@ -205,6 +242,19 @@ type EpochStat struct {
 	TestAccuracy float64
 }
 
+// FailureEvent records one rank-failure incident an elastic run
+// absorbed.
+type FailureEvent struct {
+	// Step is the reduction step during which the failure surfaced
+	// (0-based; the step was retried on the survivors).
+	Step int
+	// FailedRanks are the root-cause world ranks that died (cascade
+	// observers are revived and keep training).
+	FailedRanks []int
+	// Survivors is the worker count after the rebuild.
+	Survivors int
+}
+
 // Result is the outcome of a run.
 type Result struct {
 	Epochs         []EpochStat
@@ -217,6 +267,12 @@ type Result struct {
 	// SimSeconds is the cumulative simulated wall-clock of the reduction
 	// steps under Net (bucketed comm modes only; 0 for CommHost).
 	SimSeconds float64
+	// Failures lists the rank-failure incidents absorbed under an
+	// elastic OnFailure policy, in step order.
+	Failures []FailureEvent
+	// FinalWorkers is the number of workers still alive at the end of
+	// the run (== Workers unless failures shrank the gang).
+	FinalWorkers int
 }
 
 // worker is one simulated GPU: a model replica, its data shard, its own
@@ -248,21 +304,72 @@ func (c Config) Validate() error {
 	}
 	switch c.Comm {
 	case CommHost:
+		// Cluster-only knobs are rejected loudly: they used to be
+		// silently ignored, so `-strategy rvh` without `-comm cluster`
+		// trained on the host tree with no diagnostic.
 		if !compress.IsNone(c.Compression) {
 			return fmt.Errorf("Compression requires Comm = CommCluster; the host path has no wire to compress")
 		}
 		if c.Overlap {
 			return fmt.Errorf("Overlap requires Comm = CommCluster; the host path has no communication to overlap")
 		}
+		if c.Strategy != collective.StrategyAuto {
+			return fmt.Errorf("Strategy %v requires Comm = CommCluster; the host reducer runs no bucket collectives", c.Strategy)
+		}
+		if c.FusionBytes != 0 {
+			return fmt.Errorf("FusionBytes requires Comm = CommCluster; the host reducer does not bucket")
+		}
+		if c.Net != nil {
+			return fmt.Errorf("Net requires Comm = CommCluster; the host path simulates no communication")
+		}
+		if c.StepSeconds != 0 {
+			return fmt.Errorf("StepSeconds requires Comm = CommCluster; the host path keeps no virtual clock")
+		}
+		if len(c.Hierarchy) > 0 {
+			return fmt.Errorf("Hierarchy requires Comm = CommCluster; the host reducer has no communicators to split")
+		}
+		if c.OnFailure != FailStop {
+			return fmt.Errorf("OnFailure %v requires Comm = CommCluster; the host reducer has no ranks to lose", c.OnFailure)
+		}
 	case CommCluster:
 		if c.Reduction == ReduceAdasum && !c.PerLayer {
 			return fmt.Errorf("bucketed Adasum requires PerLayer (bucket boundaries must not change the combine's segmentation, §3.6)")
 		}
-		if _, err := c.bucketStrategy(); err != nil {
+		strat, err := c.bucketStrategy()
+		if err != nil {
 			return err
+		}
+		outer := c.Workers
+		if len(c.Hierarchy) > 0 {
+			stride := 1
+			for _, w := range c.Hierarchy {
+				if w <= 0 {
+					return fmt.Errorf("Hierarchy widths must be positive (got %v)", c.Hierarchy)
+				}
+				stride *= w
+			}
+			if c.Workers%stride != 0 {
+				return fmt.Errorf("Hierarchy widths %v do not divide Workers = %d", c.Hierarchy, c.Workers)
+			}
+			outer = c.Workers / stride
+		}
+		if strat == collective.StrategyRVH && outer&(outer-1) != 0 {
+			return fmt.Errorf("StrategyRVH requires a power-of-two reduction group (got %d)", outer)
+		}
+		switch c.OnFailure {
+		case FailStop, ShrinkContinue:
+		case GangRestart:
+			if c.CheckpointEverySteps <= 0 {
+				return fmt.Errorf("GangRestart requires CheckpointEverySteps > 0 (there is nothing to restart from)")
+			}
+		default:
+			return fmt.Errorf("unknown FailurePolicy %d", c.OnFailure)
 		}
 	default:
 		return fmt.Errorf("unknown CommMode %d", c.Comm)
+	}
+	if c.Resume != nil && c.Resume.Workers != c.Workers {
+		return fmt.Errorf("Resume snapshot was captured with %d workers, config has %d", c.Resume.Workers, c.Workers)
 	}
 	return nil
 }
@@ -298,7 +405,45 @@ func Run(cfg Config) *Result {
 	if cfg.LocalSteps <= 0 {
 		cfg.LocalSteps = 1
 	}
+	return newRun(cfg).execute()
+}
 
+// run is the mutable state of one training execution: the master
+// replica, the (possibly shrinking) worker gang, the reduction
+// substrate and the result being accumulated. The step loop lives here;
+// the elastic machinery — failure absorption, survivor rebuild,
+// checkpoint capture and restore — lives in elastic.go.
+type run struct {
+	cfg    Config
+	master *nn.Network
+	layout tensor.Layout
+	params []float32
+
+	// workers is indexed by world rank and nil once a rank died; active
+	// lists the alive ranks ascending. Until a failure, active is every
+	// rank.
+	workers []*worker
+	active  []int
+
+	sharedOpt optim.Optimizer // pre-optimizer scope state
+	// red, contributions and losses are per-run scratch reused every
+	// step so the steady-state combine phase allocates nothing.
+	red           *adasum.Reducer
+	engine        *commEngine
+	contributions [][]float32 // indexed by world rank
+	losses        []float64   // indexed by world rank
+
+	testX      []float32
+	testLabels []int
+
+	res           *Result
+	stepsPerEpoch int
+	step          int     // completed reduction steps
+	lossSum       float64 // current epoch's loss accumulator
+	lastCk        *checkpoint.State
+}
+
+func newRun(cfg Config) *run {
 	master := cfg.Model()
 	if cfg.InitParams != nil {
 		master.SetParams(cfg.InitParams)
@@ -306,10 +451,10 @@ func Run(cfg Config) *Result {
 		master.Init(newRNG(cfg.Seed))
 	}
 	layout := master.Layout()
-	params := master.Params()
 	nParams := master.NumParams()
 
 	workers := make([]*worker, cfg.Workers)
+	active := make([]int, cfg.Workers)
 	for w := range workers {
 		shard := cfg.Train.Shard(w, cfg.Workers)
 		workers[w] = &worker{
@@ -319,8 +464,8 @@ func Run(cfg Config) *Result {
 			opt:   cfg.Optimizer.Clone(),
 			grad:  make([]float32, nParams),
 		}
+		active[w] = w
 	}
-	sharedOpt := cfg.Optimizer.Clone() // pre-optimizer scope state
 
 	samplesPerReduce := cfg.Workers * cfg.Microbatch * cfg.LocalSteps
 	stepsPerEpoch := cfg.Train.N / samplesPerReduce
@@ -328,75 +473,232 @@ func Run(cfg Config) *Result {
 		stepsPerEpoch = 1
 	}
 
-	// One reduction workspace serves every step: the combiner reuses its
-	// scratch instead of allocating per reduction.
-	red := adasum.NewReducer()
-	engine := newCommEngine(cfg, layout)
-	contributions := make([][]float32, len(workers))
-	losses := make([]float64, len(workers))
+	r := &run{
+		cfg:           cfg,
+		master:        master,
+		layout:        layout,
+		params:        master.Params(),
+		workers:       workers,
+		active:        active,
+		sharedOpt:     cfg.Optimizer.Clone(),
+		red:           adasum.NewReducer(),
+		engine:        newCommEngine(cfg, layout),
+		contributions: make([][]float32, cfg.Workers),
+		losses:        make([]float64, cfg.Workers),
+		res:           &Result{EpochsToTarget: -1, StepsToTarget: -1, StepsPerEpoch: stepsPerEpoch},
+		stepsPerEpoch: stepsPerEpoch,
+	}
+	r.testX, r.testLabels = cfg.Test.Batch(seq(cfg.Test.N))
+	return r
+}
 
-	res := &Result{EpochsToTarget: -1, StepsToTarget: -1, StepsPerEpoch: stepsPerEpoch}
-	testX, testLabels := cfg.Test.Batch(seq(cfg.Test.N))
-
-	step := 0
-	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
-		var lossSum float64
-		for s := 0; s < stepsPerEpoch; s++ {
-			loss, simSec := reduceStep(cfg, workers, params, layout, sharedOpt, red, engine, contributions, losses, step)
-			lossSum += loss
-			res.SimSeconds += simSec
-			step++
-			if cfg.EvalEverySteps > 0 && cfg.TargetAccuracy > 0 &&
-				step%cfg.EvalEverySteps == 0 {
-				acc := master.Accuracy(testX, testLabels, cfg.Test.N)
-				switch {
-				case acc >= cfg.TargetAccuracy && !res.Converged:
-					res.Converged = true
-					res.EpochsToTarget = epoch
-					res.StepsToTarget = step
-				case acc < cfg.TargetAccuracy && res.Converged && cfg.Sustained:
-					// The crossing did not hold; keep looking.
-					res.Converged = false
-					res.EpochsToTarget = -1
-					res.StepsToTarget = -1
-				}
-			}
-		}
-		if res.Converged && !cfg.Sustained {
-			acc := master.Accuracy(testX, testLabels, cfg.Test.N)
-			res.Epochs = append(res.Epochs, EpochStat{
-				Epoch: epoch, Steps: step,
-				TrainLoss:    lossSum / float64(stepsPerEpoch),
-				TestAccuracy: acc,
-			})
-			res.FinalAccuracy = acc
-			break
-		}
-		acc := master.Accuracy(testX, testLabels, cfg.Test.N)
-		res.Epochs = append(res.Epochs, EpochStat{
-			Epoch:        epoch,
-			Steps:        step,
-			TrainLoss:    lossSum / float64(stepsPerEpoch),
-			TestAccuracy: acc,
-		})
-		res.FinalAccuracy = acc
-		if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy && !res.Converged && !cfg.Sustained {
-			res.Converged = true
-			res.EpochsToTarget = epoch
-			res.StepsToTarget = step
+// execute drives the flat step loop. Epochs are bookkeeping over a
+// fixed per-epoch step budget (they do not re-derive from the surviving
+// worker count after a shrink), which keeps epoch numbering comparable
+// across runs with and without failures, and lets GangRestart rewind
+// the step counter without nested-loop gymnastics.
+func (r *run) execute() *Result {
+	r.restoreOrInit()
+	totalSteps := r.cfg.MaxEpochs * r.stepsPerEpoch
+	for r.step < totalSteps {
+		loss, simSec := r.elasticStep()
+		r.step++
+		r.lossSum += loss
+		r.res.SimSeconds += simSec
+		// The epoch is derived after the step completes: elasticStep may
+		// have rewound r.step (GangRestart), so a value computed before
+		// it would label the retried steps with the pre-rewind epoch.
+		if r.afterStep((r.step-1)/r.stepsPerEpoch + 1) {
 			break
 		}
 	}
-	res.FinalParams = tensor.Clone(params)
-	return res
+	r.res.FinalParams = tensor.Clone(r.params)
+	r.res.FinalWorkers = len(r.active)
+	return r.res
+}
+
+// afterStep runs the bookkeeping after completed step r.step —
+// eval-every-steps convergence, epoch-boundary stats, checkpoint
+// capture — and reports whether the run is done.
+func (r *run) afterStep(epoch int) (stop bool) {
+	cfg := r.cfg
+	if cfg.EvalEverySteps > 0 && cfg.TargetAccuracy > 0 && r.step%cfg.EvalEverySteps == 0 {
+		acc := r.master.Accuracy(r.testX, r.testLabels, cfg.Test.N)
+		switch {
+		case acc >= cfg.TargetAccuracy && !r.res.Converged:
+			r.res.Converged = true
+			r.res.EpochsToTarget = epoch
+			r.res.StepsToTarget = r.step
+			if !cfg.Sustained {
+				// Stop at the measured crossing. The loop used to play
+				// the epoch out, inflating SimSeconds and drifting
+				// FinalParams past the StepsToTarget it reported.
+				r.recordEpoch(epoch, acc)
+				return true
+			}
+		case acc < cfg.TargetAccuracy && r.res.Converged && cfg.Sustained:
+			// The crossing did not hold; keep looking.
+			r.res.Converged = false
+			r.res.EpochsToTarget = -1
+			r.res.StepsToTarget = -1
+		}
+	}
+	if r.step%r.stepsPerEpoch == 0 {
+		acc := r.master.Accuracy(r.testX, r.testLabels, cfg.Test.N)
+		r.recordEpoch(epoch, acc)
+		if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy && !r.res.Converged && !cfg.Sustained {
+			r.res.Converged = true
+			r.res.EpochsToTarget = epoch
+			r.res.StepsToTarget = r.step
+			return true
+		}
+	}
+	r.capture()
+	return false
+}
+
+// recordEpoch appends the epoch's stats — TrainLoss averaged over the
+// steps the epoch actually ran (a crossing stop divides by the steps to
+// the crossing; a resumed run restored the partial sum) — and resets
+// the loss accumulator.
+func (r *run) recordEpoch(epoch int, acc float64) {
+	stepsThisEpoch := r.step - (epoch-1)*r.stepsPerEpoch
+	if stepsThisEpoch <= 0 {
+		stepsThisEpoch = 1
+	}
+	r.res.Epochs = append(r.res.Epochs, EpochStat{
+		Epoch:        epoch,
+		Steps:        r.step,
+		TrainLoss:    r.lossSum / float64(stepsThisEpoch),
+		TestAccuracy: acc,
+	})
+	r.res.FinalAccuracy = acc
+	r.lossSum = 0
+}
+
+// tryStep performs one full reduction step attempt (LocalSteps local
+// steps on every active worker followed by the combine) and returns the
+// mean local train loss plus the simulated step seconds. A rank failure
+// on the cluster substrate comes back as the RunError with parameters
+// untouched — the attempt updated nothing, so a retry on the survivors
+// is clean.
+func (r *run) tryStep() (loss, simSec float64, failure *comm.RunError) {
+	cfg := r.cfg
+	lr := cfg.Schedule.LR(r.step)
+
+	runWorker := func(w *worker, wi int) {
+		switch cfg.Scope {
+		case PreOptimizer:
+			// Accumulate mean gradient over LocalSteps microbatches.
+			w.net.SetParams(r.params)
+			tensor.Zero(w.grad)
+			var loss float64
+			for ls := 0; ls < cfg.LocalSteps; ls++ {
+				x, labels, b := nextBatch(w)
+				loss += w.net.Gradient(x, labels, b)
+				tensor.Axpy(1/float32(cfg.LocalSteps), w.net.Grads(), w.grad)
+			}
+			r.losses[wi] = loss / float64(cfg.LocalSteps)
+		case PostOptimizer, LocalSGD:
+			// Figure 3: run the optimizer locally, contribute the delta.
+			w.net.SetParams(r.params)
+			var loss float64
+			for ls := 0; ls < cfg.LocalSteps; ls++ {
+				x, labels, b := nextBatch(w)
+				loss += w.net.Gradient(x, labels, b)
+				w.opt.Step(w.net.Params(), w.net.Grads(), lr)
+			}
+			r.losses[wi] = loss / float64(cfg.LocalSteps)
+			tensor.Sub(w.grad, w.net.Params(), r.params) // effective gradient
+		}
+	}
+
+	if cfg.Parallel && len(r.active) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for _, rank := range r.active {
+			wg.Add(1)
+			go func(w *worker, wi int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				runWorker(w, wi)
+				<-sem
+			}(r.workers[rank], rank)
+		}
+		wg.Wait()
+	} else {
+		for _, rank := range r.active {
+			runWorker(r.workers[rank], rank)
+		}
+	}
+
+	for _, rank := range r.active {
+		r.contributions[rank] = r.workers[rank].grad
+	}
+	if cfg.Hook != nil {
+		cfg.Hook(r.step, r.hookContributions(), r.layout)
+	}
+
+	redLayout := r.layout
+	if !cfg.PerLayer {
+		redLayout = tensor.FlatLayout(len(r.params))
+	}
+
+	// The combined result lives in the Reducer's workspace (host mode)
+	// or overwrites the contributions in place (bucketed modes); either
+	// way it is consumed immediately by the parameter update below.
+	var combined []float32
+	switch {
+	case r.engine != nil:
+		var err *comm.RunError
+		simSec, err = r.engine.reduce(r.contributions, r.active, r.res.SimSeconds, r.step)
+		if err != nil {
+			// simSec is the aborted attempt's elapsed virtual time; the
+			// caller charges it so failures are visible in SimSeconds.
+			return 0, simSec, err
+		}
+		combined = r.contributions[r.active[0]]
+	case cfg.Reduction == ReduceAdasum:
+		combined = r.red.TreeReduce(r.contributions, redLayout)
+	default:
+		combined = r.red.MeanReduce(r.contributions)
+	}
+	switch cfg.Scope {
+	case PreOptimizer:
+		r.sharedOpt.Step(r.params, combined, lr)
+	case PostOptimizer, LocalSGD:
+		tensor.Axpy(1, combined, r.params) // deltas are already negative steps
+	}
+
+	var total float64
+	for _, rank := range r.active {
+		total += r.losses[rank]
+	}
+	return total / float64(len(r.active)), simSec, nil
+}
+
+// hookContributions presents the active contributions to the Hook:
+// the dense world-rank slice while the gang is whole (the steady state,
+// no copying), a compacted one after a shrink.
+func (r *run) hookContributions() [][]float32 {
+	if len(r.active) == len(r.workers) {
+		return r.contributions
+	}
+	out := make([][]float32, 0, len(r.active))
+	for _, rank := range r.active {
+		out = append(out, r.contributions[rank])
+	}
+	return out
 }
 
 // commEngine bundles the bucketed-reduction substrate of one run: the
-// simulated cluster whose ranks are the workers, plus one overlap.Engine
-// per rank, all reused across steps.
+// simulated cluster whose ranks are the workers, plus one
+// overlap.Engine per rank, all reused across steps. After a failure the
+// substrate is rebuilt over the survivors (rebuild, elastic.go).
 type commEngine struct {
 	world   *comm.World
 	engines []*overlap.Engine
+	clocks  []float64 // per-rank final clocks of the last reduce
 }
 
 // newCommEngine builds the substrate for CommCluster, or returns nil
@@ -411,6 +713,10 @@ func newCommEngine(cfg Config, layout tensor.Layout) *commEngine {
 	}
 	world := comm.NewWorld(cfg.Workers, cfg.Net)
 	group := collective.WorldGroup(cfg.Workers)
+	var faults *simnet.Faults
+	if cfg.Net != nil {
+		faults = cfg.Net.Faults
+	}
 	engines := make([]*overlap.Engine, cfg.Workers)
 	for w := range engines {
 		engines[w] = overlap.New(overlap.Options{
@@ -421,111 +727,45 @@ func newCommEngine(cfg Config, layout tensor.Layout) *commEngine {
 			// Earlier local steps of an accumulated reduction cannot
 			// overlap with this step's communication.
 			PreSeconds: cfg.StepSeconds * float64(cfg.LocalSteps-1),
+			Hierarchy:  cfg.Hierarchy,
+			Faults:     faults,
 		})
 	}
-	return &commEngine{world: world, engines: engines}
+	return &commEngine{world: world, engines: engines, clocks: make([]float64, cfg.Workers)}
 }
 
-// reduce runs one bucketed reduction over the contributions — on return
-// every contribution holds the group-combined gradient — and returns the
-// simulated step time.
-func (ce *commEngine) reduce(contributions [][]float32) float64 {
-	return comm.MaxClock(ce.world, func(p *comm.Proc) {
+// reduce runs one bucketed reduction over the active ranks'
+// contributions — on return every active contribution holds the
+// group-combined gradient — and returns the simulated step time. base
+// anchors the virtual clocks at the run's cumulative simulated seconds,
+// so injected fail-at deadlines fire on one continuous timeline across
+// steps. A rank failure is returned, not panicked, so the caller can
+// rebuild and retry.
+func (ce *commEngine) reduce(contributions [][]float32, active []int, base float64, step int) (float64, *comm.RunError) {
+	ce.world.SetTimeBase(base)
+	// Pin the straggler-jitter axis to the trainer step: an aborted
+	// attempt bumps the engines' internal counters, and a rewound or
+	// resumed run replays steps, so the counter must be re-anchored per
+	// attempt or the jitter sequence would drift from the uninterrupted
+	// run's.
+	for _, rank := range active {
+		ce.engines[rank].SeekStep(step)
+		ce.clocks[rank] = base
+	}
+	err := ce.world.RunErr(func(p *comm.Proc) {
+		// Record the clock even when the step aborts: the virtual time a
+		// failed attempt burned — partial buckets, failure detection — is
+		// real elapsed time the run must account for.
+		defer func() { ce.clocks[p.Rank()] = p.Clock() }()
 		ce.engines[p.Rank()].Step(p, contributions[p.Rank()])
 	})
-}
-
-// reduceStep performs one full reduction step (LocalSteps local steps on
-// every worker followed by the combine) and returns the mean local train
-// loss observed plus the simulated step seconds (bucketed modes only).
-// red, contributions and losses are per-run scratch owned by Run so the
-// steady-state loop allocates nothing in the combine phase.
-func reduceStep(cfg Config, workers []*worker, params []float32, layout tensor.Layout, sharedOpt optim.Optimizer, red *adasum.Reducer, engine *commEngine, contributions [][]float32, losses []float64, step int) (loss, simSec float64) {
-	lr := cfg.Schedule.LR(step)
-
-	runWorker := func(w *worker, wi int) {
-		switch cfg.Scope {
-		case PreOptimizer:
-			// Accumulate mean gradient over LocalSteps microbatches.
-			w.net.SetParams(params)
-			tensor.Zero(w.grad)
-			var loss float64
-			for ls := 0; ls < cfg.LocalSteps; ls++ {
-				x, labels, b := nextBatch(w)
-				loss += w.net.Gradient(x, labels, b)
-				tensor.Axpy(1/float32(cfg.LocalSteps), w.net.Grads(), w.grad)
-			}
-			losses[wi] = loss / float64(cfg.LocalSteps)
-		case PostOptimizer, LocalSGD:
-			// Figure 3: run the optimizer locally, contribute the delta.
-			w.net.SetParams(params)
-			var loss float64
-			for ls := 0; ls < cfg.LocalSteps; ls++ {
-				x, labels, b := nextBatch(w)
-				loss += w.net.Gradient(x, labels, b)
-				w.opt.Step(w.net.Params(), w.net.Grads(), lr)
-			}
-			losses[wi] = loss / float64(cfg.LocalSteps)
-			tensor.Sub(w.grad, w.net.Params(), params) // effective gradient
+	m := base
+	for _, rank := range active {
+		if c := ce.clocks[rank]; c > m {
+			m = c
 		}
 	}
-
-	if cfg.Parallel && len(workers) > 1 {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for wi, w := range workers {
-			wg.Add(1)
-			go func(w *worker, wi int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				runWorker(w, wi)
-				<-sem
-			}(w, wi)
-		}
-		wg.Wait()
-	} else {
-		for wi, w := range workers {
-			runWorker(w, wi)
-		}
-	}
-
-	for wi, w := range workers {
-		contributions[wi] = w.grad
-	}
-	if cfg.Hook != nil {
-		cfg.Hook(step, contributions, layout)
-	}
-
-	redLayout := layout
-	if !cfg.PerLayer {
-		redLayout = tensor.FlatLayout(len(params))
-	}
-
-	// The combined result lives in the Reducer's workspace (host mode) or
-	// overwrites the contributions in place (bucketed modes); either way
-	// it is consumed immediately by the optimizer/parameter update below.
-	var combined []float32
-	switch {
-	case engine != nil:
-		simSec = engine.reduce(contributions)
-		combined = contributions[0]
-	case cfg.Reduction == ReduceAdasum:
-		combined = red.TreeReduce(contributions, redLayout)
-	default:
-		combined = red.MeanReduce(contributions)
-	}
-	switch cfg.Scope {
-	case PreOptimizer:
-		sharedOpt.Step(params, combined, lr)
-	case PostOptimizer, LocalSGD:
-		tensor.Axpy(1, combined, params) // deltas are already negative steps
-	}
-
-	var total float64
-	for _, l := range losses {
-		total += l
-	}
-	return total / float64(len(losses)), simSec
+	return m - base, err
 }
 
 func nextBatch(w *worker) ([]float32, []int, int) {
