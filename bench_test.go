@@ -273,6 +273,54 @@ func BenchmarkAdasumRVH16Ranks(b *testing.B) {
 	})
 }
 
+// BenchmarkAdasumRVH256Ranks is the scale leg of the collective
+// benchmark: the same steady-state RVH Adasum at 256 ranks on the
+// racked TCP-40Gb model. It is the bench-gate probe for the sparse
+// fabric (256 ranks touch only the O(n log n) link pairs RVH uses, not
+// the n² a dense matrix would allocate) and, on a multi-core runner,
+// for parallel rank execution: per-rank sharded accounting means
+// wall-clock here should drop near-linearly with GOMAXPROCS up to the
+// core count.
+func BenchmarkAdasumRVH256Ranks(b *testing.B) {
+	const ranks, n = 256, 1 << 10
+	layout := tensor.FlatLayout(n)
+	inputs := make([][]float32, ranks)
+	xs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = randVec(n, int64(900+i))
+		xs[i] = make([]float32, n)
+	}
+	w := comm.NewWorld(ranks, simnet.TCP40Racked(ranks, 8))
+	g := collective.WorldGroup(ranks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(p *comm.Proc) {
+		c := collective.New(p, g, collective.Config{Strategy: collective.StrategyRVH})
+		x := xs[p.Rank()]
+		for i := 0; i < b.N; i++ {
+			copy(x, inputs[p.Rank()])
+			c.Adasum(x, layout)
+		}
+	})
+}
+
+// BenchmarkWorld1024Construct pins the sparse fabric's construction
+// cost: a 1024-rank World must be O(size) — per-rank meters, proc
+// slots and empty link-row pointers — with no per-pair channel
+// allocation. Before sparse links this was a 3×1024² channel matrix
+// (tens of millions of allocations); the gate keeps it from
+// regressing back.
+func BenchmarkWorld1024Construct(b *testing.B) {
+	model := simnet.TCP40Racked(1024, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := comm.NewWorld(1024, model)
+		if w.Size() != 1024 {
+			b.Fatal("bad world")
+		}
+	}
+}
+
 // BenchmarkCommunicatorAdasum16Ranks is the communicator-path steady-
 // state benchmark the bench gate watches: a per-layer Adasum through a
 // Communicator constructed once per rank (cached rank-position map,
@@ -390,15 +438,19 @@ func BenchmarkOverlappedStep(b *testing.B) {
 			Overlap:     true,
 		})
 	}
+	// The step closure is hoisted out of the loop: a closure literal
+	// inside the loop would allocate once per iteration, hiding the
+	// engine's own 0-alloc steady state.
+	step := func(p *comm.Proc) {
+		x := xs[p.Rank()]
+		copy(x, inputs[p.Rank()])
+		engines[p.Rank()].Step(p, x)
+	}
 	b.SetBytes(int64(layout.TotalSize() * 4))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.Run(func(p *comm.Proc) {
-			x := xs[p.Rank()]
-			copy(x, inputs[p.Rank()])
-			engines[p.Rank()].Step(p, x)
-		})
+		w.Run(step)
 	}
 }
 
@@ -433,15 +485,16 @@ func BenchmarkOverlappedStepFP16(b *testing.B) {
 			Compression: compress.FP16(),
 		})
 	}
+	step := func(p *comm.Proc) {
+		x := xs[p.Rank()]
+		copy(x, inputs[p.Rank()])
+		engines[p.Rank()].Step(p, x)
+	}
 	b.SetBytes(int64(layout.TotalSize() * 4))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.Run(func(p *comm.Proc) {
-			x := xs[p.Rank()]
-			copy(x, inputs[p.Rank()])
-			engines[p.Rank()].Step(p, x)
-		})
+		w.Run(step)
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	adasum-experiments [-full] [fig1|fig2|fig4|fig5|fig6|table1|table2|table3|table4|overlap|compress|topo|elastic|all]
+//	adasum-experiments [-full] [fig1|fig2|fig4|fig5|fig6|table1|table2|table3|table4|overlap|compress|topo|elastic|scale|all]
 //
 // Quick scale (the default) shrinks worker counts and budgets so the
 // whole suite finishes in minutes; -full runs the DESIGN.md dimensions.
@@ -50,8 +50,9 @@ func main() {
 		"compress": func() { experiments.RunCompression(scale).Render(os.Stdout) },
 		"topo":     func() { experiments.RunTopology(scale).Render(os.Stdout) },
 		"elastic":  func() { experiments.RunElastic(scale).Render(os.Stdout) },
+		"scale":    func() { experiments.RunScale(scale).Render(os.Stdout) },
 	}
-	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "overlap", "compress", "topo", "elastic"}
+	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "overlap", "compress", "topo", "elastic", "scale"}
 
 	if what == "all" {
 		for _, name := range order {

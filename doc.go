@@ -22,10 +22,21 @@
 // every table and figure of the paper's evaluation on synthetic
 // substitutes for its hardware and datasets.
 //
+// The simulated fabric scales to the paper's production regime: links
+// are created lazily per communicating (src, dst) pair and recycled
+// across Reset/Split (a 1024-rank World constructs in ~250µs), rank
+// goroutines execute in parallel across GOMAXPROCS with per-rank
+// sharded buffer pools and wire-byte meters (virtual clocks keep
+// simulated times and gradients bitwise-identical at any parallelism),
+// and the RunScale experiment sweeps flat vs hierarchical Adasum at
+// 64–1024 ranks on the racked TCP topology.
+//
 // See DESIGN.md for the design record of the reduction hot path — the
 // fused single-pass dot/norm kernels (with their AVX+FMA fast path), the
 // workspace-owning adasum.Reducer, the pooled communication buffers, the
-// in-place recursive-vector-halving collectives, the Communicator's
+// in-place recursive-vector-halving collectives, the sparse
+// event-driven fabric and its parallel-rank determinism argument
+// ("Simnet at scale"), the Communicator's
 // ownership/Strategy/Split design, the channel-plane/async-handle
 // machinery with its virtual-clock accounting rules, the codec
 // placement, error-feedback state ownership and compressed-byte clock

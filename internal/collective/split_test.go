@@ -420,3 +420,50 @@ func legacyAdasumRVHRec(p *comm.Proc, g Group, x []float32, lo, hi, d int, layou
 		p.RecvInto(g[nghr], x[lo:mid])
 	}
 }
+
+// TestSplitOnSparseAsyncPlane runs the whole Split — its control-plane
+// color/key exchange and the subgroup collective after it — inside an
+// asynchronous op, i.e. on a nonzero channel plane whose link space
+// starts completely empty. On the sparse fabric every ctl and data
+// message of the carve must materialize its own links lazily; the test
+// pins that construction traffic against the host-tree reference just
+// like the foreground Split test does.
+func TestSplitOnSparseAsyncPlane(t *testing.T) {
+	const ranks, n = 8, 96
+	layout := tensor.FlatLayout(n)
+	vecs := randVecs(ranks, n, 67)
+	var members [][]float32
+	for r := 0; r < ranks; r += 2 {
+		members = append(members, vecs[r])
+	}
+	want := adasum.TreeReduce(members, layout)
+	w := comm.NewWorld(ranks, simnet.TCP40(ranks))
+	g := WorldGroup(ranks)
+	results := make([][]float32, ranks)
+	w.Run(func(p *comm.Proc) {
+		h := p.Launch(3, nil, func(ap *comm.Proc) {
+			color := -1
+			if ap.Rank()%2 == 0 {
+				color = 0
+			}
+			sub := New(ap, g, Config{Strategy: StrategyRVH}).Split(color, ap.Rank())
+			if sub == nil {
+				return
+			}
+			x := tensor.Clone(vecs[ap.Rank()])
+			sub.Adasum(x, layout)
+			results[ap.Rank()] = x
+		})
+		h.Wait(p)
+	})
+	for r := 0; r < ranks; r += 2 {
+		if !tensor.Equal(results[r], want, 1e-4) {
+			t.Fatalf("rank %d: async-plane split Adasum != host tree", r)
+		}
+	}
+	for r := 1; r < ranks; r += 2 {
+		if results[r] != nil {
+			t.Fatalf("undefined-color rank %d produced output", r)
+		}
+	}
+}

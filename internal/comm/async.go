@@ -1,6 +1,9 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Asynchronous operations. A rank launches a collective (or any
 // message-passing program) as a background op that executes while the
@@ -29,11 +32,38 @@ import "fmt"
 // All ranks participating in one logical collective must launch it with
 // the same plane id.
 
-// Handle is an in-flight asynchronous operation started with Launch.
+// Handle is an asynchronous operation slot. It is reusable: after the
+// op completes and has been joined (Finish/Wait/Drain), Start may launch
+// a new op on the same Handle — completion is a broadcast over an
+// internal condition variable rather than a one-shot channel close, and
+// the op's Proc is owned by the Handle — so a steady-state caller
+// (overlap's per-step bucket ops) keeps a fixed set of Handles and
+// launches allocate nothing. The zero Handle is not ready for use;
+// obtain one from Proc.NewHandle (or the allocating Proc.Launch).
 type Handle struct {
-	ap   *Proc
-	done chan struct{}
-	err  any
+	ap Proc
+
+	// after/body are the current launch's chain predecessor and op body,
+	// staged by Start for the pooled worker and cleared at completion.
+	after *Handle
+	body  func(ap *Proc)
+
+	mu   sync.Mutex
+	cond sync.Cond
+	// state: idle (done, never launched or joined), running, or done.
+	running bool
+	done    bool
+	err     any
+}
+
+// NewHandle returns a reusable op slot bound to p's rank. The Handle
+// may be relaunched with Start any number of times; each launch snapshots
+// p's clock and plane binding at that moment.
+func (p *Proc) NewHandle() *Handle {
+	h := &Handle{}
+	h.ap = Proc{world: p.world, rank: p.rank, failAt: p.failAt}
+	h.cond.L = &h.mu
+	return h
 }
 
 // Launch starts body as an asynchronous operation on the given channel
@@ -43,44 +73,89 @@ type Handle struct {
 // clock starts at p's current time, or at after's finish time if that is
 // later (after may be nil). The caller's Proc remains usable for
 // foreground traffic and further launches; the returned Handle must
-// eventually be waited on.
+// eventually be waited on. Launch allocates a fresh Handle per call;
+// steady-state callers should hold Handles and use Start.
 func (p *Proc) Launch(plane int, after *Handle, body func(ap *Proc)) *Handle {
+	h := p.NewHandle()
+	h.Start(p, plane, after, body)
+	return h
+}
+
+// Start launches body on this Handle as an asynchronous op of rank p on
+// the given plane, chained after the given Handle (nil for none), under
+// the same rules as Launch. The Handle must be idle: never launched, or
+// launched and since completed. Restarting a Handle whose previous op
+// has not finished is a caller bug and panics.
+func (h *Handle) Start(p *Proc, plane int, after *Handle, body func(ap *Proc)) {
 	if plane == 0 {
 		panic("comm: Launch requires a nonzero plane id (plane 0 is foreground traffic)")
 	}
-	ap := &Proc{world: p.world, rank: p.rank, clock: p.clock, failAt: p.failAt, chans: p.world.plane(plane)}
-	h := &Handle{ap: ap, done: make(chan struct{})}
-	go func() {
-		defer close(h.done)
-		defer func() {
-			if e := recover(); e != nil {
-				h.err = e
-			}
-		}()
-		if after != nil {
-			<-after.done
-			if after.err != nil {
-				panic(fmt.Sprintf("comm: chained async op failed: %v", after.err))
-			}
-			if after.ap.clock > ap.clock {
-				ap.clock = after.ap.clock
-			}
-		}
-		body(ap)
+	h.mu.Lock()
+	if h.running {
+		panic("comm: Start on a Handle whose op is still in flight")
+	}
+	h.running = true
+	h.done = false
+	h.err = nil
+	h.mu.Unlock()
+	h.ap.clock = p.clock
+	h.ap.failAt = p.failAt
+	h.ap.links = p.world.plane(plane)
+	h.after = after
+	h.body = body
+	submit(h)
+}
+
+// run is the op body, executed on a pooled worker goroutine: chain,
+// execute, publish completion.
+func (h *Handle) run() {
+	defer func() {
+		e := recover()
+		h.after = nil
+		h.body = nil
+		h.mu.Lock()
+		h.err = e
+		h.done = true
+		h.running = false
+		h.mu.Unlock()
+		h.cond.Broadcast()
 	}()
-	return h
+	if after := h.after; after != nil {
+		t, err := after.join()
+		if err != nil {
+			panic(fmt.Sprintf("comm: chained async op failed: %v", err))
+		}
+		if t > h.ap.clock {
+			h.ap.clock = t
+		}
+	}
+	h.body(&h.ap)
+}
+
+// join blocks until the current op completes and returns its finish
+// time and error. The finish-time read is ordered after the completion
+// store by the mutex, so chained ops and owners see the op's final
+// clock.
+func (h *Handle) join() (float64, any) {
+	h.mu.Lock()
+	for !h.done {
+		h.cond.Wait()
+	}
+	e := h.err
+	h.mu.Unlock()
+	return h.ap.clock, e
 }
 
 // Finish blocks until the operation completes and returns its finishing
 // virtual time. A panic raised inside the op body is re-raised here, on
 // the waiting rank's goroutine, so World.Run reports it with rank
-// context. Finish is idempotent.
+// context. Finish is idempotent until the Handle is relaunched.
 func (h *Handle) Finish() float64 {
-	<-h.done
-	if h.err != nil {
-		panic(h.err)
+	t, e := h.join()
+	if e != nil {
+		panic(e)
 	}
-	return h.ap.clock
+	return t
 }
 
 // Wait blocks until the operation completes and advances p's clock to
@@ -97,4 +172,4 @@ func (h *Handle) Wait(p *Proc) {
 // outlives it (an orphaned op could otherwise observe the World mid-
 // Reset). Ops always terminate under failure: every rank that dies is
 // marked dead, which unblocks any op receiving from it.
-func (h *Handle) Drain() { <-h.done }
+func (h *Handle) Drain() { h.join() }

@@ -12,15 +12,32 @@
 // this is how the reproduction measures "latency" (Figure 4) and
 // "throughput" (Tables 2/4) without the paper's hardware.
 //
-// Channels are buffered so a Send never blocks; matched SendRecv
+// The fabric is sparse: a (src, dst) link — one buffered channel — is
+// created the first time either endpoint touches the pair and recycled
+// through a free list on Reset, so a World's memory is proportional to
+// the communication graph actually used (tree/RVH/ring/hierarchical
+// traffic touches O(n log n) pairs), not to size². That is what makes
+// 1024-rank Worlds constructible in milliseconds where the old dense
+// channel matrix allocated size² buffers up front. Channels are buffered
+// so a Send never blocks in the healthy steady state; matched SendRecv
 // exchanges therefore cannot deadlock.
 //
-// Payload buffers are pooled: Send's defensive copy draws from a
-// per-World free list of power-of-two size classes, and receivers can
-// hand buffers back with Release/RecvInto, so a steady-state collective
-// allocates nothing. The copy semantics (the caller may reuse its slice
-// immediately after Send) and the virtual-clock accounting are unchanged
-// by pooling.
+// The substrate is also built to scale across GOMAXPROCS: the only
+// cross-rank shared state on the hot path — the payload-buffer pool and
+// the wire-byte meter — is sharded per rank and merged on read, so rank
+// goroutines never serialize on a global lock or a contended cache
+// line. Virtual time needs no such sharding: each Proc's clock is
+// already private, and clocks meet only through message arrival stamps
+// and explicit joins (Handle.Wait, MaxClock), so simulated times are a
+// pure function of the message-passing program, identical at any
+// GOMAXPROCS.
+//
+// Payload buffers are pooled: Send's defensive copy draws from the
+// sending rank's shard of a per-World free list of power-of-two size
+// classes, and receivers can hand buffers back with Release/RecvInto, so
+// a steady-state collective allocates nothing. The copy semantics (the
+// caller may reuse its slice immediately after Send) and the
+// virtual-clock accounting are unchanged by pooling.
 //
 // Compressed payloads ride the same substrate: SendCompressed encodes a
 // vector into wire words through a compress.Stream and transmits only
@@ -53,25 +70,96 @@ type message struct {
 	arrival float64   // sender clock + transfer cost
 }
 
+// link is one directed (src, dst) FIFO, created on first use and
+// recycled through the World's free list on Reset. cap is remembered so
+// a recycled channel returns to a free-list class of the same buffering.
+type link struct {
+	ch  chan message
+	cap int
+}
+
+// linkRow holds the outgoing links of one source rank on one plane,
+// allocated the first time the source participates in traffic there.
+type linkRow struct {
+	links []atomic.Pointer[link]
+}
+
+// plane is one lazily-populated (src, dst) link space. Each plane is an
+// independent channel space, so concurrent collectives on different
+// planes cannot interleave messages (see async.go). Lookup is two
+// atomic loads on the hot path; creation takes the World's link mutex
+// once per (src, dst) pair per plane.
+type plane struct {
+	world *World
+	cap   int // channel buffering of links created on this plane
+	rows  []atomic.Pointer[linkRow]
+}
+
+// get returns the src→dst link of this plane, creating it on first use.
+func (pl *plane) get(src, dst int) *link {
+	if row := pl.rows[src].Load(); row != nil {
+		if l := row.links[dst].Load(); l != nil {
+			return l
+		}
+	}
+	return pl.create(src, dst)
+}
+
+// create allocates (or recycles) the src→dst link under the World's
+// link mutex, double-checking against a concurrent creator: sender and
+// receiver race to materialize the same pair, and exactly one link must
+// win.
+func (pl *plane) create(src, dst int) *link {
+	w := pl.world
+	w.linkMu.Lock()
+	defer w.linkMu.Unlock()
+	row := pl.rows[src].Load()
+	if row == nil {
+		row = &linkRow{links: make([]atomic.Pointer[link], len(pl.rows))}
+		pl.rows[src].Store(row)
+	}
+	l := row.links[dst].Load()
+	if l == nil {
+		l = w.newLinkLocked(pl.cap)
+		row.links[dst].Store(l)
+	}
+	return l
+}
+
 // World is a communicator over a fixed set of ranks.
 type World struct {
 	size  int
 	model *simnet.Model
-	// chans[src][dst] is the FIFO from src to dst on the default plane.
-	chans [][]chan message
-	pool  bufPool
+	// plane0 is the default link space every foreground Proc starts on.
+	plane0 *plane
+	pool   bufPool
 
-	// wireBytes accumulates the payload bytes of every send on any plane
-	// — for compressed sends, the compressed size. It is the byte meter
-	// the compression experiments read.
-	wireBytes atomic.Int64
+	// wire is the per-rank wire-byte meter: every send adds its payload
+	// bytes (compressed sends their compressed size) to the sending
+	// rank's padded slot, so the accounting scales with the rank
+	// goroutines instead of serializing them on one contended cache
+	// line. WireBytes merges the shards on read.
+	wire []wireMeter
 
-	// planes holds the channel matrices of the nonzero planes, created
-	// lazily by Launch. Each plane is an independent (src, dst) channel
-	// space, so concurrent collectives on different planes cannot
-	// interleave messages (see async.go).
+	// planes holds the nonzero planes, created lazily by Launch.
 	planeMu sync.Mutex
-	planes  map[int][][]chan message
+	planes  map[int]*plane
+
+	// linkMu guards link/row creation on every plane and the free list.
+	// Creation is O(pairs touched) per World lifetime — not a
+	// steady-state cost.
+	linkMu   sync.Mutex
+	linkFree map[int][]*link // recycled links by channel capacity
+
+	// procs/errs/wg/runBody are the per-Run working state, reused across
+	// Runs so a Run (and therefore a steady-state training step driving
+	// one Run per step) allocates nothing. Runs on one World cannot
+	// overlap (Run joins before returning), so the shared body slot is
+	// safe.
+	procs   []Proc
+	errs    []any
+	wg      sync.WaitGroup
+	runBody func(p *Proc)
 
 	// dead holds the per-rank death latches; failed marks ranks whose
 	// failure was a root cause (they stay dead across Reset). failAt is
@@ -84,39 +172,43 @@ type World struct {
 	timeBase float64
 }
 
-// makeChanMatrix builds one (src, dst) matrix of channels buffered to
-// the given capacity. Capacity affects only when senders block (virtual
-// clocks are carried inside the messages), never the simulated times.
-func makeChanMatrix(size, cap int) [][]chan message {
-	m := make([][]chan message, size)
-	for s := range m {
-		m[s] = make([]chan message, size)
-		for d := range m[s] {
-			m[s][d] = make(chan message, cap)
-		}
-	}
-	return m
+// wireMeter is one rank's wire-byte counter, padded to its own cache
+// line so per-rank accounting cannot false-share. The counter is still
+// atomic because a rank's foreground Proc and its async bucket ops send
+// concurrently.
+type wireMeter struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
 // defaultPlaneCap is the per-(src, dst) buffering of the default plane.
 // The collectives alternate sends with receives, so per-pair skew stays
-// small; 64 slots is an order of magnitude of headroom. The old
-// 1024-slot matrix allocated size² × 1024 message slots up front, which
-// at 256 ranks exceeded the 32-bit address space (the GOARCH=386 CI
-// leg) before a single payload moved. Capacity affects only when
-// senders block, never the simulated times.
+// small; 64 slots is an order of magnitude of headroom. Capacity
+// affects only when senders block (virtual clocks are carried inside
+// the messages), never the simulated times.
 const defaultPlaneCap = 64
+
+// asyncPlaneCap is the buffering of links on the nonzero planes: a
+// plane carries one collective at a time, and collectives alternate
+// sends with receives, so a handful of slots per pair suffices.
+const asyncPlaneCap = 16
 
 // NewWorld creates a communicator of the given size using the cost model
 // for clock accounting. model may be nil, in which case all communication
-// is free (pure correctness mode).
+// is free (pure correctness mode). Construction is O(size): no link
+// exists until a pair of ranks actually communicates, so even 1024-rank
+// Worlds build in well under a millisecond.
 func NewWorld(size int, model *simnet.Model) *World {
 	if size <= 0 {
 		panic("comm: world size must be positive")
 	}
 	w := &World{size: size, model: model}
-	w.chans = makeChanMatrix(size, defaultPlaneCap)
-	w.pool.init()
+	w.plane0 = w.newPlane(defaultPlaneCap)
+	w.pool.init(size)
+	w.wire = make([]wireMeter, size)
+	w.linkFree = make(map[int][]*link)
+	w.procs = make([]Proc, size)
+	w.errs = make([]any, size)
 	w.dead = newLatches(size)
 	w.failed = make([]bool, size)
 	w.failAt = make([]float64, size)
@@ -130,65 +222,133 @@ func NewWorld(size int, model *simnet.Model) *World {
 	return w
 }
 
-// plane returns the channel matrix of the given plane id, creating it on
-// first use. Plane 0 is the default matrix every Proc starts on.
-func (w *World) plane(id int) [][]chan message {
+// newPlane builds an empty link space for this World.
+func (w *World) newPlane(cap int) *plane {
+	return &plane{world: w, cap: cap, rows: make([]atomic.Pointer[linkRow], w.size)}
+}
+
+// newLinkLocked returns a link with the given buffering, recycling a
+// drained one from the free list when available. Caller holds linkMu.
+func (w *World) newLinkLocked(cap int) *link {
+	if free := w.linkFree[cap]; len(free) > 0 {
+		l := free[len(free)-1]
+		w.linkFree[cap] = free[:len(free)-1]
+		return l
+	}
+	return &link{ch: make(chan message, cap), cap: cap}
+}
+
+// recycleLinksLocked drains every link of pl and pushes it onto the
+// free list, clearing the plane's pointers. Dropped messages are not
+// returned to the pool (an abort is not a steady-state path). Caller
+// holds linkMu.
+func (w *World) recycleLinksLocked(pl *plane) {
+	for s := range pl.rows {
+		row := pl.rows[s].Load()
+		if row == nil {
+			continue
+		}
+		for d := range row.links {
+			l := row.links[d].Load()
+			if l == nil {
+				continue
+			}
+			for drained := false; !drained; {
+				select {
+				case <-l.ch:
+				default:
+					drained = true
+				}
+			}
+			w.linkFree[l.cap] = append(w.linkFree[l.cap], l)
+			row.links[d].Store(nil)
+		}
+	}
+}
+
+// plane returns the link space of the given plane id, creating it on
+// first use. Plane 0 is the default space every Proc starts on.
+func (w *World) plane(id int) *plane {
 	if id == 0 {
-		return w.chans
+		return w.plane0
 	}
 	w.planeMu.Lock()
 	defer w.planeMu.Unlock()
 	if w.planes == nil {
-		w.planes = make(map[int][][]chan message)
+		w.planes = make(map[int]*plane)
 	}
-	m, ok := w.planes[id]
+	pl, ok := w.planes[id]
 	if !ok {
-		// A plane carries one collective at a time, and collectives
-		// alternate sends with receives, so a handful of slots per
-		// (src, dst) pair suffices; a full-size buffer per plane would
-		// cost ~size² × 1024 messages of idle capacity per bucket.
-		m = makeChanMatrix(w.size, 16)
-		w.planes[id] = m
+		pl = w.newPlane(asyncPlaneCap)
+		w.planes[id] = pl
 	}
-	return m
+	return pl
 }
 
-// bufPool is a free list of payload buffers in power-of-two size classes,
-// shared by all ranks of a World. Buffers enter the pool through
-// Proc.Release/RecvInto and leave through Send's defensive copy and
-// Proc.Scratch, so a steady-state collective recycles a small working set
-// instead of allocating per message.
+// bufPool is a free list of payload buffers in power-of-two size
+// classes, sharded per rank: get and put touch only the calling rank's
+// shard, so buffer recycling never serializes distinct ranks. Buffers
+// enter the pool through Proc.Release/RecvInto and leave through Send's
+// defensive copy and Proc.Scratch; a buffer minted by one rank and
+// released by another simply migrates shards.
 type bufPool struct {
 	f32 freeList[float32]
 	f64 freeList[float64]
 }
 
-func (bp *bufPool) init() {
-	bp.f32.init()
-	bp.f64.init()
+func (bp *bufPool) init(shards int) {
+	bp.f32.init(shards)
+	bp.f64.init(shards)
 }
 
-func (bp *bufPool) getF32(n int) []float32 { return bp.f32.get(n) }
-func (bp *bufPool) putF32(b []float32)     { bp.f32.put(b) }
-func (bp *bufPool) getF64(n int) []float64 { return bp.f64.get(n) }
-func (bp *bufPool) putF64(b []float64)     { bp.f64.put(b) }
+func (bp *bufPool) getF32(shard, n int) []float32 { return bp.f32.get(shard, n) }
+func (bp *bufPool) putF32(shard int, b []float32) { bp.f32.put(shard, b) }
+func (bp *bufPool) getF64(shard, n int) []float64 { return bp.f64.get(shard, n) }
+func (bp *bufPool) putF64(shard int, b []float64) { bp.f64.put(shard, b) }
 
 // freeList recycles slices of one element type in power-of-two size
-// classes under a mutex. It remembers which backing arrays it minted, so
-// putting a foreign slice (caller-owned memory) is a guaranteed no-op
-// rather than a source of cross-rank aliasing. The minted set is bounded
-// by the pool's high-water working set because buffers are reused; it
-// does pin buffers that escape to callers (e.g. Gather results) for the
+// classes, one shard (and one mutex) per rank. It remembers which
+// backing arrays it minted — and which shard minted them — in a
+// lock-free-on-read sync.Map shared by all shards, so putting a
+// foreign slice (caller-owned memory) is a guaranteed no-op rather
+// than a source of cross-rank aliasing. A released buffer normally
+// returns to the RELEASING rank's shard — in symmetric traffic (ring,
+// RVH) the very next get on that rank pops the cache-hot buffer it
+// just copied out of, matching a per-rank LIFO. But a shard keeps at
+// most foreignKeep foreign buffers per size class; beyond that, put
+// routes the buffer back to its MINTING shard. Without the cap,
+// root-asymmetric traffic (a Gather root releasing 15 senders'
+// transport buffers every round) would pile every buffer onto the
+// root's shard while the senders re-mint forever — an allocation
+// leak that also grows the minted set without bound. The cap bounds
+// each shard's foreign inventory, so the minted set is bounded by
+// the pool's high-water working set; buffers that escape to callers
+// (e.g. Gather results) stay pinned in the minted map for the
 // World's lifetime, which matches the pool's own retention behavior.
 type freeList[T any] struct {
-	mu      sync.Mutex
-	buckets map[uint][][]T
-	minted  map[*T]bool
+	shards []freeShard[T]
+	minted sync.Map // *T (first element of a minted backing array) -> home shard int
 }
 
-func (f *freeList[T]) init() {
-	f.buckets = make(map[uint][][]T)
-	f.minted = make(map[*T]bool)
+// foreignKeep is how many buffers of one size class a shard will hold
+// onto beyond the point where overflow starts routing home. Small: it
+// only needs to cover the steady-state ping-pong depth of symmetric
+// exchanges so the hot path stays shard-local.
+const foreignKeep = 4
+
+// freeShard is one rank's free list, padded so neighboring shards do
+// not share a cache line.
+type freeShard[T any] struct {
+	mu      sync.Mutex
+	buckets map[uint][][]T
+	_       [40]byte
+}
+
+func (f *freeList[T]) init(shards int) {
+	f.shards = make([]freeShard[T], shards)
+	for i := range f.shards {
+		f.shards[i].buckets = make(map[uint][][]T)
+	}
 }
 
 // sizeClass returns ceil(log2(n)) so that 1<<sizeClass(n) >= n.
@@ -200,53 +360,86 @@ func sizeClass(n int) uint {
 	return c
 }
 
-func (f *freeList[T]) get(n int) []T {
+func (f *freeList[T]) get(shard, n int) []T {
 	if n == 0 {
 		return []T{}
 	}
 	c := sizeClass(n)
-	f.mu.Lock()
-	if list := f.buckets[c]; len(list) > 0 {
+	s := &f.shards[shard]
+	s.mu.Lock()
+	if list := s.buckets[c]; len(list) > 0 {
 		buf := list[len(list)-1]
-		f.buckets[c] = list[:len(list)-1]
-		f.mu.Unlock()
+		s.buckets[c] = list[:len(list)-1]
+		s.mu.Unlock()
 		return buf[:n]
 	}
+	s.mu.Unlock()
 	buf := make([]T, n, 1<<c)
-	f.minted[&buf[:1][0]] = true
-	f.mu.Unlock()
+	f.minted.Store(&buf[:1][0], shard)
 	return buf
 }
 
-func (f *freeList[T]) put(b []T) {
+// put recycles b into the releasing rank's shard while that shard's
+// bucket is shallow (the cache-hot fast path), overflowing to the
+// minting shard once foreignKeep buffers of the class are already
+// held. Foreign slices (not minted by this pool) are ignored.
+func (f *freeList[T]) put(shard int, b []T) {
 	if cap(b) == 0 {
 		return
 	}
 	key := &b[:1][0] // first element of the backing array (cap >= 1)
-	f.mu.Lock()
-	if f.minted[key] {
-		f.buckets[sizeClass(cap(b))] = append(f.buckets[sizeClass(cap(b))], b[:0])
+	home, ok := f.minted.Load(key)
+	if !ok {
+		return
 	}
-	f.mu.Unlock()
+	c := sizeClass(cap(b))
+	s := &f.shards[shard]
+	if h := home.(int); h != shard {
+		s.mu.Lock()
+		if len(s.buckets[c]) < foreignKeep {
+			s.buckets[c] = append(s.buckets[c], b[:0])
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		s = &f.shards[h]
+	}
+	s.mu.Lock()
+	s.buckets[c] = append(s.buckets[c], b[:0])
+	s.mu.Unlock()
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
 // WireBytes returns the total payload bytes sent so far across all ranks
-// and planes — compressed sends count their compressed size.
-func (w *World) WireBytes() int64 { return w.wireBytes.Load() }
+// and planes — compressed sends count their compressed size. The
+// per-rank shards are summed on read; call it between Runs for an exact
+// total.
+func (w *World) WireBytes() int64 {
+	var total int64
+	for r := range w.wire {
+		total += w.wire[r].n.Load()
+	}
+	return total
+}
 
 // ResetWireBytes zeroes the wire-byte meter (between sweep arms).
-func (w *World) ResetWireBytes() { w.wireBytes.Store(0) }
+func (w *World) ResetWireBytes() {
+	for r := range w.wire {
+		w.wire[r].n.Store(0)
+	}
+}
 
 // Proc returns the handle rank r uses to communicate. Each rank must use
-// its own Proc from a single goroutine.
+// its own Proc from a single goroutine. Procs handed to Run bodies are
+// pooled per World; Proc itself returns a fresh endpoint for callers
+// that drive ranks manually.
 func (w *World) Proc(r int) *Proc {
 	if r < 0 || r >= w.size {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", r, w.size))
 	}
-	return &Proc{world: w, rank: r, clock: w.timeBase, failAt: w.failAt[r], chans: w.chans}
+	return &Proc{world: w, rank: r, clock: w.timeBase, failAt: w.failAt[r], links: w.plane0}
 }
 
 // transferCost returns the simulated seconds to move n float32s (plus a
@@ -259,9 +452,9 @@ func (w *World) transferCost(src, dst, nFloats, nMeta int) float64 {
 	return w.model.Transfer(src, dst, int64(nFloats)*4+int64(nMeta)*8)
 }
 
-// Proc is one rank's endpoint: its identity, its channels, and its
-// virtual clock. A Proc obtained from World.Proc communicates on the
-// default plane; Launch binds a clone to a private plane so asynchronous
+// Proc is one rank's endpoint: its identity, its plane, and its virtual
+// clock. A Proc obtained from World.Proc communicates on the default
+// plane; Launch binds a clone to a private plane so asynchronous
 // collectives cannot interleave with foreground traffic.
 type Proc struct {
 	world *World
@@ -271,8 +464,8 @@ type Proc struct {
 	// seconds (+Inf when the rank never fails); every clock advance
 	// checks it.
 	failAt float64
-	// chans is the channel matrix of this Proc's plane.
-	chans [][]chan message
+	// links is the link space of this Proc's plane.
+	links *plane
 }
 
 // Rank returns this process's rank in [0, Size).
@@ -330,16 +523,16 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 	p.checkPeer(dst)
 	var dc []float32
 	if data != nil {
-		dc = p.world.pool.getF32(len(data))
+		dc = p.world.pool.getF32(p.rank, len(data))
 		copy(dc, data)
 	}
 	var mc []float64
 	if meta != nil {
-		mc = p.world.pool.getF64(len(meta))
+		mc = p.world.pool.getF64(p.rank, len(meta))
 		copy(mc, meta)
 	}
 	cost := p.world.transferCost(p.rank, dst, len(data), len(meta))
-	p.world.wireBytes.Add(int64(len(data))*4 + int64(len(meta))*8)
+	p.world.wire[p.rank].n.Add(int64(len(data))*4 + int64(len(meta))*8)
 	p.deliver(dst, message{data: dc, meta: mc, arrival: p.clock + cost})
 }
 
@@ -348,9 +541,11 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 // sender that ran far enough ahead to fill the buffer would park on the
 // channel send forever once the receiver died, re-creating the wedge
 // the death latches exist to remove. The healthy steady state pays one
-// non-blocking attempt.
+// non-blocking attempt. The link is materialized here on first use, so
+// a sender to a dead rank on a never-before-used pair still takes the
+// guarded path.
 func (p *Proc) deliver(dst int, msg message) {
-	ch := p.chans[p.rank][dst]
+	ch := p.links.get(p.rank, dst).ch
 	select {
 	case ch <- msg:
 		return
@@ -372,7 +567,7 @@ func (p *Proc) sendOwned(dst int, buf []float32) {
 	}
 	p.checkPeer(dst)
 	cost := p.world.transferCost(p.rank, dst, len(buf), 0)
-	p.world.wireBytes.Add(int64(len(buf)) * 4)
+	p.world.wire[p.rank].n.Add(int64(len(buf)) * 4)
 	p.deliver(dst, message{data: buf, arrival: p.clock + cost})
 }
 
@@ -390,7 +585,7 @@ func (p *Proc) SendCompressed(dst int, data []float32, st *compress.Stream) {
 		return
 	}
 	c := st.Codec()
-	enc := p.world.pool.getF32(c.EncodedLen(len(data)))
+	enc := p.world.pool.getF32(p.rank, c.EncodedLen(len(data)))
 	st.Encode(enc, data)
 	p.ComputeMemCopy(int64(len(data)) * 4)
 	p.sendOwned(dst, enc)
@@ -412,7 +607,7 @@ func (p *Proc) RecvCompressed(src int, c compress.Codec, dst []float32) {
 			len(enc), c.EncodedLen(len(dst)), len(dst)))
 	}
 	c.Decode(dst, enc)
-	p.world.pool.putF32(enc)
+	p.world.pool.putF32(p.rank, enc)
 	p.ComputeMemCopy(int64(len(dst)) * 4)
 }
 
@@ -464,7 +659,7 @@ func (p *Proc) RecvInto(src int, dst []float32) {
 		panic(fmt.Sprintf("comm: RecvInto length mismatch: got %d, dst %d", len(d), len(dst)))
 	}
 	copy(dst, d)
-	p.world.pool.putF32(d)
+	p.world.pool.putF32(p.rank, d)
 }
 
 // RecvMeta receives a float64 side payload from src. As with Recv, the
@@ -480,26 +675,26 @@ func (p *Proc) RecvMeta(src int) []float64 {
 // a buffer that is still read elsewhere is an aliasing bug). Slices the
 // pool did not mint are recognized and ignored, so a stray Release of
 // caller-owned memory cannot corrupt anything.
-func (p *Proc) Release(buf []float32) { p.world.pool.putF32(buf) }
+func (p *Proc) Release(buf []float32) { p.world.pool.putF32(p.rank, buf) }
 
 // ReleaseMeta returns a buffer obtained from RecvMeta or ScratchMeta to
 // the World's pool, under the same ownership contract as Release.
-func (p *Proc) ReleaseMeta(meta []float64) { p.world.pool.putF64(meta) }
+func (p *Proc) ReleaseMeta(meta []float64) { p.world.pool.putF64(p.rank, meta) }
 
 // Scratch returns a pooled float32 buffer of length n with unspecified
 // contents. Return it with Release when done.
-func (p *Proc) Scratch(n int) []float32 { return p.world.pool.getF32(n) }
+func (p *Proc) Scratch(n int) []float32 { return p.world.pool.getF32(p.rank, n) }
 
 // ScratchMeta returns a pooled float64 buffer of length n with
 // unspecified contents. Return it with ReleaseMeta when done.
-func (p *Proc) ScratchMeta(n int) []float64 { return p.world.pool.getF64(n) }
+func (p *Proc) ScratchMeta(n int) []float64 { return p.world.pool.getF64(p.rank, n) }
 
 // recvMsg pulls the next message from src, unblocking with a typed
 // RankFailure if src is (or becomes) dead. A payload already in flight
 // before the death is still delivered — the fast non-blocking path also
 // keeps the healthy steady state at one cheap poll per receive.
 func (p *Proc) recvMsg(src int) message {
-	ch := p.chans[src][p.rank]
+	ch := p.links.get(src, p.rank).ch
 	select {
 	case msg := <-ch:
 		return msg
@@ -560,35 +755,27 @@ func (w *World) Run(body func(p *Proc)) {
 // RunErr is Run returning the aggregate failure instead of panicking —
 // the entry point for elastic callers that rebuild on survivors. nil
 // means every alive rank completed. Ranks already dead when RunErr is
-// called are skipped entirely (their body never runs).
+// called are skipped entirely (their body never runs). The per-rank
+// Procs and error slots are owned by the World and reused across Runs,
+// so a healthy Run allocates nothing; Runs on one World must not
+// overlap (they never could — Run joins before returning).
 func (w *World) RunErr(body func(p *Proc)) *RunError {
-	var wg sync.WaitGroup
-	errs := make([]any, w.size)
+	for r := range w.errs {
+		w.errs[r] = nil
+	}
+	w.runBody = body
 	for r := 0; r < w.size; r++ {
 		if !w.Alive(r) {
 			continue
 		}
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if e := recover(); e != nil {
-					errs[rank] = e
-					// Unblock everyone parked on this rank; without this
-					// a single panicking rank deadlocked the whole Run.
-					w.markDead(rank)
-				}
-			}()
-			p := w.Proc(rank)
-			// A time base already past the deadline kills the rank
-			// before it does any work.
-			p.maybeFail()
-			body(p)
-		}(r)
+		w.procs[r] = Proc{world: w, rank: r, clock: w.timeBase, failAt: w.failAt[r], links: w.plane0}
+		w.wg.Add(1)
+		submit(&w.procs[r])
 	}
-	wg.Wait()
+	w.wg.Wait()
+	w.runBody = nil
 	var fails []RankError
-	for r, e := range errs {
+	for r, e := range w.errs {
 		if e != nil {
 			fails = append(fails, RankError{Rank: r, Err: e})
 		}
@@ -602,6 +789,28 @@ func (w *World) RunErr(body func(p *Proc)) *RunError {
 		w.failed[r] = true
 	}
 	return err
+}
+
+// run is one rank's Run slot, executed on a pooled worker goroutine: it
+// recovers the rank's terminal panic into the World's error table and
+// latches the rank dead so blocked peers unblock. The recover defer
+// runs before wg.Done (LIFO), so every error is visible once Wait
+// returns.
+func (p *Proc) run() {
+	w := p.world
+	defer w.wg.Done()
+	defer func() {
+		if e := recover(); e != nil {
+			w.errs[p.rank] = e
+			// Unblock everyone parked on this rank; without this a
+			// single panicking rank deadlocked the whole Run.
+			w.markDead(p.rank)
+		}
+	}()
+	// A time base already past the deadline kills the rank before it
+	// does any work.
+	p.maybeFail()
+	w.runBody(p)
 }
 
 // RunCollect runs body on every rank and returns the per-rank results.

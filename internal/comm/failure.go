@@ -144,11 +144,20 @@ func (w *World) AliveRanks() []int {
 // failure (injected deadline or genuine panic) stay dead — their fail-at
 // deadline has passed for good. Buffers inside dropped messages are not
 // returned to the pool; an abort is not a steady-state path.
+// Links are not reallocated: every plane's links are drained and
+// recycled through the free list, so repeated fail/reset/rebuild cycles
+// reuse the same channels instead of regrowing the fabric.
 func (w *World) Reset() {
-	w.chans = makeChanMatrix(w.size, defaultPlaneCap)
 	w.planeMu.Lock()
+	planes := w.planes
 	w.planes = nil
 	w.planeMu.Unlock()
+	w.linkMu.Lock()
+	w.recycleLinksLocked(w.plane0)
+	for _, pl := range planes {
+		w.recycleLinksLocked(pl)
+	}
+	w.linkMu.Unlock()
 	for r := 0; r < w.size; r++ {
 		if !w.dead[r].flag.Load() || w.failed[r] {
 			continue

@@ -1,0 +1,63 @@
+package comm
+
+import "sync/atomic"
+
+// Goroutine recycling. Every `go f(args)` statement heap-allocates a
+// closure wrapping the call (even a zero-argument method spawn
+// allocates its method-value wrapper), so a substrate that spawns one
+// goroutine per rank per Run and one per bucket op per step can never
+// reach a 0-alloc steady state by spawning directly. Instead, rank
+// bodies and async ops are submitted to a package-level pool of worker
+// goroutines: a submit hands a runnable to an idle worker over a
+// channel (no allocation), and a fresh worker is spawned — the only
+// allocating path — exclusively when every existing worker is busy. The
+// pool therefore grows to the process's high-water op concurrency and
+// stays there, shared by all Worlds.
+//
+// Progress is guaranteed without sizing the pool: a submit either
+// reserves a worker that is provably parked on (or headed to) the
+// queue, or spawns a new one for itself, so ops that block — on
+// virtual-time channel receives, chained handles, or dead-rank latches
+// — can never starve later submissions. Workers never exit; an idle
+// worker costs one parked goroutine (a few KB of stack), which is the
+// price of allocation-free steady-state spawning.
+
+// runnable is one unit of pooled work: a Handle's async op or a rank's
+// Run body, both of which recover their own panics (a panic escaping
+// run would kill the process, exactly as an unrecovered panic in a
+// directly spawned goroutine would).
+type runnable interface{ run() }
+
+var (
+	// workerIdle counts workers parked on (or committed to parking on)
+	// workerQ. submit reserves one by decrementing before it sends, so
+	// the send always finds a receiver promptly.
+	workerIdle atomic.Int64
+	workerQ    = make(chan runnable)
+)
+
+// submit runs r on a pooled goroutine. It allocates only when the pool
+// must grow.
+func submit(r runnable) {
+	for {
+		n := workerIdle.Load()
+		if n <= 0 {
+			go worker(r)
+			return
+		}
+		if workerIdle.CompareAndSwap(n, n-1) {
+			workerQ <- r
+			return
+		}
+	}
+}
+
+// worker runs its first assignment, then parks on the queue for more.
+func worker(r runnable) {
+	for {
+		r.run()
+		r = nil // release the last job while parked
+		workerIdle.Add(1)
+		r = <-workerQ
+	}
+}

@@ -210,3 +210,46 @@ func TestRunElasticQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestRunScaleQuick(t *testing.T) {
+	r := RunScale(ScaleQuick)
+	want := []int{64, 256, 1024}
+	if len(r.Ranks) != len(want) {
+		t.Fatalf("rank sweep %v, want %v", r.Ranks, want)
+	}
+	for i, n := range want {
+		if r.Ranks[i] != n {
+			t.Fatalf("rank sweep %v, want %v", r.Ranks, want)
+		}
+	}
+	last := len(r.Ranks) - 1
+	for i := range r.Ranks {
+		for _, ms := range []float64{r.FlatMs[i], r.TwoLvlMs[i], r.ThreeLvlMs[i]} {
+			if ms <= 0 {
+				t.Fatalf("ranks=%d: non-positive latency in (%v, %v, %v)",
+					r.Ranks[i], r.FlatMs[i], r.TwoLvlMs[i], r.ThreeLvlMs[i])
+			}
+		}
+		if i > 0 && r.FlatMs[i] <= r.FlatMs[i-1] {
+			t.Fatalf("flat latency not increasing with ranks: %v", r.FlatMs)
+		}
+		// Hierarchy keeps traffic off the spine: fewer wire bytes than flat
+		// at every scale, and more levels help at the top end.
+		if r.ThreeLvlMB[i] >= r.FlatMB[i] {
+			t.Fatalf("ranks=%d: 3-level moved %v MB, flat only %v", r.Ranks[i], r.ThreeLvlMB[i], r.FlatMB[i])
+		}
+	}
+	if s := r.HierarchySpeedupAt(); s <= 1.5 {
+		t.Fatalf("flat/3-level speedup at %d ranks = %.2f, want > 1.5", r.Ranks[last], s)
+	}
+	// The gap widens with scale — the reason the sweep exists.
+	if first := r.FlatMs[0] / r.ThreeLvlMs[0]; r.HierarchySpeedupAt() <= first {
+		t.Fatalf("hierarchy advantage did not grow with ranks: %.2f at %d vs %.2f at %d",
+			first, r.Ranks[0], r.HierarchySpeedupAt(), r.Ranks[last])
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "1024") {
+		t.Fatalf("rendered table missing largest rank count:\n%s", buf.String())
+	}
+}

@@ -29,26 +29,40 @@ const (
 // compressed-communication subsystem (every fp16 wire hop encodes and
 // decodes full gradient payloads), so both directions are table-driven:
 //
-//   - encoding indexes 512-entry tables by the float32's sign+exponent
+//   - encoding indexes a 512-entry table by the float32's sign+exponent
 //     byte, replacing the per-value branch tree of the reference
 //     implementation with one shift/add plus the round-to-nearest-even
 //     fixup (which must inspect the mantissa and cannot be tabled);
 //   - decoding is a straight 65536-entry lookup.
+//
+// The encode table packs all three per-class values into one uint32 —
+// bits 0–15 the half bits before the mantissa contribution, bits 24–28
+// the mantissa right shift (encNoMant = no mantissa/rounding; the top
+// byte holds nothing else, so extracting it is a bare enc>>24), and bit
+// 23 the implicit-bit addend for subnormal halves, positioned so it
+// adds onto the 23-bit float32 fraction directly. One packed entry
+// instead of three parallel tables keeps FromFloat32 to a single load
+// and, critically, under the compiler's inlining budget: the bulk
+// encode loops (EncodeInto, the fp16 wire codec) inline the conversion,
+// which is worth ~30% of the fp16 step.
 //
 // The tables are built at init from the reference conversions below, so
 // they are exact by construction; the test suite additionally pins the
 // fast paths to the references exhaustively (decode) and across the
 // exponent boundaries (encode).
 var (
-	encBase  [512]uint16 // half bits before the mantissa contribution
-	encShift [512]uint8  // mantissa right shift; encNoMant = no mantissa/rounding
-	encImp   [512]uint32 // implicit-bit addend for subnormal halves
+	encTable [512]uint32
 	decTable [1 << 16]float32
 )
 
 // encNoMant marks sign+exponent classes whose result ignores the
 // mantissa entirely (zero underflow and overflow→inf); NaNs are the one
-// exception, branched on explicitly.
+// exception, branched on explicitly. The value is chosen so the class
+// needs no branch in the hot path: with a shift of 31, the mantissa
+// contribution (m>>31, m < 2^24) and the rounding fixup
+// ((2^30-1 + rem + lowbit) >> 31, sum < 2^31) are both identically
+// zero, so the conversion falls out of the same arithmetic as the
+// normal and subnormal classes and returns the tabled base bits alone.
 const encNoMant = 31
 
 func init() {
@@ -58,22 +72,16 @@ func init() {
 			i := s<<8 | exp
 			e := exp - 127 + expBias
 			switch {
-			case exp == 0xFF: // inf and NaN (NaN payload handled out of line)
-				encBase[i] = sign | expMask
-				encShift[i] = encNoMant
+			case exp == 0xFF: // inf and NaN (NaN payload handled by the branch)
+				encTable[i] = uint32(sign|expMask) | encNoMant<<24
 			case e >= maxExp: // overflow -> inf
-				encBase[i] = sign | expMask
-				encShift[i] = encNoMant
+				encTable[i] = uint32(sign|expMask) | encNoMant<<24
 			case e >= 1: // normal half
-				encBase[i] = sign | uint16(e<<10)
-				encShift[i] = 13
+				encTable[i] = uint32(sign|uint16(e<<10)) | 13<<24
 			case e >= -10: // subnormal half
-				encBase[i] = sign
-				encShift[i] = uint8(14 - e)
-				encImp[i] = 0x800000
+				encTable[i] = uint32(sign) | uint32(14-e)<<24 | 0x800000
 			default: // underflow -> signed zero
-				encBase[i] = sign
-				encShift[i] = encNoMant
+				encTable[i] = uint32(sign) | encNoMant<<24
 			}
 		}
 	}
@@ -87,34 +95,31 @@ func init() {
 // the table-driven form of fromFloat32Ref and bit-identical to it.
 func FromFloat32(f float32) Bits {
 	b := math.Float32bits(f)
-	i := b >> 23 // sign+exponent byte
-	shift := encShift[i]
-	if shift == encNoMant {
-		return fromFloat32NoMant(b, i)
+	if b<<1 > 0xFF000000 { // sign shifted out: true exactly for NaNs
+		// NaN: preserve a quiet NaN with some payload bits. The one
+		// input class whose result the tabled arithmetic below cannot
+		// produce (it would collapse payloads to infinity).
+		return Bits(b>>16&0x8000 | 0x7E00 | (b&0x7FFFFF)>>13)
 	}
-	m := (b & 0x7FFFFF) + encImp[i]
-	half := uint32(encBase[i]) + m>>shift
-	// Round to nearest even on the truncated bits; the increment may
-	// carry into the exponent (subnormal -> normal, normal -> inf),
-	// which is correct rounding. The branchless fixup adds 1 when
-	// rem > halfway, and when rem == halfway it adds the result's own
-	// low bit (ties go to even).
-	rem := m & (1<<shift - 1)
-	halfway := uint32(1) << (shift - 1)
-	half += (halfway - 1 + rem + (half & 1)) >> shift
-	return Bits(half)
-}
-
-// fromFloat32NoMant finishes the conversions whose result ignores the
-// mantissa — underflow to signed zero and overflow to infinity — plus
-// the NaN payload case, keeping the hot path above small enough to
-// inline into the bulk encode loops.
-func fromFloat32NoMant(b, i uint32) Bits {
-	if i&0xFF == 0xFF && b&0x7FFFFF != 0 {
-		// Preserve a quiet NaN with some payload bits.
-		return Bits(uint32(encBase[i]) | 0x0200 | (b&0x7FFFFF)>>13)
-	}
-	return Bits(encBase[i])
+	enc := encTable[b>>23] // indexed by the sign+exponent byte
+	shift := enc >> 24
+	// enc&0x800000 is the implicit-bit addend (set only for subnormal
+	// halves), pre-positioned at the float32 fraction width.
+	m := b&0x7FFFFF + enc&0x800000
+	// One fused shift-and-round-to-nearest-even: pre-biasing m by
+	// (halfway - 1) plus the pre-rounding low result bit ((m>>shift)&1 —
+	// every tabled base is even, so this IS the result's tie bit) makes
+	// the truncating shift round correctly, the carry propagating into
+	// the exponent (subnormal -> normal, normal -> inf) exactly as IEEE
+	// rounding requires. The encNoMant classes ride the same arithmetic:
+	// at shift 31 both the mantissa contribution and the bias vanish
+	// (see the constant's comment), leaving the tabled bits — signed
+	// zero or infinity — untouched. Everything is a single expression to
+	// keep the function within the inlining budget; the bulk encode
+	// loops depend on it. The Bits conversion truncates enc to its base
+	// bits, and the 16-bit add cannot wrap: the largest possible result
+	// is infinity's bit pattern.
+	return Bits(enc) + Bits((m+(m>>shift)&1+1<<(shift-1)-1)>>shift)
 }
 
 // fromFloat32Ref is the branch-tree reference conversion the tables are

@@ -140,13 +140,32 @@ type Engine struct {
 	stepIdx int
 }
 
-// slotState is one bucket slot: its forked communicator and, in
-// hierarchical mode, its cached hierarchy. The struct is heap-allocated
-// per slot so the async op can fill hier through a stable pointer while
-// the rank goroutine appends more slots.
+// slotState is one bucket slot: its forked communicator, its cached
+// hierarchy (hierarchical mode), and its reusable async-op state. The
+// struct is heap-allocated per slot so the async op can fill fields
+// through a stable pointer while the rank goroutine appends more slots.
+//
+// Everything here is allocated once per slot lifetime: the Handle is
+// relaunched every step (comm.Handle is reusable), body is a single
+// closure reading the current bucket through sl.g, and the OnProc
+// rebinding of the communicator (and hierarchy) is cached against the
+// Handle's op endpoint — which is a stable pointer — so a steady-state
+// Step allocates nothing. The hand-offs through sl.g and the caches are
+// race-free because the engine joins a slot's op before reusing the
+// slot, and Handle completion/relaunch is a synchronizing edge.
 type slotState struct {
+	idx  int
 	c    *collective.Communicator
 	hier *collective.Hierarchy
+
+	h    *comm.Handle
+	body func(ap *comm.Proc)
+	g    *fusion.Group // bucket the in-flight (or next) op reduces
+
+	// boundAp keys the cached endpoint rebindings below.
+	boundAp *comm.Proc
+	cOn     *collective.Communicator
+	hierOn  *collective.Hierarchy
 }
 
 type pendingOp struct {
@@ -341,7 +360,7 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 // completes.
 func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	p.ComputeMemCopy(g.Bytes())
-	sl := e.slot(len(e.pending))
+	sl := e.slot(p, len(e.pending))
 	if st := sl.c.Stream(); st != nil {
 		st.Begin()
 		st.Quantize(g.Data)
@@ -352,13 +371,11 @@ func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 		after = e.pending[n-1].h
 	}
 	plane := len(e.pending) + 1
-	slot := len(e.pending)
-	h := p.Launch(plane, after, func(ap *comm.Proc) {
-		e.reduceBucket(slot, sl, ap, g)
-	})
-	e.pending = append(e.pending, pendingOp{h: h, g: g, sl: sl})
+	sl.g = g
+	sl.h.Start(p, plane, after, sl.body)
+	e.pending = append(e.pending, pendingOp{h: sl.h, g: g, sl: sl})
 	if !e.opt.Overlap {
-		h.Wait(p)
+		sl.h.Wait(p)
 	}
 }
 
@@ -369,11 +386,12 @@ func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 // engine's join-before-next-step ordering guarantees a slot's previous
 // collective finished before the slot is reused, so the hand-off
 // between the rank goroutine and its async op is race-free.
-func (e *Engine) slot(i int) *slotState {
+func (e *Engine) slot(p *comm.Proc, i int) *slotState {
 	for len(e.slots) <= i {
-		sl := &slotState{c: e.proto.Fork()}
+		sl := &slotState{idx: len(e.slots), c: e.proto.Fork(), h: p.NewHandle()}
+		sl.body = func(ap *comm.Proc) { e.reduceBucket(sl, ap, sl.g) }
 		if st := sl.c.Stream(); st != nil {
-			if res := e.savedStream(len(e.slots), 0); res != nil {
+			if res := e.savedStream(sl.idx, 0); res != nil {
 				st.Restore(res)
 			}
 		}
@@ -400,23 +418,31 @@ func (e *Engine) savedStream(slot, stream int) [][]float32 {
 // exchanges ride the slot's own plane, so every rank constructs it at
 // the same program point) and rebound to each step's op endpoint
 // afterwards, keeping the level streams' residuals with the slot.
-func (e *Engine) reduceBucket(slot int, sl *slotState, ap *comm.Proc, g *fusion.Group) {
-	c := sl.c.OnProc(ap)
+func (e *Engine) reduceBucket(sl *slotState, ap *comm.Proc, g *fusion.Group) {
+	c := sl.cOn
+	if c == nil || sl.boundAp != ap {
+		c = sl.c.OnProc(ap)
+		sl.cOn, sl.boundAp = c, ap
+		sl.hierOn = nil
+	}
 	if len(e.hier) > 0 && c.Size() > 1 {
-		h := sl.hier
+		h := sl.hierOn
 		if h == nil {
-			h = collective.NewHierarchy(c, e.hier...)
-			for li, st := range h.Streams() {
-				if st == nil {
-					continue
+			if sl.hier == nil {
+				sl.hier = collective.NewHierarchy(c, e.hier...)
+				for li, st := range sl.hier.Streams() {
+					if st == nil {
+						continue
+					}
+					if res := e.savedStream(sl.idx, li+1); res != nil {
+						st.Restore(res)
+					}
 				}
-				if res := e.savedStream(slot, li+1); res != nil {
-					st.Restore(res)
-				}
+				h = sl.hier
+			} else {
+				h = sl.hier.OnProc(ap)
 			}
-			sl.hier = h
-		} else {
-			h = h.OnProc(ap)
+			sl.hierOn = h
 		}
 		if c.Strategy() == collective.StrategyRing {
 			h.AllreduceMean(g.Data)

@@ -1,0 +1,71 @@
+package trainer
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// TestRunIsBitwiseInvariantUnderGOMAXPROCS is the end-to-end pin of the
+// simnet's parallel rank execution: rank goroutines really run
+// concurrently (per-rank sharded buffer pool and wire meter, no global
+// serialization), so the Go scheduler interleaves them differently at
+// every GOMAXPROCS — and none of it may show. For every Scope x Comm x
+// codec combination (including top-k with error feedback, whose
+// residual state is the easiest thing to corrupt with a misordered
+// reduction), a full training run at GOMAXPROCS=1 and at a wide
+// setting must produce bitwise-identical FinalParams and identical
+// SimSeconds and accuracy. Determinism comes from the virtual-clock
+// design, not from serial execution: clocks are private to each rank
+// and meet only through message arrival stamps and explicit joins.
+func TestRunIsBitwiseInvariantUnderGOMAXPROCS(t *testing.T) {
+	type combo struct {
+		name    string
+		scope   Scope
+		comm    CommMode
+		overlap bool
+		codec   compress.Codec
+	}
+	combos := []combo{
+		{"pre/host", PreOptimizer, CommHost, false, nil},
+		{"post/host", PostOptimizer, CommHost, false, nil},
+		{"localsgd/host", LocalSGD, CommHost, false, nil},
+		{"pre/cluster-sync", PreOptimizer, CommCluster, false, nil},
+		{"post/cluster-overlap", PostOptimizer, CommCluster, true, nil},
+		{"localsgd/cluster-overlap", LocalSGD, CommCluster, true, nil},
+		{"pre/cluster-overlap/fp16", PreOptimizer, CommCluster, true, compress.FP16()},
+		{"post/cluster-overlap/int8", PostOptimizer, CommCluster, true, compress.Int8(0)},
+		{"post/cluster-sync/topk-ef", PostOptimizer, CommCluster, false, compress.TopK(0.25, true)},
+		{"post/cluster-overlap/topk-ef", PostOptimizer, CommCluster, true, compress.TopK(0.25, true)},
+		{"localsgd/cluster-overlap/topk-ef", LocalSGD, CommCluster, true, compress.TopK(0.25, true)},
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, tc := range combos {
+		t.Run(tc.name, func(t *testing.T) {
+			runtime.GOMAXPROCS(1)
+			serial := Run(ckCfg(tc.scope, tc.comm, tc.overlap, tc.codec))
+			// Wider than any plausible host so the scheduler has real
+			// freedom even when the machine itself is narrow.
+			runtime.GOMAXPROCS(8)
+			wide := Run(ckCfg(tc.scope, tc.comm, tc.overlap, tc.codec))
+			runtime.GOMAXPROCS(prev)
+
+			if len(serial.FinalParams) != len(wide.FinalParams) {
+				t.Fatal("param count mismatch")
+			}
+			for i, v := range serial.FinalParams {
+				if wide.FinalParams[i] != v {
+					t.Fatalf("FinalParams diverged at %d: %v (1P) != %v (8P)", i, v, wide.FinalParams[i])
+				}
+			}
+			if serial.SimSeconds != wide.SimSeconds {
+				t.Fatalf("SimSeconds diverged: %v (1P) != %v (8P)", serial.SimSeconds, wide.SimSeconds)
+			}
+			if serial.FinalAccuracy != wide.FinalAccuracy {
+				t.Fatalf("FinalAccuracy diverged: %v (1P) != %v (8P)", serial.FinalAccuracy, wide.FinalAccuracy)
+			}
+		})
+	}
+}

@@ -4,6 +4,13 @@
 # PR. The default output is the next free BENCH_<N>.json, so each run
 # appends to the trajectory instead of overwriting an earlier snapshot.
 #
+# Snapshots hold two sections: "benchmarks" is the full suite at the
+# machine's native GOMAXPROCS, and "benchmarks_gomaxprocs1" re-runs the
+# parallel-sensitive collective benchmarks pinned to one P. The pair
+# makes the simnet's parallel rank execution visible in the trajectory
+# (native/serial ns/op ratio) and lets a 1-CPU recording machine still
+# produce a serial baseline a multi-core CI runner can be gated against.
+#
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,50 +27,66 @@ BENCHTIME="${2:-2s}"
 PR="$(basename "$OUT" | sed -n 's/^BENCH_\([0-9]\+\)\.json$/\1/p')"
 PR="${PR:-0}"
 # Kept in sync with scripts/bench_compare.sh, which gates CI on these.
-PATTERN='BenchmarkElasticStep|BenchmarkCommunicatorAdasum16Ranks|BenchmarkCommunicatorBroadcastGather16Ranks|BenchmarkOverlappedStepFP16|BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkRingAllreduce16Ranks|BenchmarkOverlappedStep|BenchmarkAblation'
+PATTERN='BenchmarkElasticStep|BenchmarkCommunicatorAdasum16Ranks|BenchmarkCommunicatorBroadcastGather16Ranks|BenchmarkOverlappedStepFP16|BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkAdasumRVH256Ranks|BenchmarkWorld1024Construct|BenchmarkRingAllreduce16Ranks|BenchmarkOverlappedStep|BenchmarkAblation'
+# The GOMAXPROCS=1 re-run covers the benchmarks whose wall-clock is
+# dominated by concurrent rank goroutines (kept in sync with
+# bench_compare.sh's speedup gate).
+PARALLEL_PATTERN='BenchmarkAdasumRVH256Ranks|BenchmarkAdasumRVH16Ranks|BenchmarkOverlappedStep$'
 
 RAW="$(go test -run=NONE -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
 echo "$RAW"
+echo "--- GOMAXPROCS=1 section ---"
+RAW1="$(GOMAXPROCS=1 go test -run=NONE -bench="$PARALLEL_PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
+echo "$RAW1"
 
-echo "$RAW" | awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" -v ncpu="$(nproc)" '
-BEGIN { n = 0 }
-/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; mbs = ""; bytes = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns     = $(i-1)
-        if ($i == "MB/s")      mbs    = $(i-1)
-        if ($i == "B/op")      bytes  = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
-    }
-    names[n] = name; nss[n] = ns; mbss[n] = mbs; bytess[n] = bytes; allocss[n] = allocs
-    n++
+# to_entries converts `go test -bench` output lines into JSON array
+# entries (one per line, no trailing comma handling — done by the
+# caller via sed).
+to_entries() {
+    awk '
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        ns = ""; mbs = ""; bytes = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op")     ns     = $(i-1)
+            if ($i == "MB/s")      mbs    = $(i-1)
+            if ($i == "B/op")      bytes  = $(i-1)
+            if ($i == "allocs/op") allocs = $(i-1)
+        }
+        if (ns == "") next
+        line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+        if (mbs != "")    line = line sprintf(", \"mb_per_s\": %s", mbs)
+        if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+        if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+        print line "},"
+    }'
 }
-END {
-    printf "{\n"
-    printf "  \"pr\": %s,\n", pr
-    printf "  \"date\": \"%s\",\n", date
-    printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"ncpu\": %s,\n", ncpu
-    printf "  \"note\": \"Seed reference below was measured once at the seed commit (plus go.mod, which the seed lacked) on the PR-1 machine; the *Unfused/separate benchmark variants reproduce the seed code paths for like-for-like comparison on any machine. Caveat: the seed RVH/Ring collective benchmarks constructed the 16-rank World inside the timed loop, while the PR-1+ harness hoists that one-time setup, so the collective seed ratios mix harness and code improvements (the kernel benchmarks are like-for-like).\",\n"
-    printf "  \"seed_reference\": {\n"
-    printf "    \"BenchmarkTensorDot1M\": {\"ns_per_op\": 1004227},\n"
-    printf "    \"BenchmarkAdasumCombine1M\": {\"ns_per_op\": 3181865, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkAdasumTreeReduce16x64K\": {\"ns_per_op\": 9386865, \"bytes_per_op\": 4195048, \"allocs_per_op\": 21},\n"
-    printf "    \"BenchmarkAdasumRVH16Ranks\": {\"ns_per_op\": 42356343, \"bytes_per_op\": 19699632, \"allocs_per_op\": 1014},\n"
-    printf "    \"BenchmarkRingAllreduce16Ranks\": {\"ns_per_op\": 48467553, \"bytes_per_op\": 17732224, \"allocs_per_op\": 1094}\n"
-    printf "  },\n"
-    printf "  \"benchmarks\": [\n"
-    for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", names[i], nss[i]
-        if (mbss[i] != "")    printf ", \"mb_per_s\": %s", mbss[i]
-        if (bytess[i] != "")  printf ", \"bytes_per_op\": %s", bytess[i]
-        if (allocss[i] != "") printf ", \"allocs_per_op\": %s", allocss[i]
-        printf "}%s\n", (i < n-1 ? "," : "")
-    }
-    printf "  ]\n}\n"
-}' > "$OUT"
+
+strip_last_comma() { sed '$ s/},$/}/'; }
+
+CPU="$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p' | head -1)"
+
+{
+    printf '{\n'
+    printf '  "pr": %s,\n' "$PR"
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "cpu": "%s",\n' "$CPU"
+    printf '  "ncpu": %s,\n' "$(nproc)"
+    printf '  "note": "Seed reference below was measured once at the seed commit (plus go.mod, which the seed lacked) on the PR-1 machine; the *Unfused/separate benchmark variants reproduce the seed code paths for like-for-like comparison on any machine. Caveat: the seed RVH/Ring collective benchmarks constructed the 16-rank World inside the timed loop, while the PR-1+ harness hoists that one-time setup, so the collective seed ratios mix harness and code improvements (the kernel benchmarks are like-for-like).",\n'
+    printf '  "seed_reference": {\n'
+    printf '    "BenchmarkTensorDot1M": {"ns_per_op": 1004227},\n'
+    printf '    "BenchmarkAdasumCombine1M": {"ns_per_op": 3181865, "allocs_per_op": 0},\n'
+    printf '    "BenchmarkAdasumTreeReduce16x64K": {"ns_per_op": 9386865, "bytes_per_op": 4195048, "allocs_per_op": 21},\n'
+    printf '    "BenchmarkAdasumRVH16Ranks": {"ns_per_op": 42356343, "bytes_per_op": 19699632, "allocs_per_op": 1014},\n'
+    printf '    "BenchmarkRingAllreduce16Ranks": {"ns_per_op": 48467553, "bytes_per_op": 17732224, "allocs_per_op": 1094}\n'
+    printf '  },\n'
+    printf '  "benchmarks_gomaxprocs1": [\n'
+    printf '%s\n' "$RAW1" | to_entries | strip_last_comma
+    printf '  ],\n'
+    printf '  "benchmarks": [\n'
+    printf '%s\n' "$RAW" | to_entries | strip_last_comma
+    printf '  ]\n}\n'
+} > "$OUT"
 
 echo "wrote $OUT"

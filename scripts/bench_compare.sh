@@ -33,7 +33,7 @@ if [ -z "$BASE" ]; then
 fi
 
 # Kept in sync with scripts/bench.sh, which records the snapshots.
-PATTERN='BenchmarkElasticStep|BenchmarkCommunicatorAdasum16Ranks|BenchmarkCommunicatorBroadcastGather16Ranks|BenchmarkOverlappedStepFP16|BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkRingAllreduce16Ranks|BenchmarkOverlappedStep|BenchmarkAblation'
+PATTERN='BenchmarkElasticStep|BenchmarkCommunicatorAdasum16Ranks|BenchmarkCommunicatorBroadcastGather16Ranks|BenchmarkOverlappedStepFP16|BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkAdasumRVH256Ranks|BenchmarkWorld1024Construct|BenchmarkRingAllreduce16Ranks|BenchmarkOverlappedStep|BenchmarkAblation'
 
 RAW="$(go test -run=NONE -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
 echo "$RAW"
@@ -60,6 +60,12 @@ awk -v tol="$TOL" '
 NR == FNR {
     # Baseline pass: entries of the "benchmarks" array are single lines
     # of the form {"name": "...", "ns_per_op": N, ..., "allocs_per_op": A}.
+    # Snapshots since PR 6 also hold a "benchmarks_gomaxprocs1" section
+    # (the serial re-run of the parallel-sensitive benchmarks); only the
+    # native-GOMAXPROCS section is the comparison baseline.
+    if (match($0, /"benchmarks_gomaxprocs1": \[/)) { skip = 1 }
+    else if (match($0, /"benchmarks": \[/))        { skip = 0 }
+    if (skip) next
     if (match($0, /"name": "[^"]+"/)) {
         name = substr($0, RSTART + 9, RLENGTH - 10)
         if (match($0, /"ns_per_op": [0-9]+/))
@@ -104,3 +110,31 @@ END {
     print "bench_compare: ok"
 }
 ' "$BASE" <(printf '%s\n' "$RAW")
+
+# Parallel rank execution gate. The simnet's ranks are real goroutines
+# with per-rank sharded accounting, so a large collective must get
+# faster with more Ps: on machines with >= 4 cores, the 256-rank Adasum
+# benchmark at native GOMAXPROCS must beat its GOMAXPROCS=1 run by at
+# least MIN_PARALLEL_SPEEDUP (default 2.0x). Skipped on narrower
+# machines (including the 1-CPU snapshot recorder), so the gate bites
+# exactly where it is meaningful: hosted CI runners.
+MIN_SPEEDUP="${MIN_PARALLEL_SPEEDUP:-2.0}"
+if [ "$(nproc)" -ge 4 ]; then
+    echo
+    echo "parallel speedup gate: BenchmarkAdasumRVH256Ranks, GOMAXPROCS=1 vs $(nproc)"
+    PAR="$(go test -run=NONE -bench='BenchmarkAdasumRVH256Ranks' -benchtime="$BENCHTIME" .)"
+    SER="$(GOMAXPROCS=1 go test -run=NONE -bench='BenchmarkAdasumRVH256Ranks' -benchtime="$BENCHTIME" .)"
+    PAR_NS="$(printf '%s\n' "$PAR" | awk '/^BenchmarkAdasumRVH256Ranks/ { for (i=2;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')"
+    SER_NS="$(printf '%s\n' "$SER" | awk '/^BenchmarkAdasumRVH256Ranks/ { for (i=2;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')"
+    awk -v ser="$SER_NS" -v par="$PAR_NS" -v min="$MIN_SPEEDUP" 'BEGIN {
+        s = ser / par
+        printf "  serial %.0f ns/op, parallel %.0f ns/op: %.2fx speedup (floor %.1fx)\n", ser, par, s, min
+        if (s < min) {
+            print "bench_compare: FAILED (parallel rank execution below speedup floor)"
+            exit 1
+        }
+    }'
+else
+    echo
+    echo "parallel speedup gate: skipped ($(nproc) CPUs < 4)"
+fi
