@@ -498,6 +498,54 @@ func BenchmarkOverlappedStepFP16(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptivePolicyStep is BenchmarkOverlappedStepFP16 with the
+// adaptive per-bucket policy instead of a pinned codec: every bucket
+// launch runs the policy's cost comparison over the telemetry from its
+// previous launch, and every hop carries the self-describing wire
+// header. Measured on the TCP-40Gb cost model so the transfer meter
+// feeds the policy real charges — this is the full decide-encode-ship
+// loop the adaptive path adds over a static codec, and the
+// bench-regression gate watches it.
+func BenchmarkAdaptivePolicyStep(b *testing.B) {
+	const ranks, layers, perLayer = 8, 16, 1 << 13
+	names := make([]string, layers)
+	sizes := make([]int, layers)
+	for i := range names {
+		names[i] = "layer"
+		sizes[i] = perLayer
+	}
+	layout := tensor.NewLayout(names, sizes)
+	inputs := make([][]float32, ranks)
+	xs := make([][]float32, ranks)
+	for r := range inputs {
+		inputs[r] = randVec(layout.TotalSize(), int64(400+r))
+		xs[r] = make([]float32, layout.TotalSize())
+	}
+	w := comm.NewWorld(ranks, simnet.TCP40(ranks))
+	engines := make([]*overlap.Engine, ranks)
+	for r := range engines {
+		engines[r] = overlap.New(overlap.Options{
+			Group:       collective.WorldGroup(ranks),
+			Layout:      layout,
+			FusionBytes: 4 * perLayer * 4,
+			Strategy:    collective.StrategyRVH,
+			Overlap:     true,
+			Compression: compress.Adaptive(),
+		})
+	}
+	step := func(p *comm.Proc) {
+		x := xs[p.Rank()]
+		copy(x, inputs[p.Rank()])
+		engines[p.Rank()].Step(p, x)
+	}
+	b.SetBytes(int64(layout.TotalSize() * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(step)
+	}
+}
+
 func BenchmarkMLPForwardBackward(b *testing.B) {
 	net := nn.NewMLP(196, 64, 10)
 	net.Init(rand.New(rand.NewSource(5)))

@@ -51,8 +51,9 @@ func main() {
 		"topo":     func() { experiments.RunTopology(scale).Render(os.Stdout) },
 		"elastic":  func() { experiments.RunElastic(scale).Render(os.Stdout) },
 		"scale":    func() { experiments.RunScale(scale).Render(os.Stdout) },
+		"adaptive": func() { experiments.RunAdaptive(scale).Render(os.Stdout) },
 	}
-	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "overlap", "compress", "topo", "elastic", "scale"}
+	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "overlap", "compress", "adaptive", "topo", "elastic", "scale"}
 
 	if what == "all" {
 		for _, name := range order {

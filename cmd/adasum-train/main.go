@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/collective"
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -36,6 +37,7 @@ func main() {
 		commMode  = flag.String("comm", "host", "reduction substrate: host | cluster")
 		overlapOn = flag.Bool("overlap", false, "overlap bucket collectives with backprop (cluster substrate)")
 		strategy  = flag.String("strategy", "auto", "bucket collective: auto | tree | rvh | ring (cluster substrate)")
+		compressF = flag.String("compress", "none", "wire compression (cluster substrate): none | fp16 | int8 | topk | adaptive")
 		net       = flag.String("net", "", "cost model for the cluster substrate: tcp40 | azure | dgx2 (empty = free network)")
 		seed      = flag.Int64("seed", 1, "run seed")
 	)
@@ -130,6 +132,22 @@ func main() {
 	default:
 		fatal("unknown strategy %q", *strategy)
 	}
+	// The one Compression knob covers both pinned codecs and the
+	// adaptive per-bucket policy (trainer.Config.Compression).
+	var comp compress.Compression
+	switch *compressF {
+	case "", "none":
+	case "fp16":
+		comp = compress.FP16()
+	case "int8":
+		comp = compress.Int8(0)
+	case "topk":
+		comp = compress.TopK(0.01, true)
+	case "adaptive":
+		comp = compress.Adaptive()
+	default:
+		fatal("unknown compress %q", *compressF)
+	}
 	var costModel *simnet.Model
 	switch *net {
 	case "":
@@ -153,6 +171,7 @@ func main() {
 		Comm:           mode,
 		Overlap:        *overlapOn,
 		Strategy:       strat,
+		Compression:    comp,
 		Net:            costModel,
 		Model:          factory,
 		Optimizer:      opt,

@@ -12,7 +12,11 @@
 // schedules fused gradient buckets against simulated backprop (§4.4.3),
 // a compressed-communication subsystem (package compress: fp16, int8
 // and top-k-with-error-feedback wire codecs carried by the
-// communicator's single codec-aware code path), an elastic
+// communicator's single codec-aware code path, plus an adaptive
+// per-bucket policy engine — compress.Adaptive — that picks the codec
+// per bucket launch from rank-private telemetry over a self-describing
+// wire, behind the one compress.Compression field shared by
+// collective.Config, overlap.Options and trainer.Config), an elastic
 // fault-tolerance subsystem — straggler and fail-at-virtual-time
 // injection (simnet.Faults), typed dead-rank unblocking and aggregated
 // rank errors in comm, survivor rebuild by dead-skipping communicator
@@ -40,7 +44,10 @@
 // ownership/Strategy/Split design, the channel-plane/async-handle
 // machinery with its virtual-clock accounting rules, the codec
 // placement, error-feedback state ownership and compressed-byte clock
-// accounting of the compression subsystem, and the failure semantics
+// accounting of the compression subsystem, the adaptive policy's
+// telemetry/hysteresis/bounded-error-controller design and its
+// determinism and checkpoint story ("Adaptive compression"), and the
+// failure semantics
 // (dead-rank unblocking, survivor Split, what a checkpoint must
 // contain and why EF residuals are part of it) — plus the experiment
 // substitution notes. The benchmark harness in bench_test.go

@@ -39,7 +39,11 @@ func main() {
 		net.SetParams(initParams)
 
 		// Each rank binds its endpoint to the group once; every
-		// collective runs through the communicator.
+		// collective runs through the communicator. Wire compression
+		// is the communicator's knob too: pass
+		// Config{Compression: compress.FP16()} for §4.4.1 fp16
+		// communication, or compress.Adaptive() to let a policy pick
+		// the codec per bucket from live bandwidth telemetry.
 		c := collective.New(p, group, collective.Config{})
 
 		// The one-line Horovod idiom:

@@ -47,6 +47,14 @@ type Worker struct {
 	// (source stream first, then hierarchy levels), per encode site.
 	// nil on the host substrate or under stateless codecs.
 	Residuals [][][][]float32
+	// Policy is the worker engine's adaptive-compression decision state
+	// (overlap.Engine.SnapshotPolicies): per bucket slot, the telemetry
+	// memory plus the policy's own snapshot. A resumed run must
+	// re-decide — and therefore re-encode — exactly as the
+	// uninterrupted run would have; dropping this state silently
+	// changes codec choices from the first post-resume step. nil when
+	// no adaptive policy is active.
+	Policy [][]float64
 }
 
 // State is the complete training state at a reduction-step boundary.
@@ -86,8 +94,9 @@ func (s *State) Clone() *State {
 }
 
 const (
-	magic   = uint32(0x41444B43) // "ADKC"
-	version = uint32(1)
+	magic = uint32(0x41444B43) // "ADKC"
+	// version 2 added per-worker adaptive-compression policy state.
+	version = uint32(2)
 )
 
 // Marshal encodes the state into a self-contained byte slice. The
@@ -120,6 +129,10 @@ func (s *State) Marshal() []byte {
 					e.f32s(site)
 				}
 			}
+		}
+		e.i64(int64(len(w.Policy)))
+		for _, slot := range w.Policy {
+			e.f64s(slot)
 		}
 	}
 	return e.buf
@@ -226,6 +239,21 @@ func Unmarshal(b []byte) (*State, error) {
 				}
 			}
 		}
+		nPol, err := d.i64()
+		if err != nil {
+			return nil, err
+		}
+		if nPol < 0 || nPol > 1<<20 {
+			return nil, fmt.Errorf("checkpoint: implausible policy slot count %d", nPol)
+		}
+		if nPol > 0 {
+			w.Policy = make([][]float64, nPol)
+			for si := range w.Policy {
+				if w.Policy[si], err = d.f64s(); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 	if len(d.buf) != d.off {
 		return nil, fmt.Errorf("checkpoint: %d trailing bytes", len(d.buf)-d.off)
@@ -261,6 +289,19 @@ func (e *encoder) f32s(v []float32) {
 	e.i64(int64(len(v)))
 	for _, x := range v {
 		e.u32(math.Float32bits(x))
+	}
+}
+
+// f64s writes a length-prefixed float64 slice as raw bits; a nil slice
+// (length -1) round-trips as nil, distinct from an empty one.
+func (e *encoder) f64s(v []float64) {
+	if v == nil {
+		e.i64(-1)
+		return
+	}
+	e.i64(int64(len(v)))
+	for _, x := range v {
+		e.f64(x)
 	}
 }
 
@@ -341,6 +382,30 @@ func (d *decoder) f32s() ([]float32, error) {
 	out := make([]float32, n)
 	for i := range out {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+func (d *decoder) f64s() ([]float64, error) {
+	n, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	if n == -1 {
+		return nil, nil
+	}
+	// Same 386-safe bound discipline as f32s: the length must fit the
+	// bytes actually remaining before int(n)*8 is formed.
+	if n < 0 || n > int64(len(d.buf)-d.off)/8 {
+		return nil, fmt.Errorf("checkpoint: implausible f64 vector length %d", n)
+	}
+	b, err := d.take(int(n) * 8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
 	}
 	return out, nil
 }

@@ -64,13 +64,17 @@ type Config struct {
 	// Strategy selects the algorithm family; see the Strategy docs for
 	// how each collective resolves it. The zero value is StrategyAuto.
 	Strategy Strategy
-	// Codec is the on-the-wire compression applied to every gradient
-	// payload the communicator moves; per-layer dot products are
-	// computed on the decoded values actually combined, and the float64
-	// dot side-channel stays uncompressed. nil or compress.None()
-	// selects the plain path, which is bitwise- and virtual-clock-
-	// identical to a codec-free communicator.
-	Codec compress.Codec
+	// Compression is the unified compression knob (the same field name
+	// trainer.Config and overlap.Options carry). A compress.Codec fixes
+	// one on-the-wire format for every gradient payload the communicator
+	// moves — the headerless static path, bitwise- and virtual-clock-
+	// identical to the pre-policy protocol. A compress.Policy selects
+	// the codec per launch (callers drive Stream().SetCodec from the
+	// policy's decisions) and payloads become self-describing. Either
+	// way, per-layer dot products are computed on the decoded values
+	// actually combined and the float64 dot side-channel stays
+	// uncompressed. nil or compress.None() selects the plain path.
+	Compression compress.Compression
 }
 
 // commShared is the immutable, proc-independent part of a Communicator,
@@ -81,7 +85,9 @@ type commShared struct {
 	group    Group
 	pos      map[int]int // world rank -> group position, O(1) lookups
 	strategy Strategy
-	codec    compress.Codec // nil when uncompressed
+	comp     compress.Compression // the original knob, for Split inheritance
+	codec    compress.Codec       // static codec; nil when uncompressed or adaptive
+	policy   compress.Policy      // policy prototype; nil when static
 }
 
 // Communicator is an MPI/NCCL-style communicator: a comm.Proc endpoint
@@ -105,6 +111,7 @@ type Communicator struct {
 	p      *comm.Proc
 	mypos  int
 	stream *compress.Stream // nil when uncompressed
+	policy compress.Policy  // per-instance fork of shared.policy; nil when static
 }
 
 // New builds a Communicator for rank p over the ordered group g. The
@@ -129,16 +136,24 @@ func New(p *comm.Proc, g Group, cfg Config) *Communicator {
 	if !ok {
 		panic(fmt.Sprintf("collective: rank %d not in group %v", p.Rank(), grp))
 	}
-	codec := cfg.Codec
-	if compress.IsNone(codec) {
-		codec = nil // the plain fast paths key off nil
-	}
+	codec, pol := compress.Resolve(cfg.Compression)
 	c := &Communicator{
-		shared: &commShared{group: grp, pos: pos, strategy: cfg.Strategy, codec: codec},
-		p:      p,
-		mypos:  mypos,
+		shared: &commShared{
+			group: grp, pos: pos, strategy: cfg.Strategy,
+			comp: cfg.Compression, codec: codec, policy: pol,
+		},
+		p:     p,
+		mypos: mypos,
 	}
-	if codec != nil {
+	switch {
+	case pol != nil:
+		// Adaptive: the stream starts on the identity codec and is
+		// re-pointed per launch (Stream().SetCodec) from the policy's
+		// decisions; its error-feedback residuals persist across codec
+		// swaps because site lengths are codec-independent.
+		c.policy = pol.Fork()
+		c.stream = compress.NewStream(compress.None())
+	case codec != nil:
 		c.stream = compress.NewStream(codec)
 	}
 	return c
@@ -160,9 +175,17 @@ func (c *Communicator) Rank() int { return c.mypos }
 // Strategy returns the configured algorithm family.
 func (c *Communicator) Strategy() Strategy { return c.shared.strategy }
 
-// Codec returns the wire codec, or nil when the communicator is
-// uncompressed.
+// Codec returns the static wire codec, or nil when the communicator is
+// uncompressed or adaptive (see Policy).
 func (c *Communicator) Codec() compress.Codec { return c.shared.codec }
+
+// Policy returns this communicator instance's compression policy (its
+// own fork, carrying per-slot decision state), or nil when the
+// communicator is uncompressed or statically compressed.
+func (c *Communicator) Policy() compress.Policy { return c.policy }
+
+// Compression returns the configured compression knob as given.
+func (c *Communicator) Compression() compress.Compression { return c.shared.comp }
 
 // Stream returns the communicator's compression stream (nil when
 // uncompressed). Callers running repeated steps over an error-feedback
@@ -195,15 +218,21 @@ func (c *Communicator) OnProc(p *comm.Proc) *Communicator {
 	if p.Rank() != c.p.Rank() {
 		panic("collective: OnProc requires an endpoint of the same rank")
 	}
-	return &Communicator{shared: c.shared, p: p, mypos: c.mypos, stream: c.stream}
+	return &Communicator{shared: c.shared, p: p, mypos: c.mypos, stream: c.stream, policy: c.policy}
 }
 
 // Fork returns a communicator over the same group and configuration
-// with its own fresh compression stream — one per bucket slot, so each
-// slot's error-feedback residuals stay with its semantic bucket.
+// with its own fresh compression stream and (when adaptive) its own
+// fresh-state policy fork — one per bucket slot, so each slot's
+// error-feedback residuals and decision state stay with its semantic
+// bucket.
 func (c *Communicator) Fork() *Communicator {
 	f := &Communicator{shared: c.shared, p: c.p, mypos: c.mypos}
-	if c.shared.codec != nil {
+	switch {
+	case c.shared.policy != nil:
+		f.policy = c.shared.policy.Fork()
+		f.stream = compress.NewStream(compress.None())
+	case c.shared.codec != nil:
 		f.stream = compress.NewStream(c.shared.codec)
 	}
 	return f
@@ -228,8 +257,9 @@ func (c *Communicator) Fork() *Communicator {
 // collectives, after the failed Run returned); a rank dying mid-Split
 // collapses into the usual RankFailure cascade.
 //
-// The sub-communicator inherits the parent's Strategy and Codec with a
-// fresh compression stream.
+// The sub-communicator inherits the parent's Strategy and Compression
+// with a fresh compression stream (and, when adaptive, a fresh-state
+// policy fork).
 func (c *Communicator) Split(color, key int) *Communicator {
 	g := c.shared.group
 	n := len(g)
@@ -286,21 +316,27 @@ func (c *Communicator) Split(color, key int) *Communicator {
 	for i, m := range members {
 		ng[i] = g[m.pos]
 	}
-	return New(c.p, ng, Config{Strategy: c.shared.strategy, Codec: c.shared.codec})
+	return New(c.p, ng, Config{Strategy: c.shared.strategy, Compression: c.shared.comp})
 }
 
 // ---------------------------------------------------------------------
-// Codec-aware transport: the one place plain and compressed traffic
-// diverge. Every collective is written once against these three
-// helpers; with a nil stream they are exactly the pre-codec calls, so
-// the uncompressed paths stay bitwise- and clock-identical.
+// Codec-aware transport: the one place plain, statically compressed and
+// adaptive traffic diverge. Every collective is written once against
+// these three helpers; with a nil stream they are exactly the pre-codec
+// calls, so the uncompressed paths stay bitwise- and clock-identical,
+// and with a static codec the headerless pre-policy wire format is
+// preserved byte for byte. Only an adaptive communicator pays the one
+// self-describing header word per payload.
 
 // send ships x to world rank dst, encoding through the communicator's
-// stream when a codec is configured.
+// stream when compression is configured.
 func (c *Communicator) send(dst int, x []float32) {
-	if c.stream == nil {
+	switch {
+	case c.stream == nil:
 		c.p.Send(dst, x)
-	} else {
+	case c.policy != nil:
+		c.p.SendAdaptive(dst, x, c.stream)
+	default:
 		c.p.SendCompressed(dst, x, c.stream)
 	}
 }
@@ -312,15 +348,22 @@ func (c *Communicator) recvNew(src, n int) []float32 {
 		return c.p.Recv(src)
 	}
 	buf := c.p.Scratch(n)
-	c.p.RecvCompressed(src, c.shared.codec, buf)
+	if c.policy != nil {
+		c.p.RecvAdaptive(src, buf)
+	} else {
+		c.p.RecvCompressed(src, c.shared.codec, buf)
+	}
 	return buf
 }
 
 // recvInto receives from world rank src directly into dst.
 func (c *Communicator) recvInto(src int, dst []float32) {
-	if c.stream == nil {
+	switch {
+	case c.stream == nil:
 		c.p.RecvInto(src, dst)
-	} else {
+	case c.policy != nil:
+		c.p.RecvAdaptive(src, dst)
+	default:
 		c.p.RecvCompressed(src, c.shared.codec, dst)
 	}
 }

@@ -31,7 +31,7 @@ func runCodec(ranks int, vecs [][]float32, strategy Strategy, codec compress.Cod
 	g := WorldGroup(ranks)
 	out := make([][]float32, ranks)
 	w.Run(func(p *comm.Proc) {
-		c := New(p, g, Config{Strategy: strategy, Codec: codec})
+		c := New(p, g, Config{Strategy: strategy, Compression: codec})
 		if st := c.Stream(); st != nil {
 			st.Begin()
 		}
@@ -154,7 +154,7 @@ func TestCodecHierarchyErrorFeedbackCarries(t *testing.T) {
 	}
 	hiers := make([]*Hierarchy, ranks)
 	w.Run(func(p *comm.Proc) {
-		c := New(p, g, Config{Strategy: StrategyRVH, Codec: compress.TopK(0.05, true)})
+		c := New(p, g, Config{Strategy: StrategyRVH, Compression: compress.TopK(0.05, true)})
 		hiers[p.Rank()] = NewHierarchy(c, gpus)
 	})
 	for s := range steps {

@@ -94,8 +94,12 @@ func (c *Communicator) Gather(root int, x []float32) [][]float32 {
 		}
 		if c.stream == nil {
 			out[i] = c.p.Recv(g[i])
+			continue
+		}
+		out[i] = make([]float32, len(x))
+		if c.policy != nil {
+			c.p.RecvAdaptive(g[i], out[i])
 		} else {
-			out[i] = make([]float32, len(x))
 			c.p.RecvCompressed(g[i], c.shared.codec, out[i])
 		}
 	}

@@ -177,7 +177,7 @@ func TestHierarchySplitMatchesDirectConstruction(t *testing.T) {
 		run := func(build func(c *Communicator, p *comm.Proc) *Hierarchy) [][]float32 {
 			w := comm.NewWorld(ranks, nil)
 			return comm.RunCollect(w, func(p *comm.Proc) []float32 {
-				c := New(p, g, Config{Strategy: StrategyRVH, Codec: codec})
+				c := New(p, g, Config{Strategy: StrategyRVH, Compression: codec})
 				h := build(c, p)
 				x := tensor.Clone(vecs[p.Rank()])
 				h.Adasum(x, layout)
@@ -198,7 +198,7 @@ func TestHierarchySplitMatchesDirectConstruction(t *testing.T) {
 			for i := range crossGroup {
 				crossGroup[i] = g[i*gpus+local]
 			}
-			cfg := Config{Strategy: StrategyRVH, Codec: codec}
+			cfg := Config{Strategy: StrategyRVH, Compression: codec}
 			return &Hierarchy{
 				scatter: []*Communicator{New(p, localGroup, cfg)},
 				cross:   New(p, crossGroup, cfg),

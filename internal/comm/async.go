@@ -101,6 +101,8 @@ func (h *Handle) Start(p *Proc, plane int, after *Handle, body func(ap *Proc)) {
 	h.ap.clock = p.clock
 	h.ap.failAt = p.failAt
 	h.ap.links = p.world.plane(plane)
+	// Fresh per-op network meters: NetCharges reports this launch only.
+	h.ap.netSec, h.ap.netBytes = 0, 0
 	h.after = after
 	h.body = body
 	submit(h)
@@ -165,6 +167,17 @@ func (h *Handle) Wait(p *Proc) {
 	if t := h.Finish(); t > p.clock {
 		p.clock = t
 	}
+}
+
+// NetCharges returns the transfer seconds and payload bytes charged to
+// the op's sends — the per-op view of the simnet meter, the bandwidth
+// signal adaptive compression policies decide from. Only valid after
+// the op has been joined (Finish/Wait/Drain); the join's mutex orders
+// the read after the op's final store. Charged costs are pure functions
+// of payload sizes and the cost model, so the numbers are identical
+// under synchronous and overlapped scheduling and any GOMAXPROCS.
+func (h *Handle) NetCharges() (sec float64, bytes int64) {
+	return h.ap.netSec, h.ap.netBytes
 }
 
 // Drain blocks until the operation completes, swallowing its error —

@@ -466,6 +466,15 @@ type Proc struct {
 	failAt float64
 	// links is the link space of this Proc's plane.
 	links *plane
+	// netSec and netBytes accumulate the transfer seconds and payload
+	// bytes charged to this endpoint's sends — the per-op view of the
+	// simnet meter. Charged costs are pure functions of payload sizes
+	// and the cost model (receive-side waiting is not counted), so the
+	// totals are identical under synchronous and overlapped scheduling
+	// and any GOMAXPROCS — the property that lets adaptive compression
+	// decide from them without breaking bitwise determinism.
+	netSec   float64
+	netBytes int64
 }
 
 // Rank returns this process's rank in [0, Size).
@@ -532,7 +541,10 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 		copy(mc, meta)
 	}
 	cost := p.world.transferCost(p.rank, dst, len(data), len(meta))
-	p.world.wire[p.rank].n.Add(int64(len(data))*4 + int64(len(meta))*8)
+	nb := int64(len(data))*4 + int64(len(meta))*8
+	p.world.wire[p.rank].n.Add(nb)
+	p.netSec += cost
+	p.netBytes += nb
 	p.deliver(dst, message{data: dc, meta: mc, arrival: p.clock + cost})
 }
 
@@ -567,7 +579,10 @@ func (p *Proc) sendOwned(dst int, buf []float32) {
 	}
 	p.checkPeer(dst)
 	cost := p.world.transferCost(p.rank, dst, len(buf), 0)
-	p.world.wire[p.rank].n.Add(int64(len(buf)) * 4)
+	nb := int64(len(buf)) * 4
+	p.world.wire[p.rank].n.Add(nb)
+	p.netSec += cost
+	p.netBytes += nb
 	p.deliver(dst, message{data: buf, arrival: p.clock + cost})
 }
 
@@ -607,6 +622,36 @@ func (p *Proc) RecvCompressed(src int, c compress.Codec, dst []float32) {
 			len(enc), c.EncodedLen(len(dst)), len(dst)))
 	}
 	c.Decode(dst, enc)
+	p.world.pool.putF32(p.rank, enc)
+	p.ComputeMemCopy(int64(len(dst)) * 4)
+}
+
+// SendAdaptive encodes data through st's current codec and transmits a
+// self-describing payload: one header word naming the codec, then the
+// wire words. This is the transport of adaptive compression policies,
+// where ranks may legitimately select different codecs for the same
+// logical exchange (their error-feedback residuals differ) and the
+// receiver must decode whatever actually arrived. The header word rides
+// as payload — it is charged to the transfer cost and the wire meter
+// like any other word — and the encode pass is charged as a MemCopy
+// over the uncompressed bytes (the identity codec included: adaptive
+// mode always materializes a wire buffer).
+func (p *Proc) SendAdaptive(dst int, data []float32, st *compress.Stream) {
+	c := st.Codec()
+	enc := p.world.pool.getF32(p.rank, compress.WireWords(c, len(data)))
+	enc[0] = compress.HeaderWord(c)
+	st.Encode(enc[1:], data)
+	p.ComputeMemCopy(int64(len(data)) * 4)
+	p.sendOwned(dst, enc)
+}
+
+// RecvAdaptive receives a self-describing payload from src and decodes
+// it into dst under the codec its header names, advancing the clock to
+// the arrival time and charging the decode pass as a MemCopy over the
+// uncompressed bytes.
+func (p *Proc) RecvAdaptive(src int, dst []float32) {
+	enc, _ := p.recv(src)
+	compress.DecodeFromWire(dst, enc)
 	p.world.pool.putF32(p.rank, enc)
 	p.ComputeMemCopy(int64(len(dst)) * 4)
 }

@@ -283,7 +283,12 @@ func (c int8Codec) Decode(dst, src []float32) {
 
 type topKCodec struct {
 	frac float64
-	ef   bool
+	// kExact, when positive, fixes k directly instead of deriving it
+	// from frac — the form an adaptive policy emits (it sizes k from
+	// its error controller) and the wire-header decode reconstructs
+	// (k is implied by the 2k-word payload).
+	kExact int
+	ef     bool
 }
 
 // TopK returns the sparsifying codec: the k = ceil(frac·n) entries of
@@ -300,17 +305,38 @@ func TopK(frac float64, ef bool) Codec {
 	return topKCodec{frac: frac, ef: ef}
 }
 
+// TopKCount returns the sparsifying codec with k fixed absolutely
+// instead of as a fraction of the payload (clamped to the payload
+// length at encode time). This is the form an adaptive policy returns
+// when it sizes k at decision time.
+func TopKCount(k int, ef bool) Codec {
+	if k < 1 {
+		panic(fmt.Sprintf("compress: TopKCount requires k >= 1 (got %d)", k))
+	}
+	return topKCodec{kExact: k, ef: ef}
+}
+
 func (c topKCodec) Kind() Kind { return KindTopK }
 func (c topKCodec) String() string {
-	if c.ef {
-		return fmt.Sprintf("topk/%g+ef", c.frac)
+	s := fmt.Sprintf("topk/%g", c.frac)
+	if c.kExact > 0 {
+		s = fmt.Sprintf("topk/k=%d", c.kExact)
 	}
-	return fmt.Sprintf("topk/%g", c.frac)
+	if c.ef {
+		s += "+ef"
+	}
+	return s
 }
 
 func (c topKCodec) kFor(n int) int {
 	if n == 0 {
 		return 0
+	}
+	if c.kExact > 0 {
+		if c.kExact > n {
+			return n
+		}
+		return c.kExact
 	}
 	k := int(math.Ceil(c.frac * float64(n)))
 	if k < 1 {
@@ -472,6 +498,35 @@ func NewStream(c Codec) *Stream {
 
 // Codec returns the stream's codec.
 func (s *Stream) Codec() Codec { return s.codec }
+
+// SetCodec swaps the stream's codec in place — the per-launch decision
+// point of an adaptive policy. Residual sites are keyed by encode order
+// and sized by uncompressed payload lengths, both codec-independent, so
+// error-feedback residuals survive a swap; codecs without error
+// feedback leave them frozen until an error-feedback codec is selected
+// again (the standard error-feedback semantics: dropped mass is
+// re-applied whenever the site next encodes lossily).
+func (s *Stream) SetCodec(c Codec) {
+	if c == nil {
+		panic("compress: SetCodec requires a codec")
+	}
+	s.codec = c
+}
+
+// SourceResidualL2 returns the L2 norm of encode site 0's residual —
+// the bucket-granularity error the stream's source quantization dropped
+// — or 0 when no residual exists yet. Rank-private and deterministic:
+// the error signal an adaptive policy decides from.
+func (s *Stream) SourceResidualL2() float64 {
+	if len(s.res) == 0 || s.res[0] == nil {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.res[0] {
+		sum += float64(v) * float64(v)
+	}
+	return math.Sqrt(sum)
+}
 
 // Begin starts a new step: the next encode is site 0 again. The encode
 // sequence after Begin must present the same payload lengths in the

@@ -20,18 +20,26 @@
 // rank's endpoint bound to its group, with the collective algorithm
 // chosen by the communicator's Strategy (StrategyAuto reproduces the
 // paper's dispatch: Algorithm 1 on power-of-two groups, the linear
-// chain otherwise) and on-the-wire compression by its Codec.
-// Hierarchical reduction (§4.2.2), tensor fusion, fp16 quantization and
-// dynamic loss scaling hang off Options.
+// chain otherwise) and on-the-wire compression by its unified
+// Compression knob: fp16 communication (§4.4.1) is
+//
+//	collective.New(p, g, collective.Config{Compression: compress.FP16()})
+//
+// and an adaptive policy (compress.Adaptive) slots into the same field.
+// The legacy core-side fp16 round-trip (Options.FP16/Scaler) is gone —
+// quantization is the communicator's job; compose a
+// scaling.LossScaler around the reduction when tiny gradients must
+// survive binary16's exponent range. Hierarchical reduction (§4.2.2)
+// is a caller-held collective.NewHierarchy passed through
+// Options.Hierarchy, so the sub-communicators are split once, not per
+// call. Tensor fusion (§4.4.3) hangs off AllreduceTensors.
 package core
 
 import (
 	"repro/internal/collective"
-	"repro/internal/float16"
 	"repro/internal/fusion"
 	"repro/internal/nn"
 	"repro/internal/optim"
-	"repro/internal/scaling"
 	"repro/internal/tensor"
 )
 
@@ -61,48 +69,37 @@ func (o Op) String() string {
 
 // Options tunes the communication path.
 type Options struct {
-	// Hierarchical enables the §4.2.2 scheme: intra-node reduce-scatter
-	// (sum), cross-node reduction, intra-node allgather — composed from
-	// sub-communicators split off the caller's communicator. Requires
-	// GPUsPerNode to divide the group size.
-	Hierarchical bool
-	// GPUsPerNode is the node width for Hierarchical mode.
-	GPUsPerNode int
+	// Hierarchy, when set, runs every reduction through the caller-held
+	// composition (§4.2.2): intra-node reduce-scatter (sum), cross-node
+	// reduction, intra-node allgather. Build it once off the same
+	// communicator the reduction uses —
+	//
+	//	h := collective.NewHierarchy(c, gpusPerNode)
+	//
+	// — and reuse it across steps; the sub-communicators (and their
+	// compression streams) persist instead of being re-split per call,
+	// which is also what keeps error-feedback residuals attached to
+	// their levels. nil reduces flat on the communicator itself.
+	Hierarchy *collective.Hierarchy
 	// FusionThresholdBytes caps fused buffer sizes for AllreduceTensors
 	// (§4.4.3). Zero selects the 64 MB default.
 	FusionThresholdBytes int
-	// FP16 quantizes payloads through binary16 before and after the
-	// reduction, modeling half-precision communication (§4.4.1). Dot
-	// products still accumulate in float64.
-	FP16 bool
-	// Scaler, when set with FP16, applies dynamic loss scaling around
-	// the quantization.
-	Scaler *scaling.LossScaler
 }
 
 // Allreduce reduces x in place across c's group with the chosen op.
 // layout provides per-layer boundaries for Adasum (§3.6); pass
 // tensor.FlatLayout(len(x)) for whole-gradient semantics. The algorithm
 // follows c's Strategy (StrategyAuto: Algorithm 1 on power-of-two
-// groups, linear chain otherwise; ring for sum/average). All members of
-// the group must call Allreduce with the same op and options.
-//
-// Hierarchical mode splits sub-communicators off c on every call;
-// per-step callers hold the composition instead — DistributedOptimizer
-// caches its Hierarchy, and AllreduceTensors splits once per batch of
-// buckets.
+// groups, linear chain otherwise; ring for sum/average), and the wire
+// format follows c's Compression config. All members of the group must
+// call Allreduce with the same op and options; when o.Hierarchy is set
+// it must have been built from a communicator over the same group.
 func Allreduce(c *collective.Communicator, x []float32, layout tensor.Layout, op Op, o Options) {
-	if o.FP16 {
-		quantize(x, o.Scaler)
+	if o.Hierarchy != nil {
+		hierarchicalAllreduce(o.Hierarchy, x, layout, op)
+		return
 	}
-	if o.Hierarchical && o.GPUsPerNode > 1 {
-		hierarchicalAllreduce(collective.NewHierarchy(c, o.GPUsPerNode), x, layout, op)
-	} else {
-		flatAllreduce(c, x, layout, op)
-	}
-	if o.FP16 {
-		quantize(x, nil) // result travels back as fp16 too
-	}
+	flatAllreduce(c, x, layout, op)
 }
 
 func flatAllreduce(c *collective.Communicator, x []float32, layout tensor.Layout, op Op) {
@@ -130,46 +127,21 @@ func hierarchicalAllreduce(h *collective.Hierarchy, x []float32, layout tensor.L
 // AllreduceTensors fuses the named tensors into buffers bounded by the
 // fusion threshold, reduces each fused buffer (per-layer boundaries are
 // the member tensors), and scatters results back — the full §4.4.3
-// path. In hierarchical mode the sub-communicators are split once and
-// reused across every bucket.
+// path. In hierarchical mode the caller's composition is reused across
+// every bucket.
 func AllreduceTensors(c *collective.Communicator, tensors [][]float32, names []string, op Op, o Options) {
 	groups := fusion.Fuse(tensors, names, o.FusionThresholdBytes)
-	var h *collective.Hierarchy
-	if o.Hierarchical && o.GPUsPerNode > 1 {
-		h = collective.NewHierarchy(c, o.GPUsPerNode)
-	}
 	p := c.Proc()
 	for i := range groups {
 		p.ComputeMemCopy(groups[i].Bytes())
-		if o.FP16 {
-			quantize(groups[i].Data, o.Scaler)
-		}
-		if h != nil {
-			hierarchicalAllreduce(h, groups[i].Data, groups[i].Layout, op)
+		if o.Hierarchy != nil {
+			hierarchicalAllreduce(o.Hierarchy, groups[i].Data, groups[i].Layout, op)
 		} else {
 			flatAllreduce(c, groups[i].Data, groups[i].Layout, op)
-		}
-		if o.FP16 {
-			quantize(groups[i].Data, nil)
 		}
 		p.ComputeMemCopy(groups[i].Bytes())
 	}
 	fusion.UnfuseAll(groups, tensors)
-}
-
-// quantize round-trips x through binary16, optionally applying the loss
-// scale first (and unscaling after) so small gradients survive the
-// narrower exponent range.
-func quantize(x []float32, s *scaling.LossScaler) {
-	if s != nil {
-		s.ScaleGrads(x)
-	}
-	for i, v := range x {
-		x[i] = float16.ToFloat32(float16.FromFloat32(v))
-	}
-	if s != nil {
-		s.Unscale(x)
-	}
 }
 
 // DistributedOptimizer wraps a local optimizer with the distributed
@@ -179,9 +151,7 @@ type DistributedOptimizer struct {
 	op    Op
 	opts  Options
 
-	hier  *collective.Hierarchy    // cached hierarchical composition
-	hierC *collective.Communicator // the communicator hier was split from
-	start []float32                // scratch: pre-step parameter snapshot (Figure 3)
+	start []float32 // scratch: pre-step parameter snapshot (Figure 3)
 	delta []float32
 }
 
@@ -192,27 +162,6 @@ func NewDistributedOptimizer(inner optim.Optimizer, op Op, opts Options) *Distri
 
 // Inner returns the wrapped optimizer.
 func (d *DistributedOptimizer) Inner() optim.Optimizer { return d.inner }
-
-// allreduce reduces x through the wrapper's options, caching the
-// hierarchical composition so the per-step path splits communicators
-// once, not every step.
-func (d *DistributedOptimizer) allreduce(c *collective.Communicator, x []float32, layout tensor.Layout, op Op) {
-	if d.opts.FP16 {
-		quantize(x, d.opts.Scaler)
-	}
-	if d.opts.Hierarchical && d.opts.GPUsPerNode > 1 {
-		if d.hier == nil || d.hierC != c {
-			d.hier = collective.NewHierarchy(c, d.opts.GPUsPerNode)
-			d.hierC = c
-		}
-		hierarchicalAllreduce(d.hier, x, layout, op)
-	} else {
-		flatAllreduce(c, x, layout, op)
-	}
-	if d.opts.FP16 {
-		quantize(x, nil)
-	}
-}
 
 // Step performs one distributed update of net on the rank behind c:
 //
@@ -227,7 +176,7 @@ func (d *DistributedOptimizer) Step(c *collective.Communicator, net *nn.Network,
 	layout := net.Layout()
 	switch d.op {
 	case OpSum, OpAverage:
-		d.allreduce(c, grads, layout, OpAverage)
+		Allreduce(c, grads, layout, OpAverage, d.opts)
 		d.inner.Step(params, grads, lr)
 	case OpAdasum:
 		if cap(d.start) < len(params) {
@@ -239,7 +188,7 @@ func (d *DistributedOptimizer) Step(c *collective.Communicator, net *nn.Network,
 		copy(d.start, params)
 		d.inner.Step(params, grads, lr)
 		tensor.Sub(d.delta, params, d.start)
-		d.allreduce(c, d.delta, layout, OpAdasum)
+		Allreduce(c, d.delta, layout, OpAdasum, d.opts)
 		copy(params, d.start)
 		tensor.Axpy(1, d.delta, params)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adasum"
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -114,7 +115,8 @@ func TestAllreduceHierarchicalAdasum(t *testing.T) {
 	g := collective.WorldGroup(ranks)
 	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpAdasum, Options{Hierarchical: true, GPUsPerNode: gpus})
+		c := collective.New(p, g, collective.Config{})
+		Allreduce(c, x, layout, OpAdasum, Options{Hierarchy: collective.NewHierarchy(c, gpus)})
 		return x
 	})
 	for _, v := range got {
@@ -132,7 +134,8 @@ func TestAllreduceFP16Quantizes(t *testing.T) {
 	layout := tensor.FlatLayout(n)
 	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
 		x := tensor.Clone(inputs[p.Rank()])
-		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpSum, Options{FP16: true})
+		c := collective.New(p, g, collective.Config{Compression: compress.FP16()})
+		Allreduce(c, x, layout, OpSum, Options{})
 		return x
 	})
 	want := adasum.SumReduce(inputs)
@@ -158,9 +161,14 @@ func TestAllreduceFP16WithScaler(t *testing.T) {
 	g := collective.WorldGroup(ranks)
 	layout := tensor.FlatLayout(n)
 	got := comm.RunCollect(w, func(p *comm.Proc) []float32 {
+		// Loss scaling now composes around the fp16-codec communicator
+		// instead of riding a core option.
 		x := tensor.Clone(small)
 		s := scaling.NewLossScaler()
-		Allreduce(collective.New(p, g, collective.Config{}), x, layout, OpSum, Options{FP16: true, Scaler: s})
+		s.ScaleGrads(x)
+		c := collective.New(p, g, collective.Config{Compression: compress.FP16()})
+		Allreduce(c, x, layout, OpSum, Options{})
+		s.Unscale(x)
 		return x
 	})
 	for _, v := range got {

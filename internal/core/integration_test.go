@@ -6,10 +6,10 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/optim"
-	"repro/internal/scaling"
 	"repro/internal/tensor"
 	"repro/internal/trainer"
 )
@@ -84,8 +84,8 @@ func TestTrainerMatchesDistributedLoop(t *testing.T) {
 }
 
 // TestFP16TrainingEndToEnd exercises the full fp16 path during real
-// training: gradients quantized through binary16 around the allreduce
-// with dynamic loss scaling. The model must still learn.
+// training: gradients travel through the communicator's fp16 codec
+// around the allreduce. The model must still learn.
 func TestFP16TrainingEndToEnd(t *testing.T) {
 	const ranks = 4
 	train, test := data.GeneratePair(data.Config{
@@ -100,10 +100,8 @@ func TestFP16TrainingEndToEnd(t *testing.T) {
 	accs := comm.RunCollect(w, func(p *comm.Proc) float64 {
 		net := nn.NewMLP(12, 16, 3)
 		net.SetParams(init)
-		scaler := scaling.NewLossScaler()
-		opts := Options{FP16: true, Scaler: scaler}
-		c := collective.New(p, g, collective.Config{})
-		dopt := NewDistributedOptimizer(optim.NewMomentum(0.9), OpAdasum, opts)
+		c := collective.New(p, g, collective.Config{Compression: compress.FP16()})
+		dopt := NewDistributedOptimizer(optim.NewMomentum(0.9), OpAdasum, Options{})
 		shard := train.Shard(p.Rank(), ranks)
 		it := data.NewIterator(shard.N, 16, int64(40+p.Rank()))
 		for s := 0; s < 100; s++ {
@@ -140,9 +138,9 @@ func TestHierarchicalFusedTraining(t *testing.T) {
 
 	w := comm.NewWorld(ranks, nil)
 	g := collective.WorldGroup(ranks)
-	opts := Options{Hierarchical: true, GPUsPerNode: gpus}
 	accs := comm.RunCollect(w, func(p *comm.Proc) float64 {
 		c := collective.New(p, g, collective.Config{})
+		opts := Options{Hierarchy: collective.NewHierarchy(c, gpus)}
 		net := nn.NewMLP(12, 16, 3)
 		net.SetParams(init)
 		shard := train.Shard(p.Rank(), ranks)

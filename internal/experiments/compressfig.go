@@ -169,10 +169,11 @@ func measureCompressedStep(cfg CompressionConfig, layout tensor.Layout, stepSec 
 }
 
 // measureCompressedConvergence trains the quickstart-style MNIST-proxy
-// MLP under the codec (bucketed synchronous Adasum, free network — this
-// arm isolates the codec's algorithmic effect) and returns the steps to
-// the target accuracy (-1 if never reached) and the final accuracy.
-func measureCompressedConvergence(cfg CompressionConfig, codec compress.Codec) (steps int, acc float64) {
+// MLP under the compression knob (bucketed synchronous Adasum, free
+// network — this arm isolates the codec's algorithmic effect) and
+// returns the steps to the target accuracy (-1 if never reached) and
+// the final accuracy.
+func measureCompressedConvergence(cfg CompressionConfig, codec compress.Compression) (steps int, acc float64) {
 	train, test := data.SyntheticMNIST(7, cfg.TrainN, cfg.TestN)
 	r := trainer.Run(trainer.Config{
 		Workers:     cfg.Workers,

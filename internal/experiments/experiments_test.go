@@ -253,3 +253,55 @@ func TestRunScaleQuick(t *testing.T) {
 		t.Fatalf("rendered table missing largest rank count:\n%s", buf.String())
 	}
 }
+
+// TestRunAdaptiveQuickScale is the adaptive-policy acceptance property
+// at quick scale (64 ranks on the racked cluster): on every bandwidth
+// arm the default policy's time-to-target is within 5% of the best
+// static codec's, and on the shifting-bandwidth arm — where no static
+// choice fits both halves — it is strictly better than every static.
+func TestRunAdaptiveQuickScale(t *testing.T) {
+	r := RunAdaptive(ScaleQuick)
+	if len(r.Arms) != 3 || len(r.Knobs) != 5 {
+		t.Fatalf("sweep shape %v x %v", r.Arms, r.Knobs)
+	}
+	adaptiveKnob := len(r.Knobs) - 1
+	if r.Knobs[adaptiveKnob] != "adaptive" {
+		t.Fatalf("last knob %q, want adaptive", r.Knobs[adaptiveKnob])
+	}
+	if r.StepsToTarget[adaptiveKnob] <= 0 {
+		t.Fatalf("adaptive never reached the target (acc %v)", r.FinalAccuracy[adaptiveKnob])
+	}
+	for a, arm := range r.Arms {
+		best, bestTTT := r.BestStatic(a)
+		if best < 0 {
+			t.Fatalf("%s: no static knob reached the target", arm)
+		}
+		got := r.Adaptive(a)
+		if got < 0 {
+			t.Fatalf("%s: adaptive knob has no time-to-target", arm)
+		}
+		if got > bestTTT*1.05 {
+			t.Fatalf("%s: adaptive time-to-target %v more than 5%% above best static %s (%v)",
+				arm, got, r.Knobs[best], bestTTT)
+		}
+		// Convergence parity with the knob it is judged against: the
+		// policy must not buy its wall-clock with extra steps.
+		if r.StepsToTarget[adaptiveKnob] > r.StepsToTarget[best] {
+			t.Fatalf("%s: adaptive needs %d steps to target, best static %s only %d",
+				arm, r.StepsToTarget[adaptiveKnob], r.Knobs[best], r.StepsToTarget[best])
+		}
+	}
+	// The shifting arm is the policy's reason to exist: strictly faster
+	// to target than every static codec.
+	shift := len(r.Arms) - 1
+	if r.Arms[shift] != "shifting" {
+		t.Fatalf("last arm %q, want shifting", r.Arms[shift])
+	}
+	for i := 0; i < adaptiveKnob; i++ {
+		ttt := r.TimeToTarget[shift][i]
+		if ttt >= 0 && r.Adaptive(shift) >= ttt {
+			t.Fatalf("shifting: adaptive %v not strictly below static %s %v",
+				r.Adaptive(shift), r.Knobs[i], ttt)
+		}
+	}
+}

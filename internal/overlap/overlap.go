@@ -65,15 +65,21 @@ type Options struct {
 	// (LocalSteps > 1) reduction whose backprop cannot overlap with this
 	// step's communication.
 	PreSeconds float64
-	// Compression is the wire codec applied at bucket granularity: each
-	// fused bucket is quantized once at launch (error-feedback codecs
-	// carry the dropped remainder to the next step, per rank and per
-	// bucket slot), and the bucket's collective encodes every hop's
-	// payload so transfer costs, pool traffic and the wire-byte meter
-	// see compressed sizes. Encode and decode passes are charged through
-	// the cost model's MemCopy. nil or compress.None() leaves the engine
-	// bitwise- and clock-identical to the uncompressed substrate.
-	Compression compress.Codec
+	// Compression is the unified compression knob, applied at bucket
+	// granularity. A compress.Codec fixes one wire format: each fused
+	// bucket is quantized once at launch (error-feedback codecs carry
+	// the dropped remainder to the next step, per rank and per bucket
+	// slot), and the bucket's collective encodes every hop's payload so
+	// transfer costs, pool traffic and the wire-byte meter see
+	// compressed sizes. A compress.Policy instead picks the codec per
+	// bucket launch from the slot's telemetry (last charged transfer,
+	// modeled encode cost, EF residual vs. gradient norm); decisions are
+	// recorded in the bucket program at launch, so synchronous and
+	// overlapped runs stay bitwise-equal. Encode and decode passes are
+	// charged through the cost model's MemCopy. nil or compress.None()
+	// leaves the engine bitwise- and clock-identical to the uncompressed
+	// substrate.
+	Compression compress.Compression
 	// Hierarchy, when non-empty, runs each bucket's reduction through
 	// collective.NewHierarchy(slotComm, Hierarchy...) instead of a flat
 	// collective: reduce-scatter (sum) within each width-sized domain,
@@ -135,6 +141,10 @@ type Engine struct {
 	// savedRes[slot][0] is the slot's source stream, the rest the
 	// hierarchy level streams in Hierarchy.Streams order.
 	savedRes [][][][]float32
+	// savedPol likewise carries per-slot policy state (telemetry memory
+	// plus the policy's Snapshot) across a Rebind or in from a
+	// checkpoint; see SnapshotPolicies for the layout.
+	savedPol [][]float64
 	// stepIdx counts Steps driven through this engine — the step axis of
 	// the deterministic straggler jitter.
 	stepIdx int
@@ -157,6 +167,15 @@ type slotState struct {
 	idx  int
 	c    *collective.Communicator
 	hier *collective.Hierarchy
+
+	// lastNetSec/lastNetBytes are the network seconds and payload bytes
+	// charged to the slot's previous collective op — the bandwidth
+	// signal an adaptive policy decides from. Recorded only in the
+	// end-of-step join loop (the same program point in synchronous and
+	// overlapped modes), so decisions at step s use step s−1's
+	// measurement identically in both modes.
+	lastNetSec   float64
+	lastNetBytes int64
 
 	h    *comm.Handle
 	body func(ap *comm.Proc)
@@ -218,7 +237,9 @@ func New(opt Options) *Engine {
 			layerSec[l] = opt.StepSeconds * float64(opt.Layout.Size(l)) / float64(total)
 		}
 	}
-	if compress.IsNone(opt.Compression) {
+	// Normalize the knob (also rejects foreign Compression types early):
+	// "no compression" collapses to nil so the plain paths key off it.
+	if cdc, pol := compress.Resolve(opt.Compression); cdc == nil && pol == nil {
 		opt.Compression = nil
 	}
 	return &Engine{
@@ -257,8 +278,12 @@ func (e *Engine) Rebind(g collective.Group) {
 	}
 	// Hop residuals are shaped by the old group's exchange pattern and
 	// cannot be replayed onto the new one; the source-quantization
-	// residual (the fused bucket itself) carries over.
+	// residual (the fused bucket itself) carries over. Policy decision
+	// state is group-independent and carries over whole — the stale
+	// last-transfer measurement only scales the next prediction, whose
+	// rung ordering depends on wire-word ratios, not absolute seconds.
 	e.savedRes = TruncateResidualsToSource(e.SnapshotStreams())
+	e.savedPol = e.SnapshotPolicies()
 	ng := make(collective.Group, len(g))
 	copy(ng, g)
 	e.opt.Group = ng
@@ -301,8 +326,8 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	}
 	if e.proto == nil {
 		e.proto = collective.New(p, e.opt.Group, collective.Config{
-			Strategy: e.strategy,
-			Codec:    e.opt.Compression,
+			Strategy:    e.strategy,
+			Compression: e.opt.Compression,
 		})
 	}
 	// A panic mid-step (an injected failure, a peer's death) must not
@@ -340,10 +365,16 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	}
 	// Join: drain buckets in launch order, unfusing each reduced buffer
 	// back into its layers' home slices. Compressed buckets pay one more
-	// MemCopy for the decode that materializes the dense result.
+	// MemCopy for the decode that materializes the dense result. Adaptive
+	// slots record the op's charged network seconds and bytes here —
+	// after the join, at the same program point in synchronous and
+	// overlapped modes — as the telemetry the next launch decides from.
 	for _, op := range e.pending {
 		op.h.Wait(p)
-		if op.sl.c.Codec() != nil {
+		if op.sl.c.Stream() != nil {
+			if op.sl.c.Policy() != nil {
+				op.sl.lastNetSec, op.sl.lastNetBytes = op.h.NetCharges()
+			}
 			p.ComputeMemCopy(op.g.Bytes())
 		}
 		p.ComputeMemCopy(op.g.Bytes())
@@ -352,15 +383,37 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 }
 
 // launch ships one fused bucket: the pack copy is charged to the rank;
-// under a compression codec the bucket is then quantized in place at
-// source (one charged encode pass, with error feedback against this
-// rank's slot residual); and the bucket's collective starts on its own
-// plane, chained after the previous bucket (one serialized comm stream
-// per rank). In synchronous mode the rank blocks until the bucket
-// completes.
+// under compression the bucket is then quantized in place at source
+// (one charged encode pass, with error feedback against this rank's
+// slot residual); and the bucket's collective starts on its own plane,
+// chained after the previous bucket (one serialized comm stream per
+// rank). Under an adaptive policy the slot's codec is decided here,
+// before the quantize, from rank-private telemetry — every input is a
+// deterministic function of the simulated program, so the decision
+// replays bitwise under any GOMAXPROCS, identically in synchronous and
+// overlapped modes, and across a checkpoint resume. In synchronous mode
+// the rank blocks until the bucket completes.
 func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	p.ComputeMemCopy(g.Bytes())
 	sl := e.slot(p, len(e.pending))
+	if pol := sl.c.Policy(); pol != nil {
+		st := sl.c.Stream()
+		var encSec float64
+		if m := p.Model(); m != nil {
+			encSec = m.MemCopy(g.Bytes())
+		}
+		st.SetCodec(pol.Decide(compress.Telemetry{
+			Slot:        sl.idx,
+			Step:        e.stepIdx - 1,
+			Elems:       len(g.Data),
+			Bytes:       g.Bytes(),
+			TransferSec: sl.lastNetSec,
+			WireBytes:   sl.lastNetBytes,
+			EncodeSec:   encSec,
+			GradL2:      tensor.Norm(g.Data),
+			ResidualL2:  st.SourceResidualL2(),
+		}))
+	}
 	if st := sl.c.Stream(); st != nil {
 		st.Begin()
 		st.Quantize(g.Data)
@@ -394,6 +447,9 @@ func (e *Engine) slot(p *comm.Proc, i int) *slotState {
 			if res := e.savedStream(sl.idx, 0); res != nil {
 				st.Restore(res)
 			}
+		}
+		if sl.c.Policy() != nil && sl.idx < len(e.savedPol) {
+			restoreSlotPolicy(sl, e.savedPol[sl.idx])
 		}
 		e.slots = append(e.slots, sl)
 	}
@@ -443,6 +499,22 @@ func (e *Engine) reduceBucket(sl *slotState, ap *comm.Proc, g *fusion.Group) {
 				h = sl.hier.OnProc(ap)
 			}
 			sl.hierOn = h
+		}
+		if sl.c.Policy() != nil {
+			// The launch-time decision covers the whole bucket program:
+			// every hierarchy level encodes under the source stream's
+			// codec. Setting it here — inside the op, after the lazy
+			// hierarchy build — makes a resumed engine (whose hierarchy
+			// is rebuilt on the first post-restore op) encode exactly as
+			// the uninterrupted run did. Safe: the level streams are only
+			// touched by this slot's op, and join-before-relaunch orders
+			// successive ops.
+			dec := sl.c.Stream().Codec()
+			for _, st := range sl.hier.Streams() {
+				if st != nil {
+					st.SetCodec(dec)
+				}
+			}
 		}
 		if c.Strategy() == collective.StrategyRing {
 			h.AllreduceMean(g.Data)
@@ -518,6 +590,81 @@ func (e *Engine) RestoreStreams(res [][][][]float32) {
 // deterministic straggler jitter — so a checkpoint resume continues the
 // same per-step jitter sequence an uninterrupted run would have seen.
 func (e *Engine) SeekStep(step int) { e.stepIdx = step }
+
+// SnapshotPolicies returns the adaptive-compression decision state of
+// every bucket slot, in slot order: indices 0 and 1 are the slot's
+// telemetry memory (last charged network seconds and bytes), the rest
+// the policy's own Snapshot. nil when the engine does not run an
+// adaptive policy. This state must ride checkpoints alongside the
+// error-feedback residuals for a resumed run to re-decide — and
+// therefore re-encode — bitwise-identically.
+func (e *Engine) SnapshotPolicies() [][]float64 {
+	if _, pol := compress.Resolve(e.opt.Compression); pol == nil {
+		return nil
+	}
+	if len(e.slots) == 0 {
+		return copyPolicies(e.savedPol)
+	}
+	out := make([][]float64, len(e.slots))
+	for i, sl := range e.slots {
+		out[i] = append([]float64{sl.lastNetSec, float64(sl.lastNetBytes)},
+			sl.c.Policy().Snapshot()...)
+	}
+	return out
+}
+
+// RestorePolicies re-applies decision state captured by
+// SnapshotPolicies: materialized slots are rewritten in place (the
+// rollback an elastic retry performs after an aborted attempt advanced
+// the policies), slots not yet created pick their entries up lazily
+// (the checkpoint-restore path on a fresh or rebound engine). A nil
+// entry — or a nil capture — resets to fresh decision state.
+func (e *Engine) RestorePolicies(pol [][]float64) {
+	e.savedPol = pol
+	for i, sl := range e.slots {
+		if sl.c.Policy() == nil {
+			continue
+		}
+		if i < len(pol) {
+			restoreSlotPolicy(sl, pol[i])
+		} else {
+			restoreSlotPolicy(sl, nil)
+		}
+	}
+}
+
+// restoreSlotPolicy applies one SnapshotPolicies entry to a slot.
+func restoreSlotPolicy(sl *slotState, s []float64) {
+	if s == nil {
+		sl.lastNetSec, sl.lastNetBytes = 0, 0
+		sl.c.Policy().Restore(nil)
+		return
+	}
+	if len(s) < 2 {
+		panic(fmt.Sprintf("overlap: slot policy state has %d values, want >= 2", len(s)))
+	}
+	sl.lastNetSec = s[0]
+	sl.lastNetBytes = int64(s[1])
+	if len(s) == 2 {
+		sl.c.Policy().Restore(nil)
+		return
+	}
+	sl.c.Policy().Restore(append([]float64(nil), s[2:]...))
+}
+
+// copyPolicies deep-copies a SnapshotPolicies-shaped capture.
+func copyPolicies(pol [][]float64) [][]float64 {
+	if pol == nil {
+		return nil
+	}
+	out := make([][]float64, len(pol))
+	for i, s := range pol {
+		if s != nil {
+			out[i] = append([]float64(nil), s...)
+		}
+	}
+	return out
+}
 
 // copyResiduals deep-copies a SnapshotStreams-shaped capture.
 func copyResiduals(res [][][][]float32) [][][][]float32 {

@@ -16,7 +16,7 @@ import (
 // ckCfg builds a small multi-layer run for the resume property: Adam
 // state (step counter + two moments), several buckets per step on the
 // cluster substrate, mid-epoch checkpoints.
-func ckCfg(scope Scope, comm CommMode, overlap bool, codec compress.Codec) Config {
+func ckCfg(scope Scope, comm CommMode, overlap bool, codec compress.Compression) Config {
 	train, test := data.GeneratePair(data.Config{
 		N: 512, Dim: 48, Classes: 4, Noise: 0.5, Seed: 51,
 	}, 128)
@@ -61,7 +61,7 @@ func TestResumeIsBitwiseIdentical(t *testing.T) {
 		scope   Scope
 		comm    CommMode
 		overlap bool
-		codec   compress.Codec
+		codec   compress.Compression
 	}
 	combos := []combo{
 		{"pre/host", PreOptimizer, CommHost, false, nil},
@@ -75,6 +75,11 @@ func TestResumeIsBitwiseIdentical(t *testing.T) {
 		{"post/cluster-sync/topk-ef", PostOptimizer, CommCluster, false, compress.TopK(0.25, true)},
 		{"post/cluster-overlap/topk-ef", PostOptimizer, CommCluster, true, compress.TopK(0.25, true)},
 		{"localsgd/cluster-overlap/topk-ef", LocalSGD, CommCluster, true, compress.TopK(0.25, true)},
+		// Adaptive policy: the restored run must re-decide the same
+		// codecs, so policy state + last-launch telemetry ride the
+		// checkpoint (Worker.Policy, format v2).
+		{"post/cluster-sync/adaptive", PostOptimizer, CommCluster, false, compress.Adaptive()},
+		{"post/cluster-overlap/adaptive", PostOptimizer, CommCluster, true, compress.Adaptive()},
 	}
 	for _, tc := range combos {
 		t.Run(tc.name, func(t *testing.T) {

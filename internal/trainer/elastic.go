@@ -24,6 +24,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/overlap"
 	"repro/internal/tensor"
@@ -84,34 +85,57 @@ func (r *run) elasticStep() (loss, simSec float64) {
 	}
 }
 
-// efSnapshot captures the per-rank error-feedback residuals before a
-// step attempt — but only when an aborted attempt could contaminate
-// them: an elastic shrink retries the step after launch() already
-// quantized buckets against the slot residuals, and without a rollback
-// the retry would re-apply the dropped error of a gradient that was
-// never transmitted. GangRestart rewinds residuals from the checkpoint
-// instead, and FailStop never retries, so both skip the copy.
-func (r *run) efSnapshot() [][][][][]float32 {
-	if r.engine == nil || r.cfg.OnFailure != ShrinkContinue ||
-		r.cfg.Compression == nil || !r.cfg.Compression.ErrorFeedback() {
-		return nil
-	}
-	out := make([][][][][]float32, len(r.workers))
-	for _, rank := range r.active {
-		out[rank] = r.engine.engines[rank].SnapshotStreams()
-	}
-	return out
+// efBackup is the per-rank compression state captured before a step
+// attempt so a retry starts clean: error-feedback residuals, and under
+// an adaptive policy the per-slot decision state (an aborted attempt
+// already ran Decide for its launched buckets).
+type efBackup struct {
+	res [][][][][]float32 // indexed by world rank
+	pol [][][]float64     // indexed by world rank; nil when static
 }
 
-// efRestore rolls the surviving ranks' residuals back to the
-// pre-attempt snapshot (no-op when efSnapshot declined to capture).
-// It runs before the rebuild so Rebind carries the clean state over.
-func (r *run) efRestore(backup [][][][][]float32) {
+// efSnapshot captures the per-rank compression state before a step
+// attempt — but only when an aborted attempt could contaminate it: an
+// elastic shrink retries the step after launch() already quantized
+// buckets against the slot residuals (and, adaptively, advanced the
+// policies), and without a rollback the retry would re-apply the
+// dropped error of a gradient that was never transmitted and re-decide
+// from post-attempt state. GangRestart rewinds from the checkpoint
+// instead, and FailStop never retries, so both skip the copy.
+func (r *run) efSnapshot() *efBackup {
+	if r.engine == nil || r.cfg.OnFailure != ShrinkContinue {
+		return nil
+	}
+	cdc, pol := compress.Resolve(r.cfg.Compression)
+	if pol == nil && (cdc == nil || !cdc.ErrorFeedback()) {
+		return nil
+	}
+	b := &efBackup{res: make([][][][][]float32, len(r.workers))}
+	if pol != nil {
+		b.pol = make([][][]float64, len(r.workers))
+	}
+	for _, rank := range r.active {
+		b.res[rank] = r.engine.engines[rank].SnapshotStreams()
+		if pol != nil {
+			b.pol[rank] = r.engine.engines[rank].SnapshotPolicies()
+		}
+	}
+	return b
+}
+
+// efRestore rolls the surviving ranks' residuals and policy state back
+// to the pre-attempt snapshot (no-op when efSnapshot declined to
+// capture). It runs before the rebuild so Rebind carries the clean
+// state over.
+func (r *run) efRestore(backup *efBackup) {
 	if backup == nil {
 		return
 	}
 	for _, rank := range r.active {
-		r.engine.engines[rank].RestoreStreams(backup[rank])
+		r.engine.engines[rank].RestoreStreams(backup.res[rank])
+		if backup.pol != nil {
+			r.engine.engines[rank].RestorePolicies(backup.pol[rank])
+		}
 	}
 }
 
@@ -243,6 +267,7 @@ func (r *run) snapshot() *checkpoint.State {
 		pw := checkpoint.Worker{Opt: w.opt.Snapshot(), Reshuffles: resh, Cursor: int64(cur)}
 		if r.engine != nil {
 			pw.Residuals = r.engine.engines[rank].SnapshotStreams()
+			pw.Policy = r.engine.engines[rank].SnapshotPolicies()
 		}
 		ck.PerWorker[rank] = pw
 	}
@@ -290,6 +315,9 @@ func (r *run) applyState(ck *checkpoint.State, afterReshape bool) {
 				res = overlap.TruncateResidualsToSource(res)
 			}
 			r.engine.engines[rank].RestoreStreams(res)
+			// Policy decision state is group-independent (rung, top-k
+			// budget, telemetry memory) and restores whole either way.
+			r.engine.engines[rank].RestorePolicies(pw.Policy)
 			r.engine.engines[rank].SeekStep(int(ck.Step))
 		}
 	}

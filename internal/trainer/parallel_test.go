@@ -25,7 +25,7 @@ func TestRunIsBitwiseInvariantUnderGOMAXPROCS(t *testing.T) {
 		scope   Scope
 		comm    CommMode
 		overlap bool
-		codec   compress.Codec
+		codec   compress.Compression
 	}
 	combos := []combo{
 		{"pre/host", PreOptimizer, CommHost, false, nil},
@@ -39,6 +39,10 @@ func TestRunIsBitwiseInvariantUnderGOMAXPROCS(t *testing.T) {
 		{"post/cluster-sync/topk-ef", PostOptimizer, CommCluster, false, compress.TopK(0.25, true)},
 		{"post/cluster-overlap/topk-ef", PostOptimizer, CommCluster, true, compress.TopK(0.25, true)},
 		{"localsgd/cluster-overlap/topk-ef", LocalSGD, CommCluster, true, compress.TopK(0.25, true)},
+		// Adaptive policy: the codec decision itself must be a pure
+		// function of rank-private telemetry for these to hold.
+		{"post/cluster-sync/adaptive", PostOptimizer, CommCluster, false, compress.Adaptive()},
+		{"post/cluster-overlap/adaptive", PostOptimizer, CommCluster, true, compress.Adaptive()},
 	}
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)

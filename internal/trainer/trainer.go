@@ -160,15 +160,19 @@ type Config struct {
 	// For ReduceSum only StrategyRing (or Auto) is accepted.
 	// CommCluster only.
 	Strategy collective.Strategy
-	// Compression selects the wire codec of the cluster substrate:
+	// Compression is the unified compression knob of the cluster
+	// substrate — the same field name collective.Config and
+	// overlap.Options carry. A compress.Codec fixes one wire format:
 	// bucket payloads are quantized at launch and every collective hop
 	// carries encoded words, so the simulated clock and wire-byte meter
 	// see compressed sizes (error-feedback codecs keep their residuals
-	// per worker across steps). nil or compress.None() leaves the
-	// substrate bitwise-identical to the uncompressed paths; a lossy
-	// codec requires CommCluster (the host path has no wire to
-	// compress).
-	Compression compress.Codec
+	// per worker across steps). A compress.Policy picks the codec per
+	// bucket launch from rank-private telemetry; its decision state
+	// rides checkpoints so resumed runs stay bitwise-identical. nil or
+	// compress.None() leaves the substrate bitwise-identical to the
+	// uncompressed paths; compression requires CommCluster (the host
+	// path has no wire to compress).
+	Compression compress.Compression
 	// Hierarchy, when non-empty, reduces each bucket hierarchically
 	// (collective.NewHierarchy widths: e.g. {4} sums within 4-GPU nodes
 	// before the cross-node combine, {4, 2} adds racks of 2 nodes). The
@@ -302,12 +306,21 @@ func (c Config) Validate() error {
 	if c.Train == nil || c.Test == nil {
 		return fmt.Errorf("Train and Test datasets are required")
 	}
+	// The unified Compression knob takes a Codec or a Policy; anything
+	// else is reported here by name rather than panicking deep inside
+	// compress.Resolve.
+	switch c.Compression.(type) {
+	case nil, compress.Codec, compress.Policy:
+	default:
+		return fmt.Errorf("Compression must be a compress.Codec or a compress.Policy (got %T)", c.Compression)
+	}
+	compCodec, compPolicy := compress.Resolve(c.Compression)
 	switch c.Comm {
 	case CommHost:
 		// Cluster-only knobs are rejected loudly: they used to be
 		// silently ignored, so `-strategy rvh` without `-comm cluster`
 		// trained on the host tree with no diagnostic.
-		if !compress.IsNone(c.Compression) {
+		if compCodec != nil || compPolicy != nil {
 			return fmt.Errorf("Compression requires Comm = CommCluster; the host path has no wire to compress")
 		}
 		if c.Overlap {

@@ -8,6 +8,12 @@ import (
 	"repro/internal/compress"
 )
 
+// fakeCompression satisfies the Compression interface without being a
+// Codec or a Policy — Validate must reject it before Resolve panics.
+type fakeCompression struct{}
+
+func (fakeCompression) String() string { return "bogus" }
+
 // TestConfigValidate exercises the error paths that used to be
 // scattered panics: each invalid configuration comes back as a
 // descriptive error from Validate (so cmds can report it cleanly)
@@ -35,6 +41,14 @@ func TestConfigValidate(t *testing.T) {
 			c.Overlap = false
 			c.Compression = compress.FP16()
 		}, "no wire"},
+		{"host adaptive compression", func(c *Config) {
+			c.Comm = CommHost
+			c.Overlap = false
+			c.Compression = compress.Adaptive()
+		}, "no wire"},
+		{"foreign compression type", func(c *Config) {
+			c.Compression = fakeCompression{}
+		}, "Codec or a compress.Policy"},
 		{"host overlap", func(c *Config) {
 			c.Comm = CommHost
 			c.Overlap = true
