@@ -1,0 +1,237 @@
+// Command adasum-vet is the repository's static-enforcement gate: it
+// runs the internal/analysis suite (detmap, wallclock, noalloc,
+// globalmut) over the module's packages under every build
+// configuration the CI matrix ships — the native build, the pure-Go
+// noasm build, and GOARCH=386 — so that tag-gated files are analyzed
+// too. It exits nonzero when any analyzer reports a finding, when an
+// //adasum: annotation is malformed, or when a suppression annotation
+// is stale (consumed under no configuration).
+//
+// Usage:
+//
+//	adasum-vet [-config default,noasm,386] [packages ...]
+//
+// With no package arguments it analyzes every package of the module
+// containing the working directory ("./..."). Package arguments are
+// import paths or ./-relative directories; a trailing /... analyzes
+// the subtree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	configFlag := flag.String("config", "", "comma-separated configs to run (default, noasm, 386); empty runs all")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: adasum-vet [-config default,noasm,386] [packages ...]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, az := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", az.Name, az.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	configs, err := selectConfigs(*configFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adasum-vet:", err)
+		os.Exit(2)
+	}
+	modRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adasum-vet:", err)
+		os.Exit(2)
+	}
+
+	var (
+		diags      []analysis.Diagnostic
+		directives = map[string]*analysis.Directive{} // "file:line key" -> directive
+		used       = map[string]bool{}
+		fullSweep  = flag.NArg() == 0
+	)
+	for _, cfg := range configs {
+		loader, err := analysis.NewLoader(modRoot, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adasum-vet:", err)
+			os.Exit(2)
+		}
+		paths, err := resolvePatterns(loader, modRoot, flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adasum-vet:", err)
+			os.Exit(2)
+		}
+		for _, path := range paths {
+			pkg, err := loader.Load(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adasum-vet:", err)
+				os.Exit(2)
+			}
+			ds, annot, err := analysis.RunPackage(pkg, cfg, analysis.Analyzers())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adasum-vet:", err)
+				os.Exit(2)
+			}
+			diags = append(diags, ds...)
+			for _, d := range annot.Directives() {
+				key := fmt.Sprintf("%s:%d %s", d.Pos.Filename, d.Pos.Line, d.Key)
+				directives[key] = d
+				if d.Used() {
+					used[key] = true
+				}
+			}
+		}
+	}
+
+	// Stale-suppression check: a directive no configuration consumed is
+	// dead weight that would silently mask a future violation at a
+	// drifted line. Only meaningful on a full ./... sweep of all
+	// configs, where every consumer had a chance to run.
+	if fullSweep && len(configs) == len(analysis.Configs()) {
+		for key, d := range directives {
+			if !used[key] {
+				diags = append(diags, analysis.Diagnostic{
+					Pos: d.Pos, Analyzer: "annotation", Config: "all",
+					Message: fmt.Sprintf("stale //adasum:%s annotation: no analyzer consumed it under any configuration", d.Key),
+				})
+			}
+		}
+	}
+
+	if len(diags) == 0 {
+		return
+	}
+	for _, line := range renderDiagnostics(diags, modRoot, len(configs)) {
+		fmt.Println(line)
+	}
+	os.Exit(1)
+}
+
+func selectConfigs(s string) ([]analysis.Config, error) {
+	all := analysis.Configs()
+	if s == "" {
+		return all, nil
+	}
+	byName := map[string]analysis.Config{}
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []analysis.Config
+	for _, name := range strings.Split(s, ",") {
+		c, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown config %q (want default, noasm, 386)", name)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// resolvePatterns expands the command-line package arguments into
+// module import paths; no arguments means the whole module.
+func resolvePatterns(loader *analysis.Loader, modRoot string, args []string) ([]string, error) {
+	allPaths, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return allPaths, nil
+	}
+	toImportPath := func(arg string) (string, error) {
+		if !strings.HasPrefix(arg, ".") {
+			return arg, nil
+		}
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(modRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("package %q is outside the module", arg)
+		}
+		modPath := allPaths[0][:strings.IndexByte(allPaths[0]+"/", '/')]
+		if rel == "." {
+			return modPath, nil
+		}
+		return modPath + "/" + filepath.ToSlash(rel), nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, arg := range args {
+		subtree := false
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			subtree, arg = true, rest
+		}
+		want, err := toImportPath(arg)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, p := range allPaths {
+			if p == want || (subtree && strings.HasPrefix(p, want+"/")) {
+				matched = true
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no packages match %q", arg)
+		}
+	}
+	return out, nil
+}
+
+// renderDiagnostics dedupes findings reported identically under
+// several configurations, annotating partially-config-specific ones,
+// and prints paths relative to the module root.
+func renderDiagnostics(diags []analysis.Diagnostic, modRoot string, nConfigs int) []string {
+	type key struct {
+		file          string
+		line, col     int
+		analyzer, msg string
+	}
+	order := []key{}
+	configs := map[key][]string{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}
+		if _, ok := configs[k]; !ok {
+			order = append(order, k)
+		}
+		configs[k] = append(configs[k], d.Config)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	var out []string
+	for _, k := range order {
+		file := k.file
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		suffix := ""
+		if cs := configs[k]; len(cs) < nConfigs && !(len(cs) == 1 && cs[0] == "all") {
+			suffix = fmt.Sprintf(" [%s]", strings.Join(cs, ","))
+		}
+		out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s%s", file, k.line, k.col, k.analyzer, k.msg, suffix))
+	}
+	return out
+}

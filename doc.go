@@ -60,4 +60,16 @@
 // tracked per PR, and scripts/bench_compare.sh gates CI on those
 // snapshots (>25% ns/op regression or new allocations on a 0-alloc
 // benchmark fail the workflow).
+//
+// The invariants the tests check dynamically are also enforced
+// statically: cmd/adasum-vet runs the four custom analyzers of
+// internal/analysis — detmap (no map-iteration order in results),
+// wallclock (no wall clock or ambient randomness where virtual clocks
+// rule), noalloc (//adasum:noalloc-marked hot paths free of
+// allocation-introducing constructs), and globalmut (no new
+// package-level mutable state) — over the deterministic packages under
+// the default, noasm and GOARCH=386 build configurations, with
+// mandatory-reason //adasum:<key> ok suppressions and stale-annotation
+// detection. scripts/lint.sh (CI's lint job) wires it in front of
+// every merge; see DESIGN.md's "Static enforcement" section.
 package repro

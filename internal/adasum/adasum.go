@@ -32,6 +32,8 @@ import (
 // a zero-norm operand contributes nothing and must not poison the other
 // side with a 0/0, so its partner's coefficient degrades to 1 (plain sum
 // with a zero vector).
+//
+//adasum:noalloc
 func Coefficients(dot, na, nb float64) (ca, cb float64) {
 	ca, cb = 1, 1
 	if na > 0 {
@@ -48,6 +50,8 @@ func Coefficients(dot, na, nb float64) (ca, cb float64) {
 // in float64; the three reductions run as one fused pass
 // (tensor.DotNorms) followed by the scaled combine — two memory
 // traversals instead of the four of the naive formulation (§4.4.2).
+//
+//adasum:noalloc
 func Combine(dst, a, b []float32) {
 	CombineFused(dst, a, b)
 }
@@ -57,6 +61,8 @@ func Combine(dst, a, b []float32) {
 // and ‖b‖² that determined the coefficients. Callers that need the stats
 // anyway (orthogonality probes, logging, distributed partials) get them
 // for free instead of re-reducing. dst may alias a or b.
+//
+//adasum:noalloc
 func CombineFused(dst, a, b []float32) (dot, na, nb float64) {
 	dot, na, nb = tensor.DotNorms(a, b)
 	ca, cb := Coefficients(dot, na, nb)
@@ -69,6 +75,8 @@ func CombineFused(dst, a, b []float32) (dot, na, nb float64) {
 // This is the per-layer mode of §3.6, which the paper found important
 // because layers decorrelate at different rates during training. dst may
 // alias a or b.
+//
+//adasum:noalloc
 func CombineLayers(dst, a, b []float32, layout tensor.Layout) {
 	if layout.TotalSize() != len(a) || len(a) != len(b) || len(dst) != len(a) {
 		panic("adasum: CombineLayers size mismatch")
@@ -126,6 +134,8 @@ func ApplyWithDots(dst, a, b []float32, layout tensor.Layout, dots []PartialDots
 // of Algorithm 1). Layers outside the window contribute zeros. Each
 // layer's three reductions run as one fused pass; v must have length
 // 3*layout.NumLayers() and nothing is allocated.
+//
+//adasum:noalloc
 func WindowDots(v []float64, a, b []float32, off int, layout tensor.Layout) {
 	if len(v) != 3*layout.NumLayers() {
 		panic("adasum: WindowDots partial buffer has wrong length")
@@ -151,6 +161,8 @@ func WindowDots(v []float64, a, b []float32, off int, layout tensor.Layout) {
 // WindowDots and summed across the group), restricted to the window
 // [off, off+len(a)) of the original vector (line 18 of Algorithm 1). dst
 // may alias a or b.
+//
+//adasum:noalloc
 func CombineWindow(dst, a, b []float32, off int, layout tensor.Layout, v []float64) {
 	if len(v) != 3*layout.NumLayers() {
 		panic("adasum: CombineWindow partial buffer has wrong length")
@@ -251,6 +263,8 @@ func (r *Reducer) TreeReduce(grads [][]float32, layout tensor.Layout) []float32 
 
 // TreeReduceInto is TreeReduce writing the result into dst, which must
 // have the gradients' length and must not alias any input.
+//
+//adasum:noalloc
 func (r *Reducer) TreeReduceInto(dst []float32, grads [][]float32, layout tensor.Layout) {
 	n := len(grads)
 	if n == 0 {
@@ -278,12 +292,12 @@ func (r *Reducer) TreeReduceInto(dst []float32, grads [][]float32, layout tensor
 	m := 0
 	for i := 0; i+1 < n; i += 2 {
 		CombineLayers(r.bufs[m], grads[i], grads[i+1], layout)
-		work = append(work, r.bufs[m])
+		work = append(work, r.bufs[m]) //adasum:alloc ok appends into retained r.work scratch; grows only until the high-water mark
 		m++
 	}
 	if n%2 == 1 {
 		copy(r.bufs[m], grads[n-1])
-		work = append(work, r.bufs[m])
+		work = append(work, r.bufs[m]) //adasum:alloc ok appends into retained r.work scratch; grows only until the high-water mark
 		m++
 	}
 	r.work = work // retain the grown pointer scratch for reuse

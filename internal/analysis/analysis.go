@@ -1,0 +1,125 @@
+// Package analysis is the static-enforcement suite behind adasum-vet:
+// four custom analyzers that check, at vet time, the invariants the
+// test matrix can only check dynamically — bitwise determinism (no map
+// iteration order leaking into results), virtual-clock purity (no wall
+// clock or ambient randomness), allocation-free hot paths, and the
+// absence of unsharded package-level mutable state.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, Reportf) but is built entirely on the standard
+// library: the build environment pins a zero-dependency module, so the
+// loader in this package typechecks the module and its standard-library
+// imports from source with go/build + go/types instead of importing
+// x/tools. Swapping to the real go/analysis driver later is a
+// mechanical change: each Run func already receives the same inputs a
+// go/analysis pass would.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named static check. Run inspects a typechecked
+// package through its Pass and reports findings with Pass.Reportf;
+// findings carrying the analyzer's SuppressKey can be silenced line by
+// line with an `//adasum:<key> ok <reason>` annotation.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// SuppressKey is the annotation key that silences this analyzer's
+	// diagnostics (e.g. "nondet" for //adasum:nondet ok <reason>).
+	SuppressKey string
+	// DetOnly restricts the analyzer to the deterministic packages
+	// (IsDeterministic); annotation-driven analyzers run everywhere.
+	DetOnly bool
+	Run     func(*Pass) error
+}
+
+// A Pass carries one typechecked package through one analyzer under one
+// build configuration.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Config names the build configuration the package was typechecked
+	// under ("default", "noasm", "386").
+	Config string
+	// Annot holds the //adasum: directives collected from the files.
+	Annot *Annotations
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Config   string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a matching suppression
+// annotation covers that line. Suppressed findings mark their directive
+// used, which is how the driver detects stale annotations.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Analyzer.SuppressKey != "" &&
+		p.Annot.suppress(p.Analyzer.SuppressKey, position.Filename, position.Line) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Config:   p.Config,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is Info.TypeOf with a nil guard for robustness on files that
+// produced type errors.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Analyzers returns the adasum-vet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetMap, WallClock, NoAlloc, GlobalMut}
+}
+
+// detSuffixes are the deterministic packages: every package whose
+// results must be bitwise-identical across GOMAXPROCS, checkpoint
+// round-trips, and codec matrices. Import-path suffixes, so the list is
+// independent of the module path.
+var detSuffixes = []string{
+	"internal/adasum",
+	"internal/checkpoint",
+	"internal/collective",
+	"internal/comm",
+	"internal/compress",
+	"internal/overlap",
+	"internal/simnet",
+	"internal/trainer",
+}
+
+// IsDeterministic reports whether the import path is one of the
+// deterministic packages the DetOnly analyzers guard.
+func IsDeterministic(path string) bool {
+	for _, s := range detSuffixes {
+		if path == s || (len(path) > len(s) && path[len(path)-len(s)-1] == '/' && path[len(path)-len(s):] == s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation grammar. All directives are line comments beginning
+// with `//adasum:` (no space after // — machine directives follow the
+// //go:build convention):
+//
+//	//adasum:noalloc
+//	    Marks the function whose declaration it documents (or shares a
+//	    line with) as a zero-allocation hot path; the noalloc analyzer
+//	    then flags every allocation-introducing construct in its body.
+//
+//	//adasum:nondet ok <reason>
+//	//adasum:wallclock ok <reason>
+//	//adasum:global ok <reason>
+//	//adasum:alloc ok <reason>
+//	    Suppresses the corresponding analyzer (detmap, wallclock,
+//	    globalmut, noalloc) on the directive's own line and, when the
+//	    comment stands alone on its line, on the line below it. The
+//	    reason is mandatory: an unexplained suppression is itself a
+//	    finding.
+//
+// Directives that are misspelled, carry an unknown key, or omit the
+// reason are reported as "annotation" diagnostics rather than silently
+// ignored, and suppressions that no analyzer consumed under any build
+// configuration are reported as stale by the driver.
+
+// suppressionKeys are the directive keys that silence an analyzer.
+var suppressionKeys = map[string]bool{
+	"nondet":    true,
+	"wallclock": true,
+	"global":    true,
+	"alloc":     true,
+}
+
+// A Directive is one parsed //adasum: annotation.
+type Directive struct {
+	Key    string // "noalloc", or a suppression key
+	Reason string
+	Pos    token.Position
+	// lines this directive covers: its own line, plus the next line
+	// when the comment stands alone (no code on its line).
+	lines []int
+	used  bool
+}
+
+// Annotations holds every directive of one package's files plus any
+// malformed-directive diagnostics found while collecting them.
+type Annotations struct {
+	// all preserves file order for stable stale-annotation reporting.
+	all []*Directive
+	// byKey: key -> filename -> covered line -> directive.
+	byKey     map[string]map[string]map[int]*Directive
+	Malformed []Diagnostic
+}
+
+// CollectAnnotations parses the //adasum: directives of files. config
+// tags the malformed-directive diagnostics.
+func CollectAnnotations(fset *token.FileSet, files []*ast.File, config string) *Annotations {
+	a := &Annotations{byKey: make(map[string]map[string]map[int]*Directive)}
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a.collect(fset, c, code, config)
+			}
+		}
+	}
+	return a
+}
+
+// codeLines returns the set of lines of f that contain any non-comment
+// token — used to tell a trailing directive (covers its own line) from
+// a standalone one (covers the next line too).
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n.Pos().IsValid() {
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		if n.End().IsValid() {
+			lines[fset.Position(n.End()).Line] = true
+		}
+		return true
+	})
+	return lines
+}
+
+func (a *Annotations) collect(fset *token.FileSet, c *ast.Comment, code map[int]bool, config string) {
+	const prefix = "//adasum:"
+	if !strings.HasPrefix(c.Text, prefix) {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	body := strings.TrimSpace(strings.TrimPrefix(c.Text, prefix))
+	fields := strings.Fields(body)
+	malformed := func(format string, args ...any) {
+		a.Malformed = append(a.Malformed, Diagnostic{
+			Pos: pos, Analyzer: "annotation", Config: config,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	if len(fields) == 0 {
+		malformed("empty //adasum: directive")
+		return
+	}
+	key := fields[0]
+	switch {
+	case key == "noalloc":
+		if len(fields) > 1 {
+			malformed("//adasum:noalloc takes no arguments (got %q)", strings.Join(fields[1:], " "))
+			return
+		}
+		a.add(&Directive{Key: key, Pos: pos, lines: []int{pos.Line}})
+	case suppressionKeys[key]:
+		if len(fields) < 2 || fields[1] != "ok" {
+			malformed("//adasum:%s must be followed by `ok <reason>`", key)
+			return
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(body, key))
+		reason := strings.TrimSpace(strings.TrimPrefix(rest, "ok"))
+		if reason == "" {
+			malformed("//adasum:%s ok requires a reason", key)
+			return
+		}
+		lines := []int{pos.Line}
+		if !code[pos.Line] {
+			lines = append(lines, pos.Line+1)
+		}
+		a.add(&Directive{Key: key, Reason: reason, Pos: pos, lines: lines})
+	default:
+		malformed("unknown //adasum: directive %q (want noalloc, nondet, wallclock, global, alloc)", key)
+	}
+}
+
+func (a *Annotations) add(d *Directive) {
+	a.all = append(a.all, d)
+	perFile := a.byKey[d.Key]
+	if perFile == nil {
+		perFile = make(map[string]map[int]*Directive)
+		a.byKey[d.Key] = perFile
+	}
+	perLine := perFile[d.Pos.Filename]
+	if perLine == nil {
+		perLine = make(map[int]*Directive)
+		perFile[d.Pos.Filename] = perLine
+	}
+	for _, ln := range d.lines {
+		perLine[ln] = d
+	}
+}
+
+// suppress reports whether a directive with key covers (file, line),
+// marking it used.
+func (a *Annotations) suppress(key, file string, line int) bool {
+	if d := a.byKey[key][file][line]; d != nil {
+		d.used = true
+		return true
+	}
+	return false
+}
+
+// NoallocAt returns the noalloc directive covering (file, line), if
+// any, marking it used.
+func (a *Annotations) NoallocAt(file string, line int) *Directive {
+	if d := a.byKey["noalloc"][file][line]; d != nil {
+		d.used = true
+		return d
+	}
+	return nil
+}
+
+// Directives returns every well-formed directive, in file order.
+func (a *Annotations) Directives() []*Directive { return a.all }
+
+// Used reports whether the directive suppressed at least one finding
+// (or, for noalloc, marked at least one checked function).
+func (d *Directive) Used() bool { return d.used }

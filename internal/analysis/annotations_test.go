@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseAnnotations(t *testing.T, src string) *Annotations {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "annot.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CollectAnnotations(fset, []*ast.File{f}, "default")
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	src := `package p
+
+//adasum:
+//adasum:frobnicate ok whatever
+//adasum:nondet because
+//adasum:nondet ok
+//adasum:noalloc but with arguments
+var x int
+`
+	a := parseAnnotations(t, src)
+	if len(a.Directives()) != 0 {
+		t.Errorf("malformed directives were collected as valid: %+v", a.Directives())
+	}
+	wantFragments := []string{
+		"empty //adasum: directive",
+		`unknown //adasum: directive "frobnicate"`,
+		"//adasum:nondet must be followed by `ok <reason>`",
+		"//adasum:nondet ok requires a reason",
+		"//adasum:noalloc takes no arguments",
+	}
+	if len(a.Malformed) != len(wantFragments) {
+		t.Fatalf("got %d malformed diagnostics, want %d: %v", len(a.Malformed), len(wantFragments), a.Malformed)
+	}
+	for i, frag := range wantFragments {
+		d := a.Malformed[i]
+		if d.Analyzer != "annotation" {
+			t.Errorf("diagnostic %d attributed to %q, want \"annotation\"", i, d.Analyzer)
+		}
+		if !strings.Contains(d.Message, frag) {
+			t.Errorf("diagnostic %d = %q, want it to mention %q", i, d.Message, frag)
+		}
+	}
+}
+
+func TestSuppressionLineCoverage(t *testing.T) {
+	src := `package p
+
+func f(m map[int]int) {
+	//adasum:nondet ok standalone covers the next line
+	for range m {
+	}
+	for range m { //adasum:nondet ok trailing covers its own line
+	}
+	for range m {
+	}
+}
+`
+	a := parseAnnotations(t, src)
+	if n := len(a.Directives()); n != 2 {
+		t.Fatalf("collected %d directives, want 2", n)
+	}
+	// Standalone on line 4: covers lines 4 and 5. Trailing on line 7:
+	// covers line 7 only. Line 9 is uncovered.
+	for _, tc := range []struct {
+		line int
+		want bool
+	}{{4, true}, {5, true}, {6, false}, {7, true}, {8, false}, {9, false}} {
+		if got := a.suppress("nondet", "annot.go", tc.line); got != tc.want {
+			t.Errorf("suppress(nondet, line %d) = %v, want %v", tc.line, got, tc.want)
+		}
+	}
+	// A suppression consumed at least once reports used; the key must
+	// match, too.
+	if a.suppress("wallclock", "annot.go", 5) {
+		t.Error("suppress matched a directive of a different key")
+	}
+	for _, d := range a.Directives() {
+		if !d.Used() {
+			t.Errorf("directive at line %d not marked used after suppressing", d.Pos.Line)
+		}
+	}
+}
+
+func TestStaleDirectiveTracking(t *testing.T) {
+	src := `package p
+
+var x int //adasum:global ok never consulted by anyone
+`
+	a := parseAnnotations(t, src)
+	ds := a.Directives()
+	if len(ds) != 1 {
+		t.Fatalf("collected %d directives, want 1", len(ds))
+	}
+	if ds[0].Used() {
+		t.Error("directive marked used before any suppression")
+	}
+	if !a.suppress("global", "annot.go", 3) {
+		t.Fatal("suppress failed on the directive's own line")
+	}
+	if !ds[0].Used() {
+		t.Error("directive not marked used after suppression")
+	}
+}
+
+func TestNoallocAtMarksUsed(t *testing.T) {
+	src := `package p
+
+//adasum:noalloc
+func f() {}
+`
+	a := parseAnnotations(t, src)
+	if d := a.NoallocAt("annot.go", 3); d == nil {
+		t.Fatal("NoallocAt missed the marker on its own line")
+	}
+	if d := a.NoallocAt("annot.go", 4); d != nil {
+		t.Error("noalloc marker covered the following line; only suppressions extend")
+	}
+	if !a.Directives()[0].Used() {
+		t.Error("noalloc marker not marked used after NoallocAt")
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMap flags map iteration in the deterministic packages: `range`
+// over a map, (*sync.Map).Range, and the order-randomized iterators in
+// the maps package. Map iteration order is randomized per run, so any
+// result, message sequence, or accumulated float that depends on it
+// breaks the bitwise-determinism contract (GOMAXPROCS invariance,
+// checkpoint/resume identity). Iterate a sorted key slice instead, or
+// annotate the line `//adasum:nondet ok <reason>` when the order is
+// provably unobservable (e.g. draining interchangeable pool entries).
+var DetMap = &Analyzer{
+	Name:        "detmap",
+	Doc:         "flags nondeterministically-ordered map iteration in deterministic packages",
+	SuppressKey: "nondet",
+	DetOnly:     true,
+	Run:         runDetMap,
+}
+
+// nondetMapsFuncs are the maps-package helpers whose yield order is the
+// map's own: as nondeterministic as ranging the map directly.
+var nondetMapsFuncs = map[string]bool{
+	"Keys": true, "Values": true, "All": true,
+}
+
+func runDetMap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if m, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.For, "range over map %s iterates in nondeterministic order; iterate sorted keys or annotate //adasum:nondet ok <reason>", types.TypeString(m, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					break
+				}
+				if s := pass.Info.Selections[sel]; s != nil {
+					// Method call: (*sync.Map).Range.
+					if fn, ok := s.Obj().(*types.Func); ok && fn.Name() == "Range" &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+						pass.Reportf(n.Pos(), "sync.Map.Range visits entries in nondeterministic order; annotate //adasum:nondet ok <reason> if the order is unobservable")
+					}
+					break
+				}
+				// Package-level call: maps.Keys / maps.Values / maps.All.
+				if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "maps" && nondetMapsFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "maps.%s yields in nondeterministic map order; sort before use or annotate //adasum:nondet ok <reason>", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

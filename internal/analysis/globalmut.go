@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalMut flags package-level mutable state in the deterministic
+// packages. An un-sharded global — a counter, a pool, a cache — is
+// exactly the shape that broke PR-6's scaling twice (the global
+// wireBytes meter and the global buffer pool serialized every rank on
+// one cache line and mixed state across Worlds); any new one must
+// either move into the World/Engine it belongs to, be sharded per
+// rank, or carry an `//adasum:global ok <reason>` annotation arguing
+// why process-wide state cannot leak into results. Error sentinels
+// (`var ErrX = errors.New(...)`) are recognized as immutable and
+// allowed.
+var GlobalMut = &Analyzer{
+	Name:        "globalmut",
+	Doc:         "flags package-level mutable state in deterministic packages",
+	SuppressKey: "global",
+	DetOnly:     true,
+	Run:         runGlobalMut,
+}
+
+func runGlobalMut(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "var" {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if isErrSentinel(pass, vs, i) {
+						continue
+					}
+					pass.Reportf(name.Pos(), "package-level var %s is mutable process-global state in a deterministic package (the PR-6 wireBytes/pool bug shape); move it into the World/Engine, shard it per rank, or annotate //adasum:global ok <reason>", name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isErrSentinel reports whether the i-th name of vs is an immutable
+// error sentinel: static type error, initialized from errors.New or
+// fmt.Errorf.
+func isErrSentinel(pass *Pass, vs *ast.ValueSpec, i int) bool {
+	obj := pass.Info.Defs[vs.Names[i]]
+	if obj == nil {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return false
+	}
+	if len(vs.Values) != len(vs.Names) {
+		return false
+	}
+	call, ok := vs.Values[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	return (path == "errors" && name == "New") || (path == "fmt" && name == "Errorf")
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+func TestIsDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/comm", true},
+		{"repro/internal/adasum", true},
+		{"repro/internal/simnet", true},
+		{"internal/comm", true},
+		{"repro/internal/tensor", false},
+		{"repro/internal/commx", false},
+		{"repro/cmd/adasum-vet", false},
+		{"repro/internal/comm/sub", false},
+		{"fixture/internal/comm", true},
+	} {
+		if got := IsDeterministic(tc.path); got != tc.want {
+			t.Errorf("IsDeterministic(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestLoaderCrossArch pins the 386 leg of the config matrix: changing
+// GOARCH must retag the build context (dropping the amd64 feature tags
+// and the register-ABI experiment) or stdlib typechecking fails inside
+// internal/abi.
+func TestLoaderCrossArch(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := NewLoader(root, Config{Name: "386", GOARCH: "386", Tags: []string{"noasm"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := ld.Load(ld.modPath + "/internal/tensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Scope().Lookup("Dot") == nil {
+		t.Error("tensor.Dot missing from the 386 typecheck")
+	}
+	// Word width is the point of the 386 leg: int must be 4 bytes.
+	if s := ld.sizes.Sizeof(types.Typ[types.Int]); s != 4 {
+		t.Errorf("386 loader sizes int at %d bytes, want 4", s)
+	}
+}
+
+// TestRepoIsClean runs the full suite over every deterministic package
+// under the default configuration: the committed tree must produce zero
+// diagnostics, so a violation introduced without running adasum-vet
+// still fails `go test`.
+func TestRepoIsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := NewLoader(root, Config{Name: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ld.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, path := range paths {
+		if !IsDeterministic(path) {
+			continue
+		}
+		pkg, err := ld.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, _, err := RunPackage(pkg, Config{Name: "default"}, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+		checked++
+	}
+	if checked < 8 {
+		t.Fatalf("only %d deterministic packages found; the detSuffixes list and the module tree have diverged", checked)
+	}
+}

@@ -1,0 +1,78 @@
+// Fixture for the detmap analyzer: map iteration in a deterministic
+// package. Loaded by the test harness under an internal/comm-suffixed
+// import path so DetOnly applies.
+package detmapfix
+
+import (
+	"maps"
+	"sort"
+	"sync"
+)
+
+func rangeOverMap(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map map\[int\]float64 iterates in nondeterministic order`
+		sum += v
+	}
+	return sum
+}
+
+type wrapped map[string]int
+
+func rangeOverNamedMap(m wrapped) int {
+	n := 0
+	for range m { // want `range over map map\[string\]int iterates in nondeterministic order`
+		n++
+	}
+	return n
+}
+
+func rangeOverSortedKeys(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m { //adasum:nondet ok keys are sorted before any order-sensitive use
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys { // ranging the sorted slice is fine
+		sum += m[k]
+	}
+	return sum
+}
+
+func syncMapRange(m *sync.Map) int {
+	n := 0
+	m.Range(func(_, _ any) bool { // want `sync\.Map\.Range visits entries in nondeterministic order`
+		n++
+		return true
+	})
+	return n
+}
+
+func syncMapRangeAnnotated(m *sync.Map) int {
+	n := 0
+	m.Range(func(_, _ any) bool { //adasum:nondet ok counting entries is order-insensitive
+		n++
+		return true
+	})
+	return n
+}
+
+func mapsKeys(m map[string]int) []string {
+	var out []string
+	// Range-over-func: the range itself is ordered by the iterator, but
+	// maps.Keys yields in map order, so the call is what gets flagged.
+	for k := range maps.Keys(m) { // want `maps\.Keys yields in nondeterministic map order`
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rangeOverSlice(xs []int) int {
+	n := 0
+	for _, x := range xs { // slices iterate in index order: fine
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,46 @@
+// Fixture for the globalmut analyzer: package-level mutable state in a
+// deterministic package, including the exact global-counter shape that
+// broke PR-6's scaling (a process-wide wireBytes meter shared across
+// Worlds).
+package globalmutfix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// wireBytes is the PR-6 regression shape: one atomic counter shared by
+// every World in the process.
+var wireBytes atomic.Int64 // want `package-level var wireBytes is mutable process-global state`
+
+var stepCount int // want `package-level var stepCount is mutable process-global state`
+
+var bufPool = sync.Pool{New: func() any { return new([256]float64) }} // want `package-level var bufPool is mutable process-global state`
+
+var registry = map[string]int{} // want `package-level var registry is mutable process-global state`
+
+var cacheA, cacheB []float64 // want `package-level var cacheA is mutable process-global state` `package-level var cacheB is mutable process-global state`
+
+// Error sentinels are recognized as immutable and allowed unannotated.
+var errClosed = errors.New("closed")
+
+var errBadRank = fmt.Errorf("bad rank %d", -1)
+
+// A justified global carries the annotation.
+var debugHooks []func() //adasum:global ok test-only hook list, nil outside the harness
+
+// Constants are not state.
+const maxRanks = 1024
+
+func useAll() int64 {
+	wireBytes.Add(1)
+	stepCount++
+	_ = bufPool.Get()
+	registry["x"] = len(cacheA) + len(cacheB)
+	if errClosed != nil && errBadRank != nil && debugHooks == nil {
+		return wireBytes.Load()
+	}
+	return int64(maxRanks)
+}

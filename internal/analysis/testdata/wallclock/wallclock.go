@@ -1,0 +1,53 @@
+// Fixture for the wallclock analyzer: ambient time and ambient
+// randomness in a deterministic package.
+package wallclockfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func readsClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func timers() <-chan time.Time {
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	return t.C
+}
+
+func deterministicTime() time.Time {
+	// Pure constructors stay legal: no clock is read.
+	return time.Date(2021, time.April, 5, 0, 0, 0, 0, time.UTC)
+}
+
+func annotatedClock() time.Time {
+	return time.Now() //adasum:wallclock ok logging-only timestamp, never enters results
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the runtime-seeded global generator`
+}
+
+func globalRandV2() uint64 {
+	return randv2.Uint64() // want `math/rand/v2\.Uint64 draws from the runtime-seeded global generator`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded constructors are the sanctioned path
+	return r.Intn(10)                   // method on the seeded generator: fine
+}
+
+func seededRandV2(seed uint64) uint64 {
+	r := randv2.New(randv2.NewPCG(seed, seed)) // seeded v2 constructor: fine
+	return r.Uint64()
+}

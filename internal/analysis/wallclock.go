@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids ambient time and ambient randomness in the
+// deterministic packages. The simulated fabric's virtual clocks
+// (simnet cost models threaded through comm.Proc) are the only
+// legitimate time source — a single time.Now or timer turns
+// SimSeconds, overlap schedules, and fail-at deadlines into functions
+// of host load. Likewise the global math/rand generators are seeded
+// from runtime entropy; randomness must flow from an explicitly seeded
+// rand.New(rand.NewSource(seed)) (or the splitmix64 mixer in
+// simnet/faults.go) so every run replays. cmd/ binaries and _test.go
+// files are outside the analyzer's scope.
+var WallClock = &Analyzer{
+	Name:        "wallclock",
+	Doc:         "forbids wall-clock time and unseeded global randomness in deterministic packages",
+	SuppressKey: "wallclock",
+	DetOnly:     true,
+	Run:         runWallClock,
+}
+
+// wallClockFuncs are the time-package functions that read or wait on
+// the wall clock. Deterministic constructors (time.Date, time.Unix,
+// time.ParseDuration) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// seededRandCtors are the math/rand and math/rand/v2 constructors that
+// take an explicit seed or source; everything else at package level
+// draws from the shared, runtime-seeded generator.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pass.Info.Selections[sel] != nil {
+				return true // method or field selection, not a package symbol
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; deterministic packages must use the simnet virtual clock (or annotate //adasum:wallclock ok <reason>)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandCtors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "%s.%s draws from the runtime-seeded global generator; use an explicitly seeded rand.New(rand.NewSource(seed)) (or annotate //adasum:wallclock ok <reason>)", fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

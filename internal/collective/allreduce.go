@@ -22,6 +22,8 @@ import (
 // stand-in for "NCCL's sum operation", the baseline of Figure 4. Chunk
 // bounds are computed arithmetically and transport buffers come from
 // the World pool, so the collective allocates nothing in steady state.
+//
+//adasum:noalloc
 func (c *Communicator) ringSum(x []float32) {
 	if c.Size() == 1 {
 		return
@@ -36,6 +38,8 @@ func (c *Communicator) ringSum(x []float32) {
 // log p doubling steps (allgather). The group size must be a power of
 // two. This is the unmodified baseline algorithm that Algorithm 1
 // extends.
+//
+//adasum:noalloc
 func (c *Communicator) rvhSum(x []float32) {
 	if !c.shared.group.IsPowerOfTwo() {
 		panic("collective: StrategyRVH sum allreduce requires a power-of-two group")
@@ -51,6 +55,8 @@ func (c *Communicator) rvhSum(x []float32) {
 // happens in place in this rank's half, and the allgather unwind
 // receives the peer's half directly into its home position in x, so no
 // level allocates. Received transport buffers are recycled to the pool.
+//
+//adasum:noalloc
 func (c *Communicator) rvhSumRec(x []float32, lo, hi, d int) {
 	p, g := c.p, c.shared.group
 	mid := lo + tensor.HalfSplit(hi-lo)
@@ -96,6 +102,8 @@ func (c *Communicator) rvhSumRec(x []float32, lo, hi, d int) {
 // across the ranks sharing slices of the same logical vectors. The
 // group size must be a power of two. x is reduced in place on every
 // rank.
+//
+//adasum:noalloc
 func (c *Communicator) adasumRVH(x []float32, layout tensor.Layout) {
 	if !c.shared.group.IsPowerOfTwo() {
 		panic("collective: StrategyRVH Adasum requires a power-of-two group")
@@ -118,6 +126,8 @@ func (c *Communicator) adasumRVH(x []float32, layout tensor.Layout) {
 // half directly into its home position — no level builds fresh slices.
 // d is the neighbor distance; dots is the reusable flattened per-layer
 // partial buffer (3 entries per layer of layout).
+//
+//adasum:noalloc
 func (c *Communicator) adasumRVHRec(x []float32, lo, hi, d int, layout tensor.Layout, dots []float64) {
 	p, g := c.p, c.shared.group
 	mid := lo + tensor.HalfSplit(hi-lo) // line 2
@@ -185,6 +195,8 @@ func (c *Communicator) adasumRVHRec(x []float32, lo, hi, d int, layout tensor.La
 // log p times instead of halving it, trading bandwidth optimality for
 // exact arithmetic parity; it is the deterministic-parity mode of the
 // overlapped reduction engine.
+//
+//adasum:noalloc
 func (c *Communicator) treeAdasum(x []float32, layout tensor.Layout) {
 	p, g := c.p, c.shared.group
 	n := len(g)

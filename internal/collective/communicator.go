@@ -330,6 +330,8 @@ func (c *Communicator) Split(color, key int) *Communicator {
 
 // send ships x to world rank dst, encoding through the communicator's
 // stream when compression is configured.
+//
+//adasum:noalloc
 func (c *Communicator) send(dst int, x []float32) {
 	switch {
 	case c.stream == nil:
@@ -343,6 +345,8 @@ func (c *Communicator) send(dst int, x []float32) {
 
 // recvNew receives an n-element payload from world rank src into a
 // pooled buffer owned by the caller (hand it back with p.Release).
+//
+//adasum:noalloc
 func (c *Communicator) recvNew(src, n int) []float32 {
 	if c.stream == nil {
 		return c.p.Recv(src)
@@ -357,6 +361,8 @@ func (c *Communicator) recvNew(src, n int) []float32 {
 }
 
 // recvInto receives from world rank src directly into dst.
+//
+//adasum:noalloc
 func (c *Communicator) recvInto(src int, dst []float32) {
 	switch {
 	case c.stream == nil:
@@ -402,6 +408,8 @@ func (c *Communicator) sumStrategy() Strategy {
 // Strategy; every rank finishes holding the combined gradient (ranks
 // may hold slightly different decoded copies under a lossy codec — the
 // consumer reads rank 0's, as with lossy allgathers in real systems).
+//
+//adasum:noalloc
 func (c *Communicator) Adasum(x []float32, layout tensor.Layout) {
 	if layout.TotalSize() != len(x) {
 		panic("collective: Adasum layout does not cover x")
@@ -418,6 +426,8 @@ func (c *Communicator) Adasum(x []float32, layout tensor.Layout) {
 
 // AllreduceSum reduces x in place to the elementwise sum over the
 // group.
+//
+//adasum:noalloc
 func (c *Communicator) AllreduceSum(x []float32) {
 	if c.sumStrategy() == StrategyRVH {
 		c.rvhSum(x)
@@ -428,6 +438,8 @@ func (c *Communicator) AllreduceSum(x []float32) {
 
 // AllreduceMean is AllreduceSum followed by division by the group size
 // — the combiner synchronous SGD actually applies.
+//
+//adasum:noalloc
 func (c *Communicator) AllreduceMean(x []float32) {
 	c.AllreduceSum(x)
 	tensor.Scale(1/float32(c.Size()), x)

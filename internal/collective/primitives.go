@@ -11,6 +11,8 @@ package collective
 // a power of two. v is updated in place with the blockwise sum. This
 // implements the ALLREDUCE(v, +, group) primitive on line 17 of
 // Algorithm 1, which completes the partial dot products.
+//
+//adasum:noalloc
 func (c *Communicator) allreduceF64RD(base, size int, v []float64) {
 	if size <= 1 {
 		return
@@ -64,6 +66,8 @@ func (c *Communicator) Broadcast(root int, x []float32) {
 // dst, and the root's src is never written. Non-root callers may pass
 // src as nil. Like Broadcast it allocates nothing in steady state, so
 // callers that must preserve their source vector need no staging copy.
+//
+//adasum:noalloc
 func (c *Communicator) BroadcastInto(root int, dst, src []float32) {
 	if c.mypos == root {
 		if len(src) != len(dst) {
@@ -110,6 +114,8 @@ func (c *Communicator) Gather(root int, x []float32) [][]float32 {
 // member's vector directly into into[i] (rows pre-sized to len(x));
 // non-root callers may pass into as nil. The root's own row is copied
 // from x.
+//
+//adasum:noalloc
 func (c *Communicator) GatherInto(root int, x []float32, into [][]float32) {
 	g := c.shared.group
 	if c.mypos != root {
@@ -149,6 +155,8 @@ func equalBounds(n, parts int) boundsFn {
 
 // equalChunk returns the [lo, hi) bounds of chunk i when n elements are
 // split into parts contiguous near-equal ranges.
+//
+//adasum:noalloc
 func equalChunk(n, parts, i int) (lo, hi int) {
 	base := n / parts
 	rem := n % parts
@@ -166,6 +174,8 @@ func equalChunk(n, parts, i int) (lo, hi int) {
 // x[bounds(me)] holds the group-wide sum of that range, and the
 // function returns that slice. Other regions of x are clobbered with
 // partial sums.
+//
+//adasum:noalloc
 func (c *Communicator) reduceScatterRing(x []float32, bounds boundsFn) []float32 {
 	p, g := c.p, c.shared.group
 	n := len(g)
@@ -200,6 +210,8 @@ func (c *Communicator) reduceScatterRing(x []float32, bounds boundsFn) []float32
 // allgatherRing performs a ring allgather over contiguous chunks: on
 // entry x[bounds(me)] is this rank's finished chunk; on return every
 // chunk of x is filled with its owner's data.
+//
+//adasum:noalloc
 func (c *Communicator) allgatherRing(x []float32, bounds boundsFn) {
 	g := c.shared.group
 	n := len(g)

@@ -86,6 +86,8 @@ func (p *Proc) Launch(plane int, after *Handle, body func(ap *Proc)) *Handle {
 // the same rules as Launch. The Handle must be idle: never launched, or
 // launched and since completed. Restarting a Handle whose previous op
 // has not finished is a caller bug and panics.
+//
+//adasum:noalloc
 func (h *Handle) Start(p *Proc, plane int, after *Handle, body func(ap *Proc)) {
 	if plane == 0 {
 		panic("comm: Launch requires a nonzero plane id (plane 0 is foreground traffic)")
@@ -110,8 +112,10 @@ func (h *Handle) Start(p *Proc, plane int, after *Handle, body func(ap *Proc)) {
 
 // run is the op body, executed on a pooled worker goroutine: chain,
 // execute, publish completion.
+//
+//adasum:noalloc
 func (h *Handle) run() {
-	defer func() {
+	defer func() { //adasum:alloc ok open-coded defer: closure and record stay on the stack (0 allocs/op bench-pinned)
 		e := recover()
 		h.after = nil
 		h.body = nil
@@ -138,6 +142,8 @@ func (h *Handle) run() {
 // time and error. The finish-time read is ordered after the completion
 // store by the mutex, so chained ops and owners see the op's final
 // clock.
+//
+//adasum:noalloc
 func (h *Handle) join() (float64, any) {
 	h.mu.Lock()
 	for !h.done {
@@ -152,6 +158,8 @@ func (h *Handle) join() (float64, any) {
 // virtual time. A panic raised inside the op body is re-raised here, on
 // the waiting rank's goroutine, so World.Run reports it with rank
 // context. Finish is idempotent until the Handle is relaunched.
+//
+//adasum:noalloc
 func (h *Handle) Finish() float64 {
 	t, e := h.join()
 	if e != nil {

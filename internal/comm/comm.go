@@ -96,6 +96,8 @@ type plane struct {
 }
 
 // get returns the src→dst link of this plane, creating it on first use.
+//
+//adasum:noalloc
 func (pl *plane) get(src, dst int) *link {
 	if row := pl.rows[src].Load(); row != nil {
 		if l := row.links[dst].Load(); l != nil {
@@ -360,9 +362,10 @@ func sizeClass(n int) uint {
 	return c
 }
 
+//adasum:noalloc
 func (f *freeList[T]) get(shard, n int) []T {
 	if n == 0 {
-		return []T{}
+		return []T{} //adasum:alloc ok zero-length literal points at the runtime zerobase, no heap allocation
 	}
 	c := sizeClass(n)
 	s := &f.shards[shard]
@@ -374,8 +377,8 @@ func (f *freeList[T]) get(shard, n int) []T {
 		return buf[:n]
 	}
 	s.mu.Unlock()
-	buf := make([]T, n, 1<<c)
-	f.minted.Store(&buf[:1][0], shard)
+	buf := make([]T, n, 1<<c)          //adasum:alloc ok pool miss mints; steady state recycles (0 allocs/op bench-pinned)
+	f.minted.Store(&buf[:1][0], shard) //adasum:alloc ok mint-path bookkeeping, off the recycle fast path
 	return buf
 }
 
@@ -383,6 +386,8 @@ func (f *freeList[T]) get(shard, n int) []T {
 // bucket is shallow (the cache-hot fast path), overflowing to the
 // minting shard once foreignKeep buffers of the class are already
 // held. Foreign slices (not minted by this pool) are ignored.
+//
+//adasum:noalloc
 func (f *freeList[T]) put(shard int, b []T) {
 	if cap(b) == 0 {
 		return
@@ -397,7 +402,7 @@ func (f *freeList[T]) put(shard int, b []T) {
 	if h := home.(int); h != shard {
 		s.mu.Lock()
 		if len(s.buckets[c]) < foreignKeep {
-			s.buckets[c] = append(s.buckets[c], b[:0])
+			s.buckets[c] = append(s.buckets[c], b[:0]) //adasum:alloc ok bucket growth is bounded warmup; ping-pong depth is fixed in steady state
 			s.mu.Unlock()
 			return
 		}
@@ -405,7 +410,7 @@ func (f *freeList[T]) put(shard int, b []T) {
 		s = &f.shards[h]
 	}
 	s.mu.Lock()
-	s.buckets[c] = append(s.buckets[c], b[:0])
+	s.buckets[c] = append(s.buckets[c], b[:0]) //adasum:alloc ok bucket growth is bounded warmup; ping-pong depth is fixed in steady state
 	s.mu.Unlock()
 }
 
@@ -495,12 +500,16 @@ func (p *Proc) SetClock(t float64) { p.clock = t }
 
 // Compute advances this rank's clock by dt seconds of local work,
 // failing the rank if the advance crosses its injected deadline.
+//
+//adasum:noalloc
 func (p *Proc) Compute(dt float64) {
 	p.clock += dt
 	p.maybeFail()
 }
 
 // ComputeReduce advances the clock by the model cost of reducing n bytes.
+//
+//adasum:noalloc
 func (p *Proc) ComputeReduce(bytes int64) {
 	if m := p.world.model; m != nil {
 		p.Compute(m.Reduce(bytes))
@@ -508,6 +517,8 @@ func (p *Proc) ComputeReduce(bytes int64) {
 }
 
 // ComputeMemCopy advances the clock by the model cost of copying n bytes.
+//
+//adasum:noalloc
 func (p *Proc) ComputeMemCopy(bytes int64) {
 	if m := p.world.model; m != nil {
 		p.Compute(m.MemCopy(bytes))
@@ -516,15 +527,20 @@ func (p *Proc) ComputeMemCopy(bytes int64) {
 
 // Send transmits data to rank dst. The slice is copied, so the caller may
 // reuse it immediately.
+//
+//adasum:noalloc
 func (p *Proc) Send(dst int, data []float32) {
 	p.send(dst, data, nil)
 }
 
 // SendMeta transmits a float64 side payload (dot-product partials) to dst.
+//
+//adasum:noalloc
 func (p *Proc) SendMeta(dst int, meta []float64) {
 	p.send(dst, nil, meta)
 }
 
+//adasum:noalloc
 func (p *Proc) send(dst int, data []float32, meta []float64) {
 	if dst == p.rank {
 		panic("comm: send to self")
@@ -556,6 +572,8 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 // non-blocking attempt. The link is materialized here on first use, so
 // a sender to a dead rank on a never-before-used pair still takes the
 // guarded path.
+//
+//adasum:noalloc
 func (p *Proc) deliver(dst int, msg message) {
 	ch := p.links.get(p.rank, dst).ch
 	select {
@@ -573,6 +591,8 @@ func (p *Proc) deliver(dst int, msg message) {
 // sendOwned transmits a pool-owned buffer without the defensive copy;
 // ownership moves to the receiver (who recycles it via Recv/Release as
 // usual), so the caller must not touch buf afterwards.
+//
+//adasum:noalloc
 func (p *Proc) sendOwned(dst int, buf []float32) {
 	if dst == p.rank {
 		panic("comm: send to self")
@@ -594,6 +614,8 @@ func (p *Proc) sendOwned(dst int, buf []float32) {
 // carries the codec and, for error-feedback codecs, the per-site
 // residual state; a None stream degrades to a plain Send so the
 // uncompressed paths stay bitwise- and clock-identical.
+//
+//adasum:noalloc
 func (p *Proc) SendCompressed(dst int, data []float32, st *compress.Stream) {
 	if st == nil || compress.IsNone(st.Codec()) {
 		p.Send(dst, data)
@@ -611,6 +633,8 @@ func (p *Proc) SendCompressed(dst int, data []float32, st *compress.Stream) {
 // the arrival time and charging the decode pass as a MemCopy over the
 // uncompressed bytes. With a None codec (or nil) it degrades to
 // RecvInto.
+//
+//adasum:noalloc
 func (p *Proc) RecvCompressed(src int, c compress.Codec, dst []float32) {
 	if compress.IsNone(c) {
 		p.RecvInto(src, dst)
@@ -636,6 +660,8 @@ func (p *Proc) RecvCompressed(src int, c compress.Codec, dst []float32) {
 // like any other word — and the encode pass is charged as a MemCopy
 // over the uncompressed bytes (the identity codec included: adaptive
 // mode always materializes a wire buffer).
+//
+//adasum:noalloc
 func (p *Proc) SendAdaptive(dst int, data []float32, st *compress.Stream) {
 	c := st.Codec()
 	enc := p.world.pool.getF32(p.rank, compress.WireWords(c, len(data)))
@@ -649,6 +675,8 @@ func (p *Proc) SendAdaptive(dst int, data []float32, st *compress.Stream) {
 // it into dst under the codec its header names, advancing the clock to
 // the arrival time and charging the decode pass as a MemCopy over the
 // uncompressed bytes.
+//
+//adasum:noalloc
 func (p *Proc) RecvAdaptive(src int, dst []float32) {
 	enc, _ := p.recv(src)
 	compress.DecodeFromWire(dst, enc)
@@ -689,6 +717,8 @@ func (p *Proc) RecvCtl(src int) []int {
 // advancing the virtual clock to the arrival time. The returned buffer is
 // owned by the caller; handing it back with Release once consumed lets
 // the World recycle it.
+//
+//adasum:noalloc
 func (p *Proc) Recv(src int) []float32 {
 	d, _ := p.recv(src)
 	return d
@@ -698,6 +728,8 @@ func (p *Proc) Recv(src int) []float32 {
 // incoming payload length, and recycles the transport buffer. It is the
 // zero-allocation receive for callers assembling into preallocated
 // vectors (allgather unwinds, broadcasts).
+//
+//adasum:noalloc
 func (p *Proc) RecvInto(src int, dst []float32) {
 	d, _ := p.recv(src)
 	if len(d) != len(dst) {
@@ -709,6 +741,8 @@ func (p *Proc) RecvInto(src int, dst []float32) {
 
 // RecvMeta receives a float64 side payload from src. As with Recv, the
 // buffer can be handed back with ReleaseMeta.
+//
+//adasum:noalloc
 func (p *Proc) RecvMeta(src int) []float64 {
 	_, m := p.recv(src)
 	return m
@@ -720,24 +754,34 @@ func (p *Proc) RecvMeta(src int) []float64 {
 // a buffer that is still read elsewhere is an aliasing bug). Slices the
 // pool did not mint are recognized and ignored, so a stray Release of
 // caller-owned memory cannot corrupt anything.
+//
+//adasum:noalloc
 func (p *Proc) Release(buf []float32) { p.world.pool.putF32(p.rank, buf) }
 
 // ReleaseMeta returns a buffer obtained from RecvMeta or ScratchMeta to
 // the World's pool, under the same ownership contract as Release.
+//
+//adasum:noalloc
 func (p *Proc) ReleaseMeta(meta []float64) { p.world.pool.putF64(p.rank, meta) }
 
 // Scratch returns a pooled float32 buffer of length n with unspecified
 // contents. Return it with Release when done.
+//
+//adasum:noalloc
 func (p *Proc) Scratch(n int) []float32 { return p.world.pool.getF32(p.rank, n) }
 
 // ScratchMeta returns a pooled float64 buffer of length n with
 // unspecified contents. Return it with ReleaseMeta when done.
+//
+//adasum:noalloc
 func (p *Proc) ScratchMeta(n int) []float64 { return p.world.pool.getF64(p.rank, n) }
 
 // recvMsg pulls the next message from src, unblocking with a typed
 // RankFailure if src is (or becomes) dead. A payload already in flight
 // before the death is still delivered — the fast non-blocking path also
 // keeps the healthy steady state at one cheap poll per receive.
+//
+//adasum:noalloc
 func (p *Proc) recvMsg(src int) message {
 	ch := p.links.get(src, p.rank).ch
 	select {
@@ -760,6 +804,7 @@ func (p *Proc) recvMsg(src int) message {
 	}
 }
 
+//adasum:noalloc
 func (p *Proc) recv(src int) ([]float32, []float64) {
 	msg := p.recvMsg(src)
 	if msg.ctl != nil {
@@ -775,12 +820,16 @@ func (p *Proc) recv(src int) ([]float32, []float64) {
 // SendRecv exchanges vectors with a peer: sends sendBuf, receives and
 // returns the peer's vector. Both sides must call it with each other as
 // peer.
+//
+//adasum:noalloc
 func (p *Proc) SendRecv(peer int, sendBuf []float32) []float32 {
 	p.Send(peer, sendBuf)
 	return p.Recv(peer)
 }
 
 // SendRecvMeta exchanges float64 side payloads with a peer.
+//
+//adasum:noalloc
 func (p *Proc) SendRecvMeta(peer int, sendBuf []float64) []float64 {
 	p.SendMeta(peer, sendBuf)
 	return p.RecvMeta(peer)

@@ -154,8 +154,18 @@ func (w *World) Reset() {
 	w.planeMu.Unlock()
 	w.linkMu.Lock()
 	w.recycleLinksLocked(w.plane0)
-	for _, pl := range planes {
-		w.recycleLinksLocked(pl)
+	// Recycle planes in sorted id order so the free list's contents are
+	// a deterministic function of the abort, not of map iteration: the
+	// recycled links are reused pointer-identically by later rebuilds,
+	// and a reproducible fabric should not depend on which World got
+	// which channel first.
+	ids := make([]int, 0, len(planes))
+	for id := range planes { //adasum:nondet ok keys are sorted before any order-sensitive use
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w.recycleLinksLocked(planes[id])
 	}
 	w.linkMu.Unlock()
 	for r := 0; r < w.size; r++ {
@@ -179,6 +189,8 @@ func (w *World) TimeBase() float64 { return w.timeBase }
 // fail-at deadline: the rank is declared dead (unblocking peers) and a
 // RankFailure naming itself unwinds to Run, which records it as a root
 // failure.
+//
+//adasum:noalloc
 func (p *Proc) maybeFail() {
 	if p.clock >= p.failAt {
 		p.world.markDead(p.rank)

@@ -28,21 +28,29 @@ import "sync/atomic"
 // directly spawned goroutine would).
 type runnable interface{ run() }
 
+// The worker pool is deliberately process-global rather than per-World:
+// it only decides WHICH goroutine executes a runnable, never what the
+// runnable computes or when its virtual clock advances, so no result,
+// clock, or wire-meter bit can observe the sharing. Keeping it global
+// lets concurrent Worlds (multi-tenant tests, parallel benchmarks)
+// share one warm pool instead of each paying goroutine-spawn warmup.
 var (
 	// workerIdle counts workers parked on (or committed to parking on)
 	// workerQ. submit reserves one by decrementing before it sends, so
 	// the send always finds a receiver promptly.
-	workerIdle atomic.Int64
-	workerQ    = make(chan runnable)
+	workerIdle atomic.Int64          //adasum:global ok scheduling-only state: picks the executing goroutine, unobservable in results/clocks
+	workerQ    = make(chan runnable) //adasum:global ok scheduling-only state: picks the executing goroutine, unobservable in results/clocks
 )
 
 // submit runs r on a pooled goroutine. It allocates only when the pool
 // must grow.
+//
+//adasum:noalloc
 func submit(r runnable) {
 	for {
 		n := workerIdle.Load()
 		if n <= 0 {
-			go worker(r)
+			go worker(r) //adasum:alloc ok pool growth only; steady state hands work to a parked worker
 			return
 		}
 		if workerIdle.CompareAndSwap(n, n-1) {

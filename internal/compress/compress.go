@@ -112,11 +112,13 @@ func (noneCodec) EncodedLen(n int) int { return n }
 func (noneCodec) Lossy() bool          { return false }
 func (noneCodec) ErrorFeedback() bool  { return false }
 
+//adasum:noalloc
 func (noneCodec) Encode(dst, src []float32, _ *Workspace) {
 	checkLen("none encode", len(dst), len(src))
 	copy(dst, src)
 }
 
+//adasum:noalloc
 func (noneCodec) Decode(dst, src []float32) {
 	checkLen("none decode", len(src), len(dst))
 	copy(dst, src)
@@ -139,6 +141,7 @@ func (fp16Codec) EncodedLen(n int) int { return (n + 1) / 2 }
 func (fp16Codec) Lossy() bool          { return true }
 func (fp16Codec) ErrorFeedback() bool  { return false }
 
+//adasum:noalloc
 func (fp16Codec) Encode(dst, src []float32, _ *Workspace) {
 	checkLen("fp16 encode", len(dst), (len(src)+1)/2)
 	for w := 0; w < len(src)/2; w++ {
@@ -151,6 +154,7 @@ func (fp16Codec) Encode(dst, src []float32, _ *Workspace) {
 	}
 }
 
+//adasum:noalloc
 func (fp16Codec) Decode(dst, src []float32) {
 	checkLen("fp16 decode", len(src), (len(dst)+1)/2)
 	for w := 0; w < len(dst)/2; w++ {
@@ -200,6 +204,7 @@ func (c int8Codec) EncodedLen(n int) int {
 func (c int8Codec) Lossy() bool         { return true }
 func (c int8Codec) ErrorFeedback() bool { return false }
 
+//adasum:noalloc
 func (c int8Codec) Encode(dst, src []float32, _ *Workspace) {
 	checkLen("int8 encode", len(dst), c.EncodedLen(len(src)))
 	if len(src) == 0 {
@@ -253,6 +258,7 @@ func (c int8Codec) Encode(dst, src []float32, _ *Workspace) {
 	}
 }
 
+//adasum:noalloc
 func (c int8Codec) Decode(dst, src []float32) {
 	checkLen("int8 decode", len(src), c.EncodedLen(len(dst)))
 	if len(dst) == 0 {
@@ -352,6 +358,7 @@ func (c topKCodec) EncodedLen(n int) int { return 2 * c.kFor(n) }
 func (c topKCodec) Lossy() bool          { return true }
 func (c topKCodec) ErrorFeedback() bool  { return c.ef }
 
+//adasum:noalloc
 func (c topKCodec) Encode(dst, src []float32, ws *Workspace) {
 	k := c.kFor(len(src))
 	checkLen("topk encode", len(dst), 2*k)
@@ -359,7 +366,7 @@ func (c topKCodec) Encode(dst, src []float32, ws *Workspace) {
 		return
 	}
 	if ws == nil {
-		ws = &Workspace{}
+		ws = &Workspace{} //adasum:alloc ok nil-workspace fallback; steady-state callers pass their stream-owned Workspace
 	}
 	idx := ws.idxBuf(k)
 	selectTopK(src, k, ws.magBuf(len(src)), idx)
@@ -369,6 +376,7 @@ func (c topKCodec) Encode(dst, src []float32, ws *Workspace) {
 	}
 }
 
+//adasum:noalloc
 func (c topKCodec) Decode(dst, src []float32) {
 	k := c.kFor(len(dst))
 	checkLen("topk decode", len(src), 2*k)
@@ -538,6 +546,8 @@ func (s *Stream) Begin() { s.pos = 0 }
 // error-feedback codec, the current site's residual is added to src
 // before encoding and what the encoding dropped becomes the site's new
 // residual.
+//
+//adasum:noalloc
 func (s *Stream) Encode(dst, src []float32) {
 	if !s.codec.ErrorFeedback() {
 		s.codec.Encode(dst, src, &s.ws)

@@ -93,6 +93,8 @@ func init() {
 // FromFloat32 converts a float32 to the nearest binary16, with
 // round-to-nearest-even. Values beyond ±65504 become infinities. It is
 // the table-driven form of fromFloat32Ref and bit-identical to it.
+//
+//adasum:noalloc
 func FromFloat32(f float32) Bits {
 	b := math.Float32bits(f)
 	if b<<1 > 0xFF000000 { // sign shifted out: true exactly for NaNs
@@ -224,6 +226,8 @@ func Encode(src []float32) []Bits {
 }
 
 // EncodeInto converts src into dst, which must have the same length.
+//
+//adasum:noalloc
 func EncodeInto(dst []Bits, src []float32) {
 	if len(dst) != len(src) {
 		panic("float16: EncodeInto length mismatch")
@@ -243,6 +247,8 @@ func Decode(src []Bits) []float32 {
 }
 
 // DecodeInto converts src into dst, which must have the same length.
+//
+//adasum:noalloc
 func DecodeInto(dst []float32, src []Bits) {
 	if len(dst) != len(src) {
 		panic("float16: DecodeInto length mismatch")
@@ -294,6 +300,8 @@ func Norm2(a []Bits) float64 {
 // here than for float32). It mirrors tensor.DotNorms for the fp16 path of
 // the Adasum combiner and is bitwise-identical to the unfused Dot/Norm2
 // sequence: the accumulation order per quantity is unchanged.
+//
+//adasum:noalloc
 func DotNorms(a, b []Bits) (dot, na, nb float64) {
 	if len(a) != len(b) {
 		panic("float16: DotNorms length mismatch")

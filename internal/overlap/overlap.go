@@ -319,6 +319,8 @@ func (e *Engine) Rebind(g collective.Group) {
 // time (compute chained with per-bucket arrivals); the caller reads
 // p.Clock() — or comm.MaxClock across ranks — for the simulated step
 // latency.
+//
+//adasum:noalloc
 func (e *Engine) Step(p *comm.Proc, x []float32) {
 	layout := e.opt.Layout
 	if layout.TotalSize() != len(x) {
@@ -335,7 +337,7 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	// this rank's Run slot and could observe the World mid-Reset during
 	// an elastic rebuild. Draining is deadlock-free — every launched op
 	// is eventually unblocked by completion or by a dead peer's latch.
-	defer func() {
+	defer func() { //adasum:alloc ok open-coded defer: closure and record stay on the stack (0 allocs/op bench-pinned)
 		if rec := recover(); rec != nil {
 			for _, op := range e.pending {
 				op.h.Drain()
@@ -393,6 +395,8 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 // replays bitwise under any GOMAXPROCS, identically in synchronous and
 // overlapped modes, and across a checkpoint resume. In synchronous mode
 // the rank blocks until the bucket completes.
+//
+//adasum:noalloc
 func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	p.ComputeMemCopy(g.Bytes())
 	sl := e.slot(p, len(e.pending))
@@ -426,7 +430,7 @@ func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	plane := len(e.pending) + 1
 	sl.g = g
 	sl.h.Start(p, plane, after, sl.body)
-	e.pending = append(e.pending, pendingOp{h: sl.h, g: g, sl: sl})
+	e.pending = append(e.pending, pendingOp{h: sl.h, g: g, sl: sl}) //adasum:alloc ok pending is per-step scratch reset to [:0]; grows only to the bucket count
 	if !e.opt.Overlap {
 		sl.h.Wait(p)
 	}
@@ -474,6 +478,8 @@ func (e *Engine) savedStream(slot, stream int) [][]float32 {
 // exchanges ride the slot's own plane, so every rank constructs it at
 // the same program point) and rebound to each step's op endpoint
 // afterwards, keeping the level streams' residuals with the slot.
+//
+//adasum:noalloc
 func (e *Engine) reduceBucket(sl *slotState, ap *comm.Proc, g *fusion.Group) {
 	c := sl.cOn
 	if c == nil || sl.boundAp != ap {

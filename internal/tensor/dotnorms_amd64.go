@@ -49,6 +49,7 @@ func detectAVXFMA() bool {
 	return xcr0&0x6 == 0x6 // XMM and YMM state enabled
 }
 
+//adasum:noalloc
 func dotNorms(a, b []float32) (dot, na, nb float64) {
 	n := len(a)
 	bulk := n &^ 7

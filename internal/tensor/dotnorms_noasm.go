@@ -2,6 +2,7 @@
 
 package tensor
 
+//adasum:noalloc
 func dotNorms(a, b []float32) (dot, na, nb float64) {
 	return dotNormsGeneric(a, b)
 }

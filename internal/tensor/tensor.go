@@ -25,6 +25,8 @@ import (
 
 // Dot returns the inner product of a and b accumulated in float64.
 // It panics if the lengths differ.
+//
+//adasum:noalloc
 func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
@@ -45,6 +47,8 @@ func Dot(a, b []float32) float64 {
 }
 
 // Norm2 returns the squared Euclidean norm of a, accumulated in float64.
+//
+//adasum:noalloc
 func Norm2(a []float32) float64 {
 	var s0, s1, s2, s3 float64
 	n := len(a)
@@ -69,6 +73,8 @@ func Norm(a []float32) float64 { return math.Sqrt(Norm2(a)) }
 // Dot + Norm2 + Norm2 sequence on the Adasum hot path: one traversal
 // loads and widens every element once instead of three times. It panics
 // if the lengths differ.
+//
+//adasum:noalloc
 func DotNorms(a, b []float32) (dot, na, nb float64) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: DotNorms length mismatch %d != %d", len(a), len(b)))
@@ -79,6 +85,8 @@ func DotNorms(a, b []float32) (dot, na, nb float64) {
 // dotNormsGeneric is the portable fused kernel: 4-wide unrolled with the
 // same four-accumulator folding as Dot/Norm2, so its results are bitwise
 // identical to the unfused pair.
+//
+//adasum:noalloc
 func dotNormsGeneric(a, b []float32) (dot, na, nb float64) {
 	var d0, d1, d2, d3 float64
 	var x0, x1, x2, x3 float64
@@ -122,6 +130,8 @@ func Sum(a []float32) float64 {
 }
 
 // Axpy computes y += alpha*x in place. It panics on length mismatch.
+//
+//adasum:noalloc
 func Axpy(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
@@ -140,6 +150,8 @@ func Axpy(alpha float32, x, y []float32) {
 }
 
 // Scale computes x *= alpha in place.
+//
+//adasum:noalloc
 func Scale(alpha float32, x []float32) {
 	n := len(x)
 	i := 0
@@ -155,6 +167,8 @@ func Scale(alpha float32, x []float32) {
 }
 
 // Add computes dst[i] = a[i] + b[i]. dst may alias a or b.
+//
+//adasum:noalloc
 func Add(dst, a, b []float32) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("tensor: Add length mismatch")
@@ -165,6 +179,8 @@ func Add(dst, a, b []float32) {
 }
 
 // Sub computes dst[i] = a[i] - b[i]. dst may alias a or b.
+//
+//adasum:noalloc
 func Sub(dst, a, b []float32) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("tensor: Sub length mismatch")
@@ -177,6 +193,8 @@ func Sub(dst, a, b []float32) {
 // ScaledCombine computes dst[i] = ca*a[i] + cb*b[i]. This is the inner
 // kernel of the Adasum combiner (line 18 of Algorithm 1). dst may alias
 // a or b.
+//
+//adasum:noalloc
 func ScaledCombine(dst []float32, ca float32, a []float32, cb float32, b []float32) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("tensor: ScaledCombine length mismatch")

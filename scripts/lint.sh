@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Static-analysis gate: gofmt, go vet, and the adasum-vet suite
+# (internal/analysis) over the whole module. adasum-vet runs its full
+# build-configuration matrix — default, noasm, GOARCH=386 — so
+# tag-gated fallback code is held to the same determinism/noalloc
+# invariants as the native build, and so stale //adasum: suppressions
+# (consumed under no configuration) are caught.
+#
+# Usage: scripts/lint.sh [package patterns...]   (default: whole module)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+    echo "files need gofmt:"
+    echo "$out"
+    exit 1
+fi
+echo "ok"
+
+echo "== go vet =="
+go vet ./...
+echo "ok"
+
+echo "== adasum-vet (default + noasm + 386) =="
+go run ./cmd/adasum-vet "$@"
+echo "ok"
