@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	adasum-experiments [-full] [fig1|fig2|fig4|fig5|fig6|table1|table2|table3|table4|overlap|compress|topo|elastic|scale|all]
+//	adasum-experiments [-full] [fig1|fig2|fig4|fig5|fig6|table1|table2|table3|table4|overlap|compress|topo|elastic|scale|serve|all]
 //
 // Quick scale (the default) shrinks worker counts and budgets so the
 // whole suite finishes in minutes; -full runs the DESIGN.md dimensions.
@@ -52,8 +52,9 @@ func main() {
 		"elastic":  func() { experiments.RunElastic(scale).Render(os.Stdout) },
 		"scale":    func() { experiments.RunScale(scale).Render(os.Stdout) },
 		"adaptive": func() { experiments.RunAdaptive(scale).Render(os.Stdout) },
+		"serve":    func() { experiments.RunServe(scale).Render(os.Stdout) },
 	}
-	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "overlap", "compress", "adaptive", "topo", "elastic", "scale"}
+	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "overlap", "compress", "adaptive", "topo", "elastic", "scale", "serve"}
 
 	if what == "all" {
 		for _, name := range order {

@@ -1,0 +1,148 @@
+// Command adasum-serve runs the multi-tenant training service on the
+// simulated cluster: the four-job demo mix (mixed gang demands and
+// priority classes, one injected rank failure, priority preemption)
+// scheduled onto one shared 64-rank fabric.
+//
+// Usage:
+//
+//	adasum-serve [-oneshot] [-check] [-addr 127.0.0.1:8321] [-interval 50ms]
+//
+// By default the daemon paces the virtual-time scheduler on wall time
+// and serves the metrics registry over HTTP on localhost:
+//
+//	/metrics  the current snapshot, one fixed-format text block
+//	/stream   a chunked stream, one snapshot block per scheduler event
+//
+// -oneshot drains the whole schedule immediately and prints the final
+// snapshot to stdout; -check additionally asserts the demo's acceptance
+// conditions (every job completed, preemption and the injected failure
+// both observed, nonzero fabric traffic) and exits nonzero on
+// violation — the CI smoke mode. The scheduler itself never reads the
+// wall clock; pacing and serving live out here in the daemon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	oneshot := flag.Bool("oneshot", false, "drain the schedule and print the final snapshot")
+	check := flag.Bool("check", false, "assert the demo acceptance conditions (with -oneshot: after draining)")
+	addr := flag.String("addr", "127.0.0.1:8321", "localhost address for the metrics endpoints")
+	interval := flag.Duration("interval", 50*time.Millisecond, "wall-time pacing between scheduler events")
+	flag.Parse()
+
+	s := serve.Demo()
+
+	if *oneshot {
+		s.Run()
+		snap := s.Snapshot()
+		snap.Render(os.Stdout)
+		if *check {
+			if err := checkDemo(snap); err != nil {
+				fmt.Fprintln(os.Stderr, "check failed:", err)
+				os.Exit(1)
+			}
+			fmt.Println("check ok")
+		}
+		return
+	}
+
+	var mu sync.Mutex
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		snap := s.Snapshot()
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.Render(w)
+	})
+	http.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fl, _ := w.(http.Flusher)
+		last := -1
+		for {
+			mu.Lock()
+			snap := s.Snapshot()
+			mu.Unlock()
+			if snap.Events != last {
+				last = snap.Events
+				snap.Render(w)
+				fmt.Fprintln(w)
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			if snap.DoneJobs == len(snap.Jobs) {
+				return
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(*interval):
+			}
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(*addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("adasum-serve: %d-rank cluster, metrics on http://%s/metrics\n", serve.DemoClusterRanks, *addr)
+
+	for {
+		mu.Lock()
+		more := s.Next()
+		mu.Unlock()
+		if !more {
+			break
+		}
+		time.Sleep(*interval)
+	}
+	snap := s.Snapshot()
+	snap.Render(os.Stdout)
+	if *check {
+		if err := checkDemo(snap); err != nil {
+			fmt.Fprintln(os.Stderr, "check failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("check ok")
+	}
+}
+
+// checkDemo asserts the demo scenario's acceptance conditions on a
+// final snapshot — the same invariants the serve package's acceptance
+// test pins, minus the bitwise comparisons that need the in-process
+// results.
+func checkDemo(snap serve.Snapshot) error {
+	if snap.DoneJobs != len(snap.Jobs) {
+		return fmt.Errorf("%d of %d jobs completed", snap.DoneJobs, len(snap.Jobs))
+	}
+	if snap.BusyRanks != 0 || snap.FreeRanks != snap.ClusterRanks {
+		return fmt.Errorf("cluster not drained: busy=%d free=%d", snap.BusyRanks, snap.FreeRanks)
+	}
+	if snap.Preemptions == 0 {
+		return fmt.Errorf("no preemption occurred")
+	}
+	failures := 0
+	for _, j := range snap.Jobs {
+		if j.WireBytes <= 0 {
+			return fmt.Errorf("job %q reports no fabric traffic", j.Name)
+		}
+		if j.Steps == 0 {
+			return fmt.Errorf("job %q committed no steps", j.Name)
+		}
+		failures += j.Failures
+	}
+	if failures != 1 {
+		return fmt.Errorf("%d rank failures absorbed, want exactly the injected 1", failures)
+	}
+	return nil
+}

@@ -35,6 +35,18 @@
 // and the RunScale experiment sweeps flat vs hierarchical Adasum at
 // 64–1024 ranks on the racked TCP topology.
 //
+// On top of the library sits a multi-tenant training service (package
+// serve, fronted by cmd/adasum-serve): a deterministic virtual-time
+// scheduler admitting many concurrent training jobs onto one shared
+// simulated cluster — priority admission control over a cluster-wide
+// rank budget, checkpoint-granular preemption and migration (same-size
+// resume bitwise-identical, cross-size via ReshapeResume), elastic
+// shrink/grow-back reacting to load and injected rank failures,
+// per-job World isolation, and a streaming text metrics endpoint. A
+// whole service run replays bitwise across processes and GOMAXPROCS;
+// the RunServe experiment quantifies fifo vs preempt vs
+// preempt+elastic scheduling on the four-tenant demo scenario.
+//
 // See DESIGN.md for the design record of the reduction hot path — the
 // fused single-pass dot/norm kernels (with their AVX+FMA fast path), the
 // workspace-owning adasum.Reducer, the pooled communication buffers, the
@@ -49,7 +61,9 @@
 // determinism and checkpoint story ("Adaptive compression"), and the
 // failure semantics
 // (dead-rank unblocking, survivor Split, what a checkpoint must
-// contain and why EF residuals are part of it) — plus the experiment
+// contain and why EF residuals are part of it), and the multi-tenant
+// scheduler's admission, preemption-protocol and virtual-time design
+// ("Multi-tenant service") — plus the experiment
 // substitution notes. The benchmark harness in bench_test.go
 // regenerates each experiment and micro-benchmarks the kernels:
 //

@@ -109,6 +109,7 @@ var detSuffixes = []string{
 	"internal/comm",
 	"internal/compress",
 	"internal/overlap",
+	"internal/serve",
 	"internal/simnet",
 	"internal/trainer",
 }

@@ -436,6 +436,20 @@ func (w *World) ResetWireBytes() {
 	}
 }
 
+// RewindWireBytes restores the meter to an earlier WireBytes reading.
+// An aborted collective's partial sends depend on goroutine scheduling,
+// so a caller that discards a failed step attempt rewinds the meter to
+// the attempt's start to keep the accounting deterministic (the
+// aborted attempt's traffic is deliberately not billed). Must be
+// called with no Run in flight; the total is folded into rank 0's
+// shard, which WireBytes sums right back.
+func (w *World) RewindWireBytes(total int64) {
+	w.ResetWireBytes()
+	if len(w.wire) > 0 {
+		w.wire[0].n.Store(total)
+	}
+}
+
 // Proc returns the handle rank r uses to communicate. Each rank must use
 // its own Proc from a single goroutine. Procs handed to Run bodies are
 // pooled per World; Proc itself returns a fresh endpoint for callers

@@ -148,6 +148,19 @@ type adaptive struct {
 	frac    float64 // current top-k keep fraction of the variable rung
 	seen    bool    // a transfer measurement has been observed
 	lastTop bool    // last decision was the top-k rung (gates the error controller)
+
+	// rungs caches the materialized ladder (top-k rungs carrying the
+	// current keep fraction) so the per-decision cost loop reuses one
+	// boxed Codec per rung instead of re-boxing a topKCodec on every
+	// rung() call. byFrac keeps one materialized ladder per keep
+	// fraction the error controller has visited — the controller moves
+	// frac by doubling/halving between fracMin and fracMax, so the
+	// reachable set is a handful of values and an oscillating
+	// controller re-enters steady state allocation-free. Never shared
+	// across Forks: each slot's policy owns (and lazily builds) its own.
+	rungs     []Codec
+	rungsFrac float64
+	byFrac    map[float64][]Codec
 }
 
 // Adaptive returns the default bandwidth/error-aware policy over the
@@ -200,6 +213,9 @@ func (a *adaptive) String() string { return "adaptive" }
 func (a *adaptive) Fork() Policy {
 	f := *a
 	f.cur, f.seen, f.lastTop = 0, false, false
+	// The rung cache is per-instance mutable state; sharing the
+	// prototype's would race across rank goroutines.
+	f.rungs, f.rungsFrac, f.byFrac = nil, 0, nil
 	if f.frac > 0 {
 		// Reset the error controller to the configured starting budget.
 		for _, c := range f.ladder {
@@ -215,13 +231,37 @@ func (a *adaptive) Fork() Policy {
 // error-controlled keep fraction. The fraction (not a pinned count)
 // is what scales with the payload — collective phases send partial
 // payloads much smaller than the bucket, and a fixed k would exceed
-// the dense size on the small ones.
+// the dense size on the small ones. Runs in every Decide cost loop;
+// steady state must hit the rung cache allocation-free.
+//
+//adasum:noalloc
 func (a *adaptive) rung(i int) Codec {
-	c := a.ladder[i]
-	if tk, ok := c.(topKCodec); ok && a.frac > 0 {
-		return TopK(a.frac, tk.ef)
+	if a.frac <= 0 {
+		return a.ladder[i]
 	}
-	return c
+	if a.rungs == nil || a.rungsFrac != a.frac {
+		cached, ok := a.byFrac[a.frac]
+		if !ok {
+			//adasum:alloc ok one materialized ladder per controller frac value (<= 5 per slot lifetime)
+			cached = make([]Codec, len(a.ladder))
+			for j, c := range a.ladder {
+				if tk, isTK := c.(topKCodec); isTK {
+					// Boxed (inside TopK) once per (rung, frac);
+					// steady-state decisions hit the cache.
+					cached[j] = TopK(a.frac, tk.ef)
+				} else {
+					cached[j] = c
+				}
+			}
+			if a.byFrac == nil {
+				//adasum:alloc ok first frac change of the slot only
+				a.byFrac = make(map[float64][]Codec, 5)
+			}
+			a.byFrac[a.frac] = cached
+		}
+		a.rungs, a.rungsFrac = cached, a.frac
+	}
+	return a.rungs[i]
 }
 
 func (a *adaptive) Decide(t Telemetry) Codec {

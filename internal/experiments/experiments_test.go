@@ -305,3 +305,46 @@ func TestRunAdaptiveQuickScale(t *testing.T) {
 		}
 	}
 }
+
+// TestRunServeQuick pins the scheduling-policy comparison's shape and
+// its two claims: priority preemption strictly improves the
+// high-priority tenant's completion time over FIFO, and adding
+// elasticity recovers makespan relative to preemption alone (shrunken
+// tenants backfill the ranks that preemption churn leaves idle). The
+// injected rank failure must be absorbed exactly once under every
+// policy.
+func TestRunServeQuick(t *testing.T) {
+	r := RunServe(ScaleQuick)
+	if len(r.Rows) != 3 {
+		t.Fatalf("want 3 policies, got %d", len(r.Rows))
+	}
+	fifo, pre, el := r.Row("fifo"), r.Row("preempt"), r.Row("preempt+elastic")
+	if fifo == nil || pre == nil || el == nil {
+		t.Fatal("missing policy row")
+	}
+	if fifo.Preemptions != 0 || pre.Preemptions == 0 {
+		t.Fatalf("preemption counts inverted: fifo=%d preempt=%d", fifo.Preemptions, pre.Preemptions)
+	}
+	if el.Migrations == 0 {
+		t.Fatal("elastic policy never migrated a job")
+	}
+	for _, row := range r.Rows {
+		if row.Failures != 1 {
+			t.Fatalf("%s absorbed %d failures, want the injected 1", row.Policy, row.Failures)
+		}
+		if row.Makespan <= 0 || row.HighDone <= 0 {
+			t.Fatalf("%s has empty timings: %+v", row.Policy, row)
+		}
+	}
+	if pre.HighDone >= fifo.HighDone {
+		t.Fatalf("preemption did not improve high-priority latency: %v >= %v", pre.HighDone, fifo.HighDone)
+	}
+	if el.Makespan >= pre.Makespan {
+		t.Fatalf("elasticity did not recover makespan: %v >= %v", el.Makespan, pre.Makespan)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "preempt+elastic") {
+		t.Fatalf("rendered table missing policy row:\n%s", buf.String())
+	}
+}

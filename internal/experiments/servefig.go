@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/serve"
+)
+
+// ServeResult compares scheduling policies for the multi-tenant
+// service: the same four-job demo mix (mixed gang demands, priority
+// classes, one injected rank failure) scheduled onto one shared
+// cluster under three policies — plain FIFO within priority classes,
+// FIFO plus priority preemption, and preemption plus elastic
+// resizing. The comparison is the serving-layer argument in
+// miniature: preemption buys the high-priority job its latency at the
+// cost of checkpoint round-trips, and elasticity buys cluster
+// utilization by letting starved tenants in at partial gang sizes.
+type ServeResult struct {
+	ClusterRanks int
+	Jobs         int
+	Rows         []ServeRow
+}
+
+// ServeRow is one scheduling policy's outcome.
+type ServeRow struct {
+	Policy string
+	// Makespan is the cluster virtual time at which the last job
+	// completed; HighDone the completion time of the high-priority
+	// tenant specifically.
+	Makespan float64
+	HighDone float64
+	// MeanWait averages the jobs' cumulative queue waits.
+	MeanWait    float64
+	Preemptions int
+	Migrations  int
+	Failures    int
+	Events      int
+}
+
+// RunServe schedules the demo mix under each policy. The specs are
+// built once (their probe runs placed the arrivals) and reused, so the
+// policies differ only in the scheduler's behavior.
+func RunServe(scale Scale) *ServeResult {
+	specs := serve.DemoSpecs()
+	res := &ServeResult{ClusterRanks: serve.DemoClusterRanks, Jobs: len(specs)}
+	_ = scale // the demo mix is already CI-sized; scale reserved for larger tenant sets
+
+	for _, pol := range []struct {
+		name             string
+		preempt, elastic bool
+	}{
+		{"fifo", false, false},
+		{"preempt", true, false},
+		{"preempt+elastic", true, true},
+	} {
+		s := serve.New(serve.Options{
+			Ranks:   serve.DemoClusterRanks,
+			Preempt: pol.preempt,
+			Elastic: pol.elastic,
+		})
+		for _, spec := range specs {
+			if _, err := s.Submit(spec); err != nil {
+				panic(fmt.Sprintf("experiments: serve spec rejected: %v", err))
+			}
+		}
+		s.Run()
+		snap := s.Snapshot()
+		row := ServeRow{Policy: pol.name, Makespan: snap.Now, Events: snap.Events}
+		for _, j := range snap.Jobs {
+			row.MeanWait += j.QueueWait / float64(len(snap.Jobs))
+			row.Preemptions += j.Preemptions
+			row.Migrations += j.Migrations
+			row.Failures += j.Failures
+			if j.Priority == serve.PriorityHigh && j.DoneAt > row.HighDone {
+				row.HighDone = j.DoneAt
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render writes the policy comparison table.
+func (r *ServeResult) Render(w io.Writer) {
+	t := Table{
+		Title: fmt.Sprintf("Multi-tenant scheduling: %d jobs on a %d-rank cluster",
+			r.Jobs, r.ClusterRanks),
+		Columns: []string{"policy", "makespan_s", "high_done_s", "mean_wait_s", "preemptions", "migrations", "failures", "events"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.Policy, row.Makespan, row.HighDone, row.MeanWait,
+			row.Preemptions, row.Migrations, row.Failures, row.Events)
+	}
+	t.Write(w)
+}
+
+// Row returns the named policy's row, or nil.
+func (r *ServeResult) Row(policy string) *ServeRow {
+	for i := range r.Rows {
+		if r.Rows[i].Policy == policy {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/simnet"
+	"repro/internal/trainer"
+)
+
+// Priority is a job's admission class. Within a class the queue is
+// FIFO; across classes higher always seats first, and with
+// Options.Preempt a higher-class arrival may evict lower-class running
+// jobs through the checkpoint protocol.
+type Priority int
+
+// Priority classes, lowest first.
+const (
+	PriorityLow Priority = iota
+	PriorityNormal
+	PriorityHigh
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityNormal:
+		return "normal"
+	default:
+		return "low"
+	}
+}
+
+// JobSpec describes one training job submitted to the service.
+type JobSpec struct {
+	// Name labels the job in metrics output.
+	Name string
+	// Priority is the admission class.
+	Priority Priority
+	// Ranks is the requested gang size. The scheduler seats the job on
+	// exactly this many cluster ranks (less only after failures or
+	// elastic shrinks).
+	Ranks int
+	// MinRanks, when positive, marks the job elastic: under load the
+	// scheduler may run it on any size of the halving chain from Ranks
+	// down to MinRanks, migrating via checkpoint/ReshapeResume. Zero
+	// pins the job at Ranks.
+	MinRanks int
+	// ArrivalSeconds is the cluster virtual time at which the job
+	// enters the queue.
+	ArrivalSeconds float64
+	// Faults, when non-nil, injects stragglers and rank failures into
+	// this job's World, on the job's local virtual timeline (deadlines
+	// keep counting across preemption gaps, because the job's
+	// SimSeconds rides its checkpoints). Rank indices refer to the
+	// job's current gang.
+	Faults *simnet.Faults
+	// Config is the job's training configuration. The scheduler owns
+	// Workers, Net, OnFailure (always ShrinkContinue), Resume and
+	// ReshapeResume; everything else — model, data, optimizer, scope,
+	// compression, step budget — is the tenant's.
+	Config trainer.Config
+}
+
+// jobState is the job lifecycle: Pending (not yet arrived) → Queued →
+// Running ⇄ {Queued (preempted)} → Done.
+type jobState int
+
+const (
+	jobPending jobState = iota
+	jobQueued
+	jobRunning
+	jobDone
+)
+
+func (st jobState) String() string {
+	switch st {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	default:
+		return "pending"
+	}
+}
+
+// job is the scheduler's per-job runtime state.
+type job struct {
+	id    int
+	spec  JobSpec
+	state jobState
+
+	// Running state: the live handle, the seated gang size, and the
+	// cluster-time completion of the in-flight step.
+	h          *trainer.Handle
+	ranks      int
+	completion float64
+	// preemptWanted marks the job for checkpoint-and-release at its
+	// next step commit; resizeTarget (nonzero) for snapshot-and-resume
+	// on a different gang size. Preemption wins when both are set.
+	preemptWanted bool
+	resizeTarget  int
+
+	// ckBlob carries a preempted job across the queue: the marshaled
+	// checkpoint is the whole migration artifact.
+	ckBlob []byte
+
+	// Bookkeeping (cluster virtual time unless noted).
+	queuedAt    float64 // last queue entry
+	startedAt   float64 // first admission; -1 until then
+	doneAt      float64 // completion; -1 until then
+	queueWait   float64 // cumulative time spent queued
+	lastStepSec float64 // job-local duration of the last committed step
+	stepsRun    int     // steps committed under this scheduler
+	preemptions int
+	migrations  int
+	failures    int     // absorbed rank failures, cumulative across handles
+	failBase    int     // failures of already-released handles
+	simSaved    float64 // local SimSeconds at last handle release
+	wireBase    int64   // wire bytes of released handles
+	wasQueued   bool    // drove queueWait accounting at least once
+
+	result *trainer.Result
+}
+
+// wireBytes returns the job's cumulative fabric traffic across every
+// World it has occupied.
+func (j *job) wireBytes() int64 {
+	if j.h != nil {
+		return j.wireBase + j.h.WireBytes()
+	}
+	return j.wireBase
+}
+
+// foldHandleStats rolls the live handle's counters into the job's
+// cumulative bases. Called exactly once before each handle release
+// (finish, preempt, resize): a resumed handle starts its own counters
+// from zero, so the job-level totals must carry across.
+func (j *job) foldHandleStats() {
+	j.failures = j.failBase + len(j.h.Failures())
+	j.failBase = j.failures
+	j.simSaved = j.h.SimSeconds()
+	j.wireBase += j.h.WireBytes()
+}
+
+// config assembles the trainer config seating the job on a gang of n
+// ranks, resuming from ck when the job has history. The cost model is
+// minted fresh per admission — per-job World isolation — and the
+// job's fault injection is re-attached with already-fired deadlines
+// dropped (a resumed World would otherwise re-kill the replacement
+// rank occupying a dead rank's index).
+func (j *job) config(n int, ck *checkpoint.State, net *simnet.Model) trainer.Config {
+	cfg := j.spec.Config
+	cfg.Workers = n
+	cfg.Net = net
+	cfg.OnFailure = trainer.ShrinkContinue
+	cfg.Resume = ck
+	cfg.ReshapeResume = ck != nil && ck.Workers != n
+	if f := j.spec.Faults; f != nil {
+		resumeAt := 0.0
+		if ck != nil {
+			resumeAt = ck.SimSeconds
+		}
+		cfg.Net.Faults = filterFaults(f, j.spec.Ranks, resumeAt)
+	}
+	return cfg
+}
+
+// filterFaults copies f with the failure deadlines at or before
+// resumeAt removed. Deadlines are on the job's local timeline; a rank
+// whose deadline already fired is gone from the gang, and the index it
+// occupied belongs to a different (surviving) worker after the
+// re-split. maxRanks bounds the rank indices worth scanning, so no
+// map iteration is needed.
+func filterFaults(f *simnet.Faults, maxRanks int, resumeAt float64) *simnet.Faults {
+	out := &simnet.Faults{
+		SkewFactors: f.SkewFactors,
+		Jitter:      f.Jitter,
+		JitterSeed:  f.JitterSeed,
+	}
+	for rank := 0; rank < maxRanks; rank++ {
+		if t := f.FailAt(rank); !isInf(t) && t > resumeAt {
+			if out.FailAtSeconds == nil {
+				out.FailAtSeconds = make(map[int]float64)
+			}
+			out.FailAtSeconds[rank] = t
+		}
+	}
+	return out
+}
+
+func isInf(t float64) bool { return t > 1e308 }

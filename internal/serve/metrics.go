@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+)
+
+// JobMetrics is one job's row in a metrics snapshot. All times are
+// virtual seconds; wire bytes accumulate across every World the job
+// has occupied (preemptions and migrations included).
+type JobMetrics struct {
+	ID          int
+	Name        string
+	Priority    Priority
+	State       string
+	Ranks       int     // currently seated gang size (0 unless running)
+	Requested   int     // spec gang size
+	Steps       int     // steps committed
+	TotalSteps  int     // step budget (0 until first admission)
+	LastStepSec float64 // job-local duration of the last committed step
+	SimSeconds  float64 // job-local virtual training time so far
+	QueueWait   float64 // cumulative virtual time spent queued
+	StartedAt   float64 // first admission (-1 if not yet admitted)
+	DoneAt      float64 // completion (-1 if not done)
+	Preemptions int
+	Migrations  int
+	Failures    int // rank failures absorbed by the job's gang
+	WireBytes   int64
+}
+
+// Snapshot is a point-in-time view of the whole service, taken between
+// scheduler events. Jobs appear in id (submission) order, so rendering
+// a snapshot is deterministic.
+type Snapshot struct {
+	Now          float64
+	Events       int
+	ClusterRanks int
+	BusyRanks    int
+	FreeRanks    int
+	QueueDepth   int
+	Pending      int
+	Running      int
+	DoneJobs     int
+	Preemptions  int // cluster-wide total
+	Jobs         []JobMetrics
+}
+
+// Snapshot captures the service's current state. Safe to call between
+// any two events (the daemon calls it from the scheduler loop; there is
+// no locking because there is no concurrency to lock against).
+func (s *Service) Snapshot() Snapshot {
+	snap := Snapshot{
+		Now:          s.now,
+		Events:       s.events,
+		ClusterRanks: s.opts.Ranks,
+		FreeRanks:    s.free,
+		Jobs:         make([]JobMetrics, 0, len(s.jobs)),
+	}
+	for _, j := range s.jobs {
+		m := JobMetrics{
+			ID:          j.id,
+			Name:        j.spec.Name,
+			Priority:    j.spec.Priority,
+			State:       j.state.String(),
+			Ranks:       j.ranks,
+			Requested:   j.spec.Ranks,
+			Steps:       j.stepsRun,
+			LastStepSec: j.lastStepSec,
+			QueueWait:   j.queueWait,
+			StartedAt:   j.startedAt,
+			DoneAt:      j.doneAt,
+			Preemptions: j.preemptions,
+			Migrations:  j.migrations,
+			Failures:    j.failures,
+			WireBytes:   j.wireBytes(),
+		}
+		if j.h != nil {
+			m.TotalSteps = j.h.TotalSteps()
+			m.SimSeconds = j.h.SimSeconds()
+		} else {
+			// Queued-preempted and done jobs report the local time their
+			// last handle had accrued when it was released.
+			m.SimSeconds = j.simSaved
+		}
+		switch j.state {
+		case jobPending:
+			snap.Pending++
+		case jobQueued:
+			snap.QueueDepth++
+		case jobRunning:
+			snap.Running++
+			snap.BusyRanks += j.ranks
+		case jobDone:
+			snap.DoneJobs++
+		}
+		snap.Preemptions += j.preemptions
+		snap.Jobs = append(snap.Jobs, m)
+	}
+	return snap
+}
+
+// Render writes the snapshot as a fixed-format text block — the
+// streaming wire format of the adasum-serve daemon and the -oneshot
+// output. The format is stable and deterministic: two identical
+// service states render byte-identically.
+func (m Snapshot) Render(w io.Writer) {
+	fmt.Fprintf(w, "now=%.6f events=%d ranks=%d busy=%d free=%d queue=%d pending=%d running=%d done=%d preemptions=%d\n",
+		m.Now, m.Events, m.ClusterRanks, m.BusyRanks, m.FreeRanks,
+		m.QueueDepth, m.Pending, m.Running, m.DoneJobs, m.Preemptions)
+	for _, j := range m.Jobs {
+		fmt.Fprintf(w, "job id=%d name=%s prio=%s state=%s ranks=%d/%d steps=%d/%d sim=%.6f wait=%.6f laststep=%.6f preempt=%d migrate=%d fail=%d wire=%d\n",
+			j.ID, j.Name, j.Priority, j.State, j.Ranks, j.Requested,
+			j.Steps, j.TotalSteps, j.SimSeconds, j.QueueWait, j.LastStepSec,
+			j.Preemptions, j.Migrations, j.Failures, j.WireBytes)
+	}
+}

@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/trainer"
+)
+
+// The event loop. Two event kinds exist: a job arrival (its spec'd
+// virtual time) and a step completion (the in-flight step of a running
+// job commits). Steps execute eagerly when launched — the floats are
+// computed before the cluster clock reaches the completion instant —
+// which is sound because nothing the scheduler decides in between can
+// reach into a job's World: preemption and resizing are deferred to
+// the step commit, the checkpoint-granular boundary. Event order is a
+// pure function of virtual times with job id as the tie-break, so the
+// whole schedule replays bitwise.
+
+// Next advances the service by one event and reports whether any jobs
+// remain. It is the unit the daemon paces; tests and -oneshot call Run
+// to drain.
+func (s *Service) Next() bool {
+	if s.remaining == 0 {
+		return false
+	}
+	tArr, tStep := math.Inf(1), math.Inf(1)
+	var stepJob *job
+	for _, j := range s.jobs {
+		switch j.state {
+		case jobPending:
+			if j.spec.ArrivalSeconds < tArr {
+				tArr = j.spec.ArrivalSeconds
+			}
+		case jobRunning:
+			if j.completion < tStep {
+				tStep, stepJob = j.completion, j
+			}
+		}
+	}
+	switch {
+	case math.IsInf(tArr, 1) && math.IsInf(tStep, 1):
+		// Nothing running and nothing arriving, yet jobs remain: they
+		// must all be queued with the whole cluster free; admission
+		// seats at least the head (Submit validated Ranks <= cluster).
+		if !s.anyQueued() {
+			panic("serve: scheduler wedged with no events and no queued jobs")
+		}
+	case tArr <= tStep:
+		s.now = tArr
+	default:
+		s.now = tStep
+	}
+	// Arrivals first: a job arriving at the same instant a step commits
+	// must be visible to the admission pass that commit triggers.
+	for _, j := range s.jobs {
+		if j.state == jobPending && j.spec.ArrivalSeconds <= s.now {
+			j.state = jobQueued
+			j.queuedAt = s.now
+		}
+	}
+	if stepJob != nil && stepJob.completion == s.now && tStep <= tArr {
+		s.commit(stepJob)
+	}
+	s.admit()
+	s.grow()
+	s.events++
+	return s.remaining > 0
+}
+
+func (s *Service) anyQueued() bool {
+	for _, j := range s.jobs {
+		if j.state == jobQueued {
+			return true
+		}
+	}
+	return false
+}
+
+// commit finalizes a running job's in-flight step and decides what the
+// job does next: finish, checkpoint out (preemption), migrate to a new
+// gang size, or launch its next step.
+func (s *Service) commit(j *job) {
+	j.stepsRun++
+	// Reconcile failures the step absorbed: the gang shrank inside the
+	// trainer, so the dead ranks' cluster slots return to the budget.
+	if w := j.h.Workers(); w < j.ranks {
+		s.free += j.ranks - w
+		j.ranks = w
+	}
+	j.failures = j.failBase + len(j.h.Failures())
+	switch {
+	case j.h.Done():
+		s.finish(j)
+	case j.preemptWanted:
+		s.preempt(j)
+	case j.resizeTarget > 0 && j.resizeTarget != j.ranks:
+		if j.resizeTarget > j.ranks && s.free < j.resizeTarget-j.ranks {
+			// The idle ranks a grow was promised got seated in the
+			// meantime; cancel and keep stepping at the current size.
+			j.resizeTarget = 0
+			s.launch(j)
+			return
+		}
+		s.resize(j)
+	default:
+		j.resizeTarget = 0
+		s.launch(j)
+	}
+}
+
+// launch eagerly executes the job's next step and schedules its
+// completion on the cluster timeline.
+func (s *Service) launch(j *job) {
+	before := j.h.SimSeconds()
+	j.h.Step()
+	j.lastStepSec = j.h.SimSeconds() - before
+	j.completion = s.now + j.lastStepSec
+}
+
+// seat admits a queued job onto n ranks, resuming its checkpoint when
+// it has one, and launches its first step.
+func (s *Service) seat(j *job, n int) {
+	cfg := j.config(n, j.resume(), s.opts.Net(n))
+	j.h = trainer.Start(cfg)
+	j.ckBlob = nil
+	s.free -= n
+	j.ranks = n
+	j.state = jobRunning
+	j.preemptWanted = false
+	j.resizeTarget = 0
+	j.queueWait += s.now - j.queuedAt
+	if j.startedAt < 0 {
+		j.startedAt = s.now
+	}
+	if j.h.Done() {
+		// A zero-budget (or fully-trained checkpoint) job completes at
+		// its admission instant.
+		s.finish(j)
+		return
+	}
+	s.launch(j)
+}
+
+func (j *job) resume() *checkpoint.State {
+	if j.ckBlob == nil {
+		return nil
+	}
+	return resumeState(j.ckBlob)
+}
+
+// finish retires a completed job and returns its ranks to the budget.
+func (s *Service) finish(j *job) {
+	j.result = j.h.Result()
+	j.foldHandleStats()
+	j.h = nil
+	s.free += j.ranks
+	j.ranks = 0
+	j.state = jobDone
+	j.doneAt = s.now
+	s.remaining--
+}
+
+// preempt executes the preemption protocol at the step boundary: the
+// job Marshals, releases its ranks and re-enters the queue. Only the
+// checkpoint bytes survive.
+func (s *Service) preempt(j *job) {
+	j.ckBlob = j.h.Snapshot().Marshal()
+	j.foldHandleStats()
+	j.h = nil
+	s.free += j.ranks
+	j.ranks = 0
+	j.preemptWanted = false
+	j.resizeTarget = 0
+	j.preemptions++
+	j.state = jobQueued
+	j.queuedAt = s.now
+	j.wasQueued = true
+}
+
+// resize migrates a running job to a new gang size in place: snapshot,
+// release, resume on the target size via ReshapeResume. The job never
+// leaves the running set.
+func (s *Service) resize(j *job) {
+	target := j.resizeTarget
+	j.resizeTarget = 0
+	blob := j.h.Snapshot().Marshal()
+	j.foldHandleStats()
+	j.h = nil
+	s.free += j.ranks
+	cfg := j.config(target, resumeState(blob), s.opts.Net(target))
+	j.h = trainer.Start(cfg)
+	s.free -= target
+	j.ranks = target
+	j.migrations++
+	if j.h.Done() {
+		s.finish(j)
+		return
+	}
+	s.launch(j)
+}
+
+// admit seats queued jobs in schedule order — priority class first,
+// FIFO within a class — until the head no longer fits. A head that
+// cannot be seated may trigger preemption (mark lower-class victims)
+// and elastic shrinks; both release ranks at the victims' next step
+// commits, after which admission runs again. Head-of-line blocking
+// within a pass is deliberate: backfilling smaller jobs past a starved
+// head would starve it forever under steady load.
+func (s *Service) admit() {
+	queued := s.queuedInOrder()
+	if len(queued) > 0 {
+		// Load appeared: pending grows yield to waiting tenants.
+		for _, r := range s.jobs {
+			if r.state == jobRunning && r.resizeTarget > r.ranks {
+				r.resizeTarget = 0
+			}
+		}
+	}
+	for _, j := range queued {
+		if j.spec.Ranks <= s.free {
+			s.seat(j, j.spec.Ranks)
+			continue
+		}
+		// An elastic job under a loaded cluster takes the largest seat
+		// of its halving chain that fits, rather than waiting for full
+		// size; it grows back when the cluster drains.
+		if s.opts.Elastic && j.spec.MinRanks > 0 {
+			seated := false
+			for _, n := range gangSizes(&j.spec)[1:] {
+				if n <= s.free {
+					s.seat(j, n)
+					seated = true
+					break
+				}
+			}
+			if seated {
+				continue
+			}
+		}
+		need := j.spec.Ranks
+		avail := s.free + s.incoming()
+		if s.opts.Preempt && avail < need {
+			avail = s.markVictims(j, need, avail)
+		}
+		if s.opts.Elastic && avail < need {
+			s.markShrinks(j, need, avail)
+		}
+		break
+	}
+}
+
+// queuedInOrder returns the queued jobs in admission order.
+func (s *Service) queuedInOrder() []*job {
+	var queued []*job
+	for _, j := range s.jobs {
+		if j.state == jobQueued {
+			queued = append(queued, j)
+		}
+	}
+	byScheduleOrder(queued)
+	return queued
+}
+
+// incoming sums the ranks already promised back to the budget by
+// pending preemptions and shrinks.
+func (s *Service) incoming() int {
+	sum := 0
+	for _, j := range s.jobs {
+		if j.state != jobRunning {
+			continue
+		}
+		switch {
+		case j.preemptWanted:
+			sum += j.ranks
+		case j.resizeTarget > 0 && j.resizeTarget < j.ranks:
+			sum += j.ranks - j.resizeTarget
+		}
+	}
+	return sum
+}
+
+// markVictims marks running jobs of strictly lower priority classes
+// for preemption — lowest class first, oldest id first — until the
+// head's demand is covered, and returns the updated availability.
+func (s *Service) markVictims(head *job, need, avail int) int {
+	var cands []*job
+	for _, j := range s.jobs {
+		if j.state == jobRunning && !j.preemptWanted && j.spec.Priority < head.spec.Priority {
+			cands = append(cands, j)
+		}
+	}
+	byVictimOrder(cands)
+	for _, v := range cands {
+		if avail >= need {
+			break
+		}
+		if v.resizeTarget > 0 && v.resizeTarget < v.ranks {
+			// A pending shrink's credit is subsumed by the full preempt.
+			avail -= v.ranks - v.resizeTarget
+		}
+		v.resizeTarget = 0
+		v.preemptWanted = true
+		avail += v.ranks
+	}
+	return avail
+}
+
+// markShrinks marks elastic running jobs of the head's class or lower
+// to shrink to their floor — lowest class first, oldest id first —
+// until the head's demand is covered.
+func (s *Service) markShrinks(head *job, need, avail int) {
+	var cands []*job
+	for _, j := range s.jobs {
+		if j.state == jobRunning && !j.preemptWanted && j.resizeTarget == 0 &&
+			j.spec.MinRanks > 0 && j.ranks > j.spec.MinRanks &&
+			j.spec.Priority <= head.spec.Priority && j != head {
+			cands = append(cands, j)
+		}
+	}
+	byVictimOrder(cands)
+	for _, v := range cands {
+		if avail >= need {
+			break
+		}
+		v.resizeTarget = v.spec.MinRanks
+		avail += v.ranks - v.spec.MinRanks
+	}
+}
+
+// grow hands idle ranks back to shrunken elastic jobs once nobody
+// waits: each eligible job (id order) is promised one step up its
+// halving chain, applied at its next step commit if the ranks are
+// still free then.
+func (s *Service) grow() {
+	if !s.opts.Elastic || s.anyQueued() {
+		return
+	}
+	budget := s.free
+	for _, j := range s.jobs {
+		if j.state != jobRunning || j.spec.MinRanks <= 0 || j.preemptWanted || j.resizeTarget != 0 || j.ranks >= j.spec.Ranks {
+			continue
+		}
+		target := nextSizeUp(&j.spec, j.ranks)
+		if target <= j.ranks || target-j.ranks > budget {
+			continue
+		}
+		j.resizeTarget = target
+		budget -= target - j.ranks
+	}
+}
+
+// nextSizeUp returns the smallest gang size of the job's chain strictly
+// above cur, or cur when the job is already at (or somehow past) its
+// requested size.
+func nextSizeUp(spec *JobSpec, cur int) int {
+	best := cur
+	for _, n := range gangSizes(spec) {
+		if n > cur && (best == cur || n < best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// sanity check: the budget must never go negative or exceed the
+// cluster. Kept as a method so tests can assert it between events.
+func (s *Service) checkBudget() error {
+	used := 0
+	for _, j := range s.jobs {
+		used += j.ranks
+	}
+	if used+s.free != s.opts.Ranks || s.free < 0 {
+		return fmt.Errorf("serve: budget broken: %d used + %d free != %d", used, s.free, s.opts.Ranks)
+	}
+	return nil
+}

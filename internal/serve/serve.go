@@ -1,0 +1,210 @@
+// Package serve is the multi-tenant training service on the elastic
+// substrate: a deterministic scheduler that admits many concurrent
+// training jobs onto one shared simulated cluster. It turns the
+// library — trainer runs, Worlds, checkpoints — into a system: a job
+// queue with admission control (a cluster-wide rank budget, FIFO
+// within priority classes), priority preemption and migration through
+// the checkpoint package, elastic grow/shrink policies reacting to
+// cluster load and injected failures, and a metrics registry the
+// adasum-serve daemon streams.
+//
+// Everything runs on virtual time. The service keeps one cluster-wide
+// virtual clock and advances it event by event — job arrivals and step
+// completions — while each job's trainer Handle keeps its own local
+// virtual timeline (which pauses while the job is queued or preempted
+// and continues across migrations). There is no wall-clock read and no
+// goroutine in this package: jobs execute their steps eagerly when
+// scheduled (rank-goroutine parallelism lives inside each job's World,
+// where it is GOMAXPROCS-invariant), and the scheduler orders commits
+// purely by virtual completion time with job id as the tie-break. A
+// whole service run therefore replays bitwise: per-job FinalParams,
+// virtual completion times, queue waits, preemption counts — across
+// processes and across GOMAXPROCS. adasum-vet's detmap/wallclock/
+// globalmut analyzers enforce the discipline statically.
+//
+// The preemption protocol is checkpoint-granular: a preemption request
+// marks the victim, the victim's in-flight step commits at its
+// completion event, the job Snapshots at that step boundary, Marshals
+// to bytes (the migration artifact — nothing else survives), releases
+// its ranks and re-enters the queue; re-admission Unmarshals and
+// Resumes, on the same gang size bitwise-identically, or onto a
+// different-sized gang via trainer.Config.ReshapeResume (the
+// ShrinkContinue-style re-cut). Elastic resizes ride the identical
+// snapshot-release-resume path, just without leaving the running set.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/simnet"
+	"repro/internal/trainer"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Ranks is the cluster's total rank budget — the number of
+	// simulated accelerators the scheduler allocates gangs from.
+	Ranks int
+	// Net mints the cost model for one job's World: called with the
+	// job's gang size at every (re)admission, so each job gets its own
+	// isolated fabric sized to its gang. nil defaults to TCP40.
+	Net func(ranks int) *simnet.Model
+	// Preempt enables priority preemption: a queued job of a higher
+	// priority class may evict running lower-class jobs (checkpointed,
+	// not killed) when the free budget cannot seat it.
+	Preempt bool
+	// Elastic enables load-reactive resizing of jobs that declare a
+	// MinRanks floor: shrink-to-fit when the queue head cannot be
+	// seated, grow-back toward the requested size when ranks sit idle
+	// and nobody waits.
+	Elastic bool
+}
+
+// Service is the scheduler instance. Not safe for concurrent use: one
+// goroutine drives Submit/Next/Run and reads Snapshot between events
+// (the adasum-serve daemon serializes its HTTP reads behind the same
+// loop).
+type Service struct {
+	opts      Options
+	jobs      []*job // id-indexed; submission order
+	now       float64
+	free      int
+	events    int
+	remaining int // jobs not yet done
+}
+
+// New creates a Service with the given options.
+func New(opts Options) *Service {
+	if opts.Ranks <= 0 {
+		panic("serve: Options.Ranks must be positive")
+	}
+	if opts.Net == nil {
+		opts.Net = func(ranks int) *simnet.Model { return simnet.TCP40(ranks) }
+	}
+	return &Service{opts: opts, free: opts.Ranks}
+}
+
+// Submit registers a job with the service and returns its id. All
+// submissions happen before the event loop starts consuming their
+// arrival times; a job enters the queue when the cluster clock reaches
+// its ArrivalSeconds.
+func (s *Service) Submit(spec JobSpec) (int, error) {
+	if err := s.validate(&spec); err != nil {
+		return 0, err
+	}
+	id := len(s.jobs)
+	s.jobs = append(s.jobs, &job{
+		id: id, spec: spec, state: jobPending,
+		startedAt: -1, doneAt: -1,
+	})
+	s.remaining++
+	return id, nil
+}
+
+// validate checks a spec against the cluster and the trainer's own
+// config validation at every gang size the scheduler may run it on.
+func (s *Service) validate(spec *JobSpec) error {
+	if spec.Ranks <= 0 {
+		return fmt.Errorf("serve: job %q requests %d ranks", spec.Name, spec.Ranks)
+	}
+	if spec.Ranks > s.opts.Ranks {
+		return fmt.Errorf("serve: job %q requests %d ranks, cluster has %d", spec.Name, spec.Ranks, s.opts.Ranks)
+	}
+	if spec.MinRanks < 0 || spec.MinRanks > spec.Ranks {
+		return fmt.Errorf("serve: job %q has MinRanks %d outside [0, Ranks=%d]", spec.Name, spec.MinRanks, spec.Ranks)
+	}
+	if spec.ArrivalSeconds < 0 {
+		return fmt.Errorf("serve: job %q arrives at negative time %v", spec.Name, spec.ArrivalSeconds)
+	}
+	switch spec.Priority {
+	case PriorityLow, PriorityNormal, PriorityHigh:
+	default:
+		return fmt.Errorf("serve: job %q has unknown priority %d", spec.Name, spec.Priority)
+	}
+	// The scheduler only ever seats the job on sizes from its halving
+	// chain; every one of them must pass the trainer's validation now,
+	// not at migration time deep inside the event loop.
+	for _, n := range gangSizes(spec) {
+		cfg := spec.Config
+		cfg.Workers = n
+		cfg.Net = s.opts.Net(n)
+		cfg.OnFailure = trainer.ShrinkContinue
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("serve: job %q invalid at gang size %d: %w", spec.Name, n, err)
+		}
+	}
+	return nil
+}
+
+// gangSizes lists the sizes the scheduler may seat a job on: the
+// requested size and, for elastic jobs, its halving chain down to
+// MinRanks.
+func gangSizes(spec *JobSpec) []int {
+	sizes := []int{spec.Ranks}
+	if spec.MinRanks > 0 {
+		for n := spec.Ranks / 2; n >= spec.MinRanks && n > 0; n /= 2 {
+			sizes = append(sizes, n)
+		}
+	}
+	return sizes
+}
+
+// Done reports whether every submitted job has completed.
+func (s *Service) Done() bool { return s.remaining == 0 }
+
+// Now returns the cluster's virtual clock.
+func (s *Service) Now() float64 { return s.now }
+
+// Events returns the number of scheduler events processed so far.
+func (s *Service) Events() int { return s.events }
+
+// Result returns a completed job's training result, or nil while the
+// job is still pending, queued or running.
+func (s *Service) Result(id int) *trainer.Result { return s.jobs[id].result }
+
+// Run drains the event loop until every job completes.
+func (s *Service) Run() {
+	for s.Next() {
+	}
+}
+
+// resumeState deserializes a preempted job's checkpoint bytes — the
+// only thing that survives a preemption.
+func resumeState(blob []byte) *checkpoint.State {
+	ck, err := checkpoint.Unmarshal(blob)
+	if err != nil {
+		panic(fmt.Sprintf("serve: preempted checkpoint failed to unmarshal: %v", err))
+	}
+	return ck
+}
+
+// byScheduleOrder sorts job pointers by (priority desc, queue entry
+// asc, id asc) — the admission order. Queue entry times are virtual
+// and can tie (a preempted job re-enters at the same instant another
+// arrives); the id breaks every tie deterministically.
+func byScheduleOrder(js []*job) {
+	sort.Slice(js, func(a, b int) bool {
+		x, y := js[a], js[b]
+		if x.spec.Priority != y.spec.Priority {
+			return x.spec.Priority > y.spec.Priority
+		}
+		if x.queuedAt != y.queuedAt {
+			return x.queuedAt < y.queuedAt
+		}
+		return x.id < y.id
+	})
+}
+
+// byVictimOrder sorts preemption/shrink candidates by (priority asc,
+// id asc): the cheapest class pays first, oldest job first within it.
+func byVictimOrder(js []*job) {
+	sort.Slice(js, func(a, b int) bool {
+		x, y := js[a], js[b]
+		if x.spec.Priority != y.spec.Priority {
+			return x.spec.Priority < y.spec.Priority
+		}
+		return x.id < y.id
+	})
+}

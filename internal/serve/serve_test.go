@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/simnet"
+	"repro/internal/trainer"
+)
+
+// checkedRun drains the service, asserting the rank-budget invariant
+// between every pair of events.
+func checkedRun(t *testing.T, s *Service) {
+	t.Helper()
+	for s.Next() {
+		if err := s.checkBudget(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.checkBudget(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDemoScenario is the PR's acceptance demo: four jobs with mixed
+// gang demands and priority classes on a 64-rank cluster, with one
+// injected rank failure and priority preemption. Every job must
+// complete; the preempted pinned job must land bitwise on the params of
+// an uninterrupted standalone run (same gang size before and after, so
+// the trajectory is unchanged); and the whole service must replay
+// identically across two invocations.
+func TestDemoScenario(t *testing.T) {
+	specs := DemoSpecs()
+	mk := func() *Service {
+		s := New(Options{Ranks: DemoClusterRanks, Preempt: true, Elastic: true})
+		for _, spec := range specs {
+			if _, err := s.Submit(spec); err != nil {
+				t.Fatalf("submit %q: %v", spec.Name, err)
+			}
+		}
+		return s
+	}
+
+	s := mk()
+	checkedRun(t, s)
+	snap := s.Snapshot()
+
+	if snap.DoneJobs != len(specs) {
+		t.Fatalf("only %d/%d jobs completed", snap.DoneJobs, len(specs))
+	}
+	if snap.BusyRanks != 0 || snap.FreeRanks != DemoClusterRanks {
+		t.Fatalf("cluster not drained: busy=%d free=%d", snap.BusyRanks, snap.FreeRanks)
+	}
+	byName := map[string]JobMetrics{}
+	for _, j := range snap.Jobs {
+		byName[j.Name] = j
+		if s.Result(j.ID) == nil {
+			t.Fatalf("job %q done but has no result", j.Name)
+		}
+		if j.WireBytes <= 0 {
+			t.Fatalf("job %q reports no fabric traffic", j.Name)
+		}
+	}
+	if snap.Preemptions == 0 {
+		t.Fatal("demo ran without a single preemption")
+	}
+	if got := byName["research-normal"].Failures; got != 1 {
+		t.Fatalf("research-normal absorbed %d failures, want 1", got)
+	}
+	if byName["research-normal"].Migrations == 0 {
+		t.Fatal("elastic research-normal never migrated")
+	}
+	if byName["batch-low"].Preemptions == 0 {
+		t.Fatal("low-priority batch-low was never preempted")
+	}
+	if byName["urgent-high"].QueueWait <= 0 {
+		t.Fatal("urgent-high was seated instantly; the preemption path never ran")
+	}
+
+	// The pinned normal-priority job is preempted and resumed on the
+	// same gang size: bitwise the standalone run.
+	prodID := byName["prod-normal"].ID
+	if byName["prod-normal"].Preemptions == 0 {
+		t.Fatal("prod-normal was never preempted")
+	}
+	cfg := specs[prodID].Config
+	cfg.Workers = specs[prodID].Ranks
+	cfg.Net = simnet.TCP40(cfg.Workers)
+	cfg.OnFailure = trainer.ShrinkContinue
+	alone := trainer.Run(cfg)
+	got := s.Result(prodID)
+	for i, v := range alone.FinalParams {
+		if got.FinalParams[i] != v {
+			t.Fatalf("prod-normal diverged from the uninterrupted run at %d: %v != %v", i, got.FinalParams[i], v)
+		}
+	}
+
+	// Replay: a second invocation is the same computation.
+	s2 := mk()
+	s2.Run()
+	if a, b := renderString(snap), renderString(s2.Snapshot()); a != b {
+		t.Fatalf("service replay diverged:\n--- first\n%s--- second\n%s", a, b)
+	}
+	for id := range specs {
+		a, b := s.Result(id), s2.Result(id)
+		for i, v := range a.FinalParams {
+			if b.FinalParams[i] != v {
+				t.Fatalf("job %d params diverged across replays at %d", id, i)
+			}
+		}
+	}
+}
+
+func renderString(m Snapshot) string {
+	var b strings.Builder
+	m.Render(&b)
+	return b.String()
+}
+
+// TestSchedulerGOMAXPROCSInvariance runs the same job mix at 1 and 8
+// scheduler-visible processors and demands bitwise-identical per-job
+// FinalParams and identical virtual completion times. All parallelism
+// lives inside each job's World where it is clock-exact, so the
+// schedule — a pure function of virtual time — cannot observe the
+// processor count. Under -race this doubles as the no-data-races proof.
+func TestSchedulerGOMAXPROCSInvariance(t *testing.T) {
+	mix := contentionMix(nil)
+	run := func(procs int) (Snapshot, []*trainer.Result) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		s := New(Options{Ranks: 16, Preempt: true, Elastic: true})
+		for _, spec := range mix {
+			if _, err := s.Submit(spec); err != nil {
+				t.Fatalf("submit %q: %v", spec.Name, err)
+			}
+		}
+		s.Run()
+		var res []*trainer.Result
+		for id := range mix {
+			res = append(res, s.Result(id))
+		}
+		return s.Snapshot(), res
+	}
+
+	snap1, res1 := run(1)
+	snap8, res8 := run(8)
+
+	if a, b := renderString(snap1), renderString(snap8); a != b {
+		t.Fatalf("schedule depends on GOMAXPROCS:\n--- 1P\n%s--- 8P\n%s", a, b)
+	}
+	for id := range res1 {
+		if res1[id] == nil || res8[id] == nil {
+			t.Fatalf("job %d missing a result", id)
+		}
+		for i, v := range res1[id].FinalParams {
+			if res8[id].FinalParams[i] != v {
+				t.Fatalf("job %d params differ between 1P and 8P at %d", id, i)
+			}
+		}
+		if res1[id].SimSeconds != res8[id].SimSeconds {
+			t.Fatalf("job %d virtual time differs between 1P and 8P", id)
+		}
+	}
+}
+
+// contentionMix is a small three-job mix on a 16-rank cluster that
+// exercises queueing, shrink and preemption without the demo's probe
+// runs: a low elastic job holding the cluster, a normal job that forces
+// a shrink, and a high job that preempts. codec (nil for uncompressed)
+// applies to every job.
+func contentionMix(codec compress.Compression) []JobSpec {
+	withCodec := func(cfg trainer.Config) trainer.Config {
+		cfg.Compression = codec
+		return cfg
+	}
+	return []JobSpec{
+		{
+			Name: "low-elastic", Priority: PriorityLow,
+			Ranks: 16, MinRanks: 4, ArrivalSeconds: 0,
+			Config: withCodec(demoJob(201, 512, 4, 1)),
+		},
+		{
+			Name: "normal-pinned", Priority: PriorityNormal,
+			Ranks: 8, ArrivalSeconds: 0.002,
+			Config: withCodec(demoJob(202, 512, 8, 2)),
+		},
+		{
+			Name: "high-pinned", Priority: PriorityHigh,
+			Ranks: 16, ArrivalSeconds: 0.006,
+			Config: withCodec(demoJob(203, 512, 4, 1)),
+		},
+	}
+}
+
+// TestPreemptResumeBitwiseAcrossCodecs pins the preemption protocol
+// end to end for every compression arm, including top-k error feedback
+// whose residual state must ride the checkpoint: a pinned job that is
+// preempted and later re-seated on the same gang size must finish
+// bitwise-identical to a standalone run of the same config.
+func TestPreemptResumeBitwiseAcrossCodecs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		codec compress.Compression
+	}{
+		{"uncompressed", nil},
+		{"topk-ef", compress.TopK(0.25, true)},
+		{"adaptive", compress.Adaptive()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// victim: pinned 8-rank normal job seated first on an
+			// 8-rank cluster; bully: high-priority 8-rank job arriving
+			// mid-run. The victim is preempted, waits out the bully,
+			// resumes at the same size.
+			victim := JobSpec{
+				Name: "victim", Priority: PriorityNormal,
+				Ranks: 8, ArrivalSeconds: 0,
+				Config: demoJob(301, 512, 8, 2),
+			}
+			victim.Config.Compression = tc.codec
+			bully := JobSpec{
+				Name: "bully", Priority: PriorityHigh,
+				Ranks: 8, ArrivalSeconds: 0.003,
+				Config: demoJob(302, 512, 8, 1),
+			}
+			bully.Config.Compression = tc.codec
+
+			s := New(Options{Ranks: 8, Preempt: true})
+			vid, err := s.Submit(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Submit(bully); err != nil {
+				t.Fatal(err)
+			}
+			checkedRun(t, s)
+
+			snap := s.Snapshot()
+			if snap.Jobs[vid].Preemptions == 0 {
+				t.Fatal("victim was never preempted; the scenario lost its point")
+			}
+
+			cfg := victim.Config
+			cfg.Workers = victim.Ranks
+			cfg.Net = simnet.TCP40(cfg.Workers)
+			cfg.OnFailure = trainer.ShrinkContinue
+			alone := trainer.Run(cfg)
+			got := s.Result(vid)
+			for i, v := range alone.FinalParams {
+				if got.FinalParams[i] != v {
+					t.Fatalf("victim diverged from standalone at %d: %v != %v", i, got.FinalParams[i], v)
+				}
+			}
+			if alone.SimSeconds != got.SimSeconds {
+				t.Fatalf("victim's local virtual time diverged: %v != %v", alone.SimSeconds, got.SimSeconds)
+			}
+		})
+	}
+}
+
+// TestSubmitValidation covers the admission-time rejections.
+func TestSubmitValidation(t *testing.T) {
+	s := New(Options{Ranks: 8})
+	good := demoJob(401, 512, 8, 1)
+	for _, tc := range []struct {
+		name string
+		spec JobSpec
+	}{
+		{"zero ranks", JobSpec{Name: "z", Ranks: 0, Config: good}},
+		{"over cluster", JobSpec{Name: "o", Ranks: 16, Config: good}},
+		{"bad floor", JobSpec{Name: "f", Ranks: 8, MinRanks: 9, Config: good}},
+		{"negative arrival", JobSpec{Name: "n", Ranks: 8, ArrivalSeconds: -1, Config: good}},
+		{"bad priority", JobSpec{Name: "p", Ranks: 8, Priority: Priority(9), Config: good}},
+	} {
+		if _, err := s.Submit(tc.spec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := s.Submit(JobSpec{Name: "ok", Ranks: 8, Config: good}); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestElasticGrowBack: a single elastic job seated at its floor on a
+// busy cluster grows back toward its requested size once the cluster
+// drains.
+func TestElasticGrowBack(t *testing.T) {
+	hog := JobSpec{
+		Name: "hog", Priority: PriorityNormal,
+		Ranks: 8, ArrivalSeconds: 0,
+		Config: demoJob(501, 768, 4, 1),
+	}
+	elastic := JobSpec{
+		Name: "elastic", Priority: PriorityNormal,
+		Ranks: 16, MinRanks: 4, ArrivalSeconds: 0.0005,
+		Config: demoJob(502, 512, 4, 2),
+	}
+	s := New(Options{Ranks: 16, Elastic: true})
+	if _, err := s.Submit(hog); err != nil {
+		t.Fatal(err)
+	}
+	eid, err := s.Submit(elastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkedRun(t, s)
+	m := s.Snapshot().Jobs[eid]
+	if m.State != "done" {
+		t.Fatalf("elastic job ended %s", m.State)
+	}
+	if m.Migrations == 0 {
+		t.Fatal("elastic job never migrated: seated at the floor and grew nowhere, or was seated at full size (scenario broken)")
+	}
+	if s.Result(eid).FinalWorkers != 16 {
+		t.Fatalf("elastic job finished at %d workers, want grown back to 16", s.Result(eid).FinalWorkers)
+	}
+}

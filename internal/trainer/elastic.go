@@ -73,6 +73,10 @@ func (p FailurePolicy) String() string {
 func (r *run) elasticStep() (loss, simSec float64) {
 	for {
 		backup := r.efSnapshot()
+		var wireBase int64
+		if r.engine != nil {
+			wireBase = r.engine.world.WireBytes()
+		}
 		loss, simSec, err := r.tryStep()
 		if err == nil {
 			return loss, simSec
@@ -80,6 +84,14 @@ func (r *run) elasticStep() (loss, simSec float64) {
 		// The retry's time base (res.SimSeconds) must sit past the
 		// failure, not pretend the aborted attempt never ran.
 		r.res.SimSeconds += simSec
+		if r.engine != nil {
+			// How far the aborted collective got before every rank
+			// observed the failure is goroutine-schedule-dependent;
+			// rewinding the meter to the attempt boundary keeps wire
+			// accounting deterministic (virtual time is stamped from
+			// the clocks and needs no such correction).
+			r.engine.world.RewindWireBytes(wireBase)
+		}
 		r.efRestore(backup)
 		r.handleFailure(err)
 	}
@@ -231,10 +243,18 @@ func (r *run) restoreOrInit() {
 		if len(ck.Params) != len(r.params) {
 			panic(fmt.Sprintf("trainer: Resume snapshot has %d params, model has %d", len(ck.Params), len(r.params)))
 		}
-		if int(ck.Step) > r.cfg.MaxEpochs*r.stepsPerEpoch {
+		if int(ck.Step) > r.cfg.MaxEpochs*r.stepsPerEpoch && !r.cfg.ReshapeResume {
+			// Under ReshapeResume this is legitimate: a job migrated up
+			// from a smaller gang (whose per-epoch step budget was
+			// larger) may already have run more steps than this gang
+			// size prescribes. The run restores and is immediately done.
 			panic(fmt.Sprintf("trainer: Resume snapshot at step %d is past this config's %d-step budget", ck.Step, r.cfg.MaxEpochs*r.stepsPerEpoch))
 		}
-		r.applyState(ck, false)
+		// A ReshapeResume onto a different-sized gang is a migration, not
+		// a replay: it takes the same reshape-safe restore path as a
+		// gang-restart rebuild (fresh iterators over the re-cut shards,
+		// source-only residuals). Equal sizes restore bitwise.
+		r.applyState(ck, ck.Workers != len(r.workers))
 		r.lastCk = ck
 		return
 	}
@@ -291,15 +311,23 @@ func (r *run) capture() {
 }
 
 // applyState restores training state from a snapshot. afterReshape
-// marks a gang-restart restore onto a just-shrunk gang: data iterators
-// are not rewound (the shards were re-cut over the survivors, so each
-// survivor restarts its new shard stream) and only the reshape-safe
-// error-feedback residuals are re-applied; a plain resume restores
-// everything bitwise.
+// marks a restore onto a gang of a different shape — a gang-restart
+// rewind onto the just-shrunk survivors, or a ReshapeResume migration
+// onto a resized gang: data iterators are not rewound (the shards were
+// re-cut, so each worker restarts its new shard stream) and only the
+// reshape-safe error-feedback residuals are re-applied; a plain resume
+// restores everything bitwise. A grown gang's extra ranks have no
+// counterpart in the snapshot and keep their fresh-clone state.
 func (r *run) applyState(ck *checkpoint.State, afterReshape bool) {
 	r.master.SetParams(ck.Params)
 	r.sharedOpt.Restore(ck.Shared)
 	for _, rank := range r.active {
+		if rank >= len(ck.PerWorker) {
+			if r.engine != nil {
+				r.engine.engines[rank].SeekStep(int(ck.Step))
+			}
+			continue
+		}
 		w := r.workers[rank]
 		pw := ck.PerWorker[rank]
 		w.opt.Restore(pw.Opt)

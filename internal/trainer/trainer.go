@@ -200,8 +200,20 @@ type Config struct {
 	// position, error-feedback residuals and the loop bookkeeping, so
 	// the resumed run is bitwise-identical to one that was never
 	// interrupted. Worker count and model shape must match the capturing
-	// run.
+	// run unless ReshapeResume permits a resize.
 	Resume *checkpoint.State
+	// ReshapeResume permits Resume onto a gang of a different size — the
+	// serving layer's preempt-migrate path. Parameters, the shared
+	// optimizer state and the loop bookkeeping restore bitwise; the data
+	// shards are re-cut over the new gang with fresh iterators (the old
+	// cursors index shards that no longer exist, exactly as in a
+	// ShrinkContinue rebuild); per-worker optimizer state carries over
+	// for the ranks present on both sides (a grown gang's extra workers
+	// start from fresh clones); and only the reshape-safe source
+	// error-feedback residuals are re-applied. When the sizes happen to
+	// match, the restore takes the plain bitwise path. Without this
+	// flag a size-mismatched Resume is rejected by Validate.
+	ReshapeResume bool
 
 	Model     func() *nn.Network // replica factory; all replicas must be identical shapes
 	Optimizer optim.Optimizer    // prototype; cloned per worker (post-opt) or used directly (pre-opt)
@@ -381,8 +393,8 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("unknown CommMode %d", c.Comm)
 	}
-	if c.Resume != nil && c.Resume.Workers != c.Workers {
-		return fmt.Errorf("Resume snapshot was captured with %d workers, config has %d", c.Resume.Workers, c.Workers)
+	if c.Resume != nil && c.Resume.Workers != c.Workers && !c.ReshapeResume {
+		return fmt.Errorf("Resume snapshot was captured with %d workers, config has %d (set ReshapeResume to migrate across gang sizes)", c.Resume.Workers, c.Workers)
 	}
 	return nil
 }
@@ -410,15 +422,113 @@ func (c Config) bucketStrategy() (collective.Strategy, error) {
 	}
 }
 
-// Run executes the configured training and returns its history.
+// Run executes the configured training to completion and returns its
+// history. It is Start + Step-to-exhaustion + Result; callers that need
+// to interleave, preempt or observe a run mid-flight (the serving
+// layer) drive the Handle directly.
 func Run(cfg Config) *Result {
+	h := Start(cfg)
+	for h.Step() {
+	}
+	return h.Result()
+}
+
+// Handle is a stepwise-driven training run — the resumable run handle
+// the serving layer schedules. Start validates the config, builds the
+// run and applies cfg.Resume; each Step executes one reduction step
+// (absorbing failures per OnFailure); Snapshot captures a full
+// checkpoint at the current step boundary, which a later Start can
+// Resume — on the same gang size bitwise-identically, or onto a
+// different-sized gang with ReshapeResume. A Handle is not safe for
+// concurrent use.
+type Handle struct {
+	r     *run
+	total int // the run's step budget (MaxEpochs * stepsPerEpoch)
+	done  bool
+}
+
+// Start builds a training run without executing any steps. It panics on
+// an invalid config, like Run.
+func Start(cfg Config) *Handle {
 	if err := cfg.Validate(); err != nil {
 		panic("trainer: " + err.Error())
 	}
 	if cfg.LocalSteps <= 0 {
 		cfg.LocalSteps = 1
 	}
-	return newRun(cfg).execute()
+	r := newRun(cfg)
+	r.restoreOrInit()
+	return &Handle{r: r, total: cfg.MaxEpochs * r.stepsPerEpoch}
+}
+
+// Step executes one reduction step and reports whether the run wants
+// more: false means the budget is exhausted or the run converged (or
+// Step was called on a finished handle — it never executes past the
+// end).
+func (h *Handle) Step() bool {
+	if h.done || h.r.step >= h.total {
+		h.done = true
+		return false
+	}
+	r := h.r
+	loss, simSec := r.elasticStep()
+	r.step++
+	r.lossSum += loss
+	r.res.SimSeconds += simSec
+	// The epoch is derived after the step completes: elasticStep may
+	// have rewound r.step (GangRestart), so a value computed before it
+	// would label the retried steps with the pre-rewind epoch.
+	if r.afterStep((r.step-1)/r.stepsPerEpoch+1) || r.step >= h.total {
+		h.done = true
+	}
+	return !h.done
+}
+
+// Done reports whether the run has finished (budget exhausted or
+// converged).
+func (h *Handle) Done() bool { return h.done || h.r.step >= h.total }
+
+// CompletedSteps returns the number of completed reduction steps,
+// including any restored from a Resume snapshot.
+func (h *Handle) CompletedSteps() int { return h.r.step }
+
+// TotalSteps returns the run's step budget.
+func (h *Handle) TotalSteps() int { return h.total }
+
+// SimSeconds returns the cumulative simulated seconds of the reduction
+// steps so far (the run's local virtual timeline; it continues across
+// a Snapshot/Resume migration).
+func (h *Handle) SimSeconds() float64 { return h.r.res.SimSeconds }
+
+// Workers returns the number of currently-alive workers (shrinks when
+// an elastic policy absorbs failures).
+func (h *Handle) Workers() int { return len(h.r.active) }
+
+// Failures lists the rank-failure incidents absorbed so far.
+func (h *Handle) Failures() []FailureEvent { return h.r.res.Failures }
+
+// WireBytes returns the cumulative bytes shipped on the run's simulated
+// fabric (0 on the host substrate).
+func (h *Handle) WireBytes() int64 {
+	if h.r.engine == nil {
+		return 0
+	}
+	return h.r.engine.world.WireBytes()
+}
+
+// Snapshot captures a full checkpoint at the current step boundary —
+// the preemption protocol's Marshal point. The returned state is a deep
+// copy; the handle keeps running (or is dropped) independently.
+func (h *Handle) Snapshot() *checkpoint.State { return h.r.snapshot() }
+
+// Result finalizes and returns the run's outcome so far. It may be
+// called on a finished or an in-flight handle; each call snapshots the
+// current parameters.
+func (h *Handle) Result() *Result {
+	r := h.r
+	r.res.FinalParams = tensor.Clone(r.params)
+	r.res.FinalWorkers = len(r.active)
+	return r.res
 }
 
 // run is the mutable state of one training execution: the master
@@ -505,30 +615,11 @@ func newRun(cfg Config) *run {
 	return r
 }
 
-// execute drives the flat step loop. Epochs are bookkeeping over a
-// fixed per-epoch step budget (they do not re-derive from the surviving
-// worker count after a shrink), which keeps epoch numbering comparable
-// across runs with and without failures, and lets GangRestart rewind
-// the step counter without nested-loop gymnastics.
-func (r *run) execute() *Result {
-	r.restoreOrInit()
-	totalSteps := r.cfg.MaxEpochs * r.stepsPerEpoch
-	for r.step < totalSteps {
-		loss, simSec := r.elasticStep()
-		r.step++
-		r.lossSum += loss
-		r.res.SimSeconds += simSec
-		// The epoch is derived after the step completes: elasticStep may
-		// have rewound r.step (GangRestart), so a value computed before
-		// it would label the retried steps with the pre-rewind epoch.
-		if r.afterStep((r.step-1)/r.stepsPerEpoch + 1) {
-			break
-		}
-	}
-	r.res.FinalParams = tensor.Clone(r.params)
-	r.res.FinalWorkers = len(r.active)
-	return r.res
-}
+// The step loop itself lives on Handle.Step. Epochs are bookkeeping
+// over a fixed per-epoch step budget (they do not re-derive from the
+// surviving worker count after a shrink), which keeps epoch numbering
+// comparable across runs with and without failures, and lets
+// GangRestart rewind the step counter without nested-loop gymnastics.
 
 // afterStep runs the bookkeeping after completed step r.step —
 // eval-every-steps convergence, epoch-boundary stats, checkpoint

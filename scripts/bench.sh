@@ -27,7 +27,7 @@ BENCHTIME="${2:-2s}"
 PR="$(basename "$OUT" | sed -n 's/^BENCH_\([0-9]\+\)\.json$/\1/p')"
 PR="${PR:-0}"
 # Kept in sync with scripts/bench_compare.sh, which gates CI on these.
-PATTERN='BenchmarkElasticStep|BenchmarkAdaptivePolicyStep|BenchmarkCommunicatorAdasum16Ranks|BenchmarkCommunicatorBroadcastGather16Ranks|BenchmarkOverlappedStepFP16|BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkAdasumRVH256Ranks|BenchmarkWorld1024Construct|BenchmarkRingAllreduce16Ranks|BenchmarkOverlappedStep|BenchmarkAblation'
+PATTERN='BenchmarkServeScheduler|BenchmarkElasticStep|BenchmarkAdaptivePolicyStep|BenchmarkCommunicatorAdasum16Ranks|BenchmarkCommunicatorBroadcastGather16Ranks|BenchmarkOverlappedStepFP16|BenchmarkTensorDot1M|BenchmarkDotNormsFusedVsSeparate|BenchmarkAdasumCombine1M|BenchmarkAdasumTreeReduce16x64K|BenchmarkAdasumRVH16Ranks|BenchmarkAdasumRVH256Ranks|BenchmarkWorld1024Construct|BenchmarkRingAllreduce16Ranks|BenchmarkOverlappedStep|BenchmarkAblation'
 # The GOMAXPROCS=1 re-run covers the benchmarks whose wall-clock is
 # dominated by concurrent rank goroutines (kept in sync with
 # bench_compare.sh's speedup gate).
