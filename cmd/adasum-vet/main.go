@@ -1,37 +1,48 @@
 // Command adasum-vet is the repository's static-enforcement gate: it
 // runs the internal/analysis suite (detmap, wallclock, noalloc,
-// globalmut) over the module's packages under every build
+// globalmut, poolown) over the module's packages under every build
 // configuration the CI matrix ships — the native build, the pure-Go
 // noasm build, and GOARCH=386 — so that tag-gated files are analyzed
-// too. It exits nonzero when any analyzer reports a finding, when an
-// //adasum: annotation is malformed, or when a suppression annotation
-// is stale (consumed under no configuration).
+// too. The per-package passes are followed by the module passes
+// (today: the transitive noalloc closure over the module call graph),
+// which need every module package loaded even when only a subset is
+// being analyzed. It exits nonzero when any analyzer reports a
+// finding, when an //adasum: annotation is malformed, or when a
+// suppression annotation is stale (consumed under no configuration).
 //
 // Usage:
 //
-//	adasum-vet [-config default,noasm,386] [packages ...]
+//	adasum-vet [-config default,noasm,386] [-json] [packages ...]
 //
 // With no package arguments it analyzes every package of the module
 // containing the working directory ("./..."). Package arguments are
 // import paths or ./-relative directories; a trailing /... analyzes
-// the subtree.
+// the subtree. The configuration legs run concurrently (each owns its
+// loader and file set); output order is deterministic regardless.
+//
+// With -json, findings are emitted as a JSON array on stdout — one
+// object per distinct finding with the configurations that produced
+// it — for machine consumption (the CI artifact upload).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 )
 
 func main() {
 	configFlag := flag.String("config", "", "comma-separated configs to run (default, noasm, 386); empty runs all")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: adasum-vet [-config default,noasm,386] [packages ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: adasum-vet [-config default,noasm,386] [-json] [packages ...]\n\n")
 		fmt.Fprintf(os.Stderr, "Analyzers:\n")
 		for _, az := range analysis.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", az.Name, az.Doc)
@@ -51,35 +62,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One leg per configuration, concurrently: every leg owns its
+	// Loader (and therefore its FileSet and typechecked universe), so
+	// the legs share nothing but the source tree. Results land in a
+	// fixed slot per config, keeping the merged output deterministic.
+	type legResult struct {
+		diags  []analysis.Diagnostic
+		annots map[string]*analysis.Annotations
+		err    error
+	}
+	results := make([]legResult, len(configs))
+	var wg sync.WaitGroup
+	for i, cfg := range configs {
+		wg.Add(1)
+		go func(i int, cfg analysis.Config) {
+			defer wg.Done()
+			diags, annots, err := runLeg(modRoot, cfg, flag.Args())
+			results[i] = legResult{diags: diags, annots: annots, err: err}
+		}(i, cfg)
+	}
+	wg.Wait()
+
 	var (
 		diags      []analysis.Diagnostic
 		directives = map[string]*analysis.Directive{} // "file:line key" -> directive
 		used       = map[string]bool{}
 		fullSweep  = flag.NArg() == 0
 	)
-	for _, cfg := range configs {
-		loader, err := analysis.NewLoader(modRoot, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "adasum-vet:", err)
+	for _, res := range results {
+		if res.err != nil {
+			fmt.Fprintln(os.Stderr, "adasum-vet:", res.err)
 			os.Exit(2)
 		}
-		paths, err := resolvePatterns(loader, modRoot, flag.Args())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "adasum-vet:", err)
-			os.Exit(2)
-		}
-		for _, path := range paths {
-			pkg, err := loader.Load(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "adasum-vet:", err)
-				os.Exit(2)
-			}
-			ds, annot, err := analysis.RunPackage(pkg, cfg, analysis.Analyzers())
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "adasum-vet:", err)
-				os.Exit(2)
-			}
-			diags = append(diags, ds...)
+		diags = append(diags, res.diags...)
+		for _, annot := range res.annots {
 			for _, d := range annot.Directives() {
 				key := fmt.Sprintf("%s:%d %s", d.Pos.Filename, d.Pos.Line, d.Key)
 				directives[key] = d
@@ -105,13 +121,62 @@ func main() {
 		}
 	}
 
-	if len(diags) == 0 {
+	findings := groupDiagnostics(diags, modRoot, len(configs))
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{} // encode as [], not null
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "adasum-vet:", err)
+			os.Exit(2)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
 		return
 	}
-	for _, line := range renderDiagnostics(diags, modRoot, len(configs)) {
-		fmt.Println(line)
+	if len(findings) == 0 {
+		return
+	}
+	for _, f := range findings {
+		fmt.Println(f.render(len(configs)))
 	}
 	os.Exit(1)
+}
+
+// runLeg analyzes one build configuration: the requested packages get
+// the per-package passes, and the module passes see every package of
+// the module (the interprocedural closure must be able to follow a
+// call out of the analyzed subset).
+func runLeg(modRoot string, cfg analysis.Config, args []string) ([]analysis.Diagnostic, map[string]*analysis.Annotations, error) {
+	loader, err := analysis.NewLoader(modRoot, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	allPaths, err := loader.ModulePackages()
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, err := resolvePatterns(allPaths, modRoot, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	var analyze []*analysis.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		analyze = append(analyze, pkg)
+	}
+	for _, path := range allPaths {
+		if _, err := loader.Load(path); err != nil {
+			return nil, nil, err
+		}
+	}
+	return analysis.RunModule(analyze, loader.LoadedModulePackages(), cfg, analysis.Analyzers())
 }
 
 func selectConfigs(s string) ([]analysis.Config, error) {
@@ -136,11 +201,7 @@ func selectConfigs(s string) ([]analysis.Config, error) {
 
 // resolvePatterns expands the command-line package arguments into
 // module import paths; no arguments means the whole module.
-func resolvePatterns(loader *analysis.Loader, modRoot string, args []string) ([]string, error) {
-	allPaths, err := loader.ModulePackages()
-	if err != nil {
-		return nil, err
-	}
+func resolvePatterns(allPaths []string, modRoot string, args []string) ([]string, error) {
 	if len(args) == 0 {
 		return allPaths, nil
 	}
@@ -190,10 +251,31 @@ func resolvePatterns(loader *analysis.Loader, modRoot string, args []string) ([]
 	return out, nil
 }
 
-// renderDiagnostics dedupes findings reported identically under
-// several configurations, annotating partially-config-specific ones,
-// and prints paths relative to the module root.
-func renderDiagnostics(diags []analysis.Diagnostic, modRoot string, nConfigs int) []string {
+// A finding is one distinct diagnostic with the configurations that
+// produced it — the unit of both the text and the JSON output.
+type finding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Configs  []string `json:"configs"`
+}
+
+// render formats the finding as a file:line:col diagnostic, tagging
+// the configurations only when they are a strict subset of the run.
+func (f finding) render(nConfigs int) string {
+	suffix := ""
+	if len(f.Configs) < nConfigs && !(len(f.Configs) == 1 && f.Configs[0] == "all") {
+		suffix = fmt.Sprintf(" [%s]", strings.Join(f.Configs, ","))
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s%s", f.File, f.Line, f.Col, f.Analyzer, f.Message, suffix)
+}
+
+// groupDiagnostics dedupes findings reported identically under several
+// configurations and sorts them by position, with paths relative to
+// the module root.
+func groupDiagnostics(diags []analysis.Diagnostic, modRoot string, nConfigs int) []finding {
 	type key struct {
 		file          string
 		line, col     int
@@ -221,17 +303,16 @@ func renderDiagnostics(diags []analysis.Diagnostic, modRoot string, nConfigs int
 		}
 		return a.analyzer < b.analyzer
 	})
-	var out []string
+	var out []finding
 	for _, k := range order {
 		file := k.file
 		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
 			file = rel
 		}
-		suffix := ""
-		if cs := configs[k]; len(cs) < nConfigs && !(len(cs) == 1 && cs[0] == "all") {
-			suffix = fmt.Sprintf(" [%s]", strings.Join(cs, ","))
-		}
-		out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s%s", file, k.line, k.col, k.analyzer, k.msg, suffix))
+		out = append(out, finding{
+			File: file, Line: k.line, Col: k.col,
+			Analyzer: k.analyzer, Message: k.msg, Configs: configs[k],
+		})
 	}
 	return out
 }

@@ -226,11 +226,11 @@ func NewReducer() *Reducer { return &Reducer{} }
 // ensureBufs guarantees k owned buffers of length size each.
 func (r *Reducer) ensureBufs(k, size int) {
 	for len(r.bufs) < k {
-		r.bufs = append(r.bufs, nil)
+		r.bufs = append(r.bufs, nil) //adasum:alloc ok workspace grows on first use (or a larger layout) and is reused
 	}
 	for i := 0; i < k; i++ {
 		if cap(r.bufs[i]) < size {
-			r.bufs[i] = make([]float32, size)
+			r.bufs[i] = make([]float32, size) //adasum:alloc ok workspace grows on first use (or a larger layout) and is reused
 		} else {
 			r.bufs[i] = r.bufs[i][:size]
 		}

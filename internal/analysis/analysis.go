@@ -1,9 +1,23 @@
 // Package analysis is the static-enforcement suite behind adasum-vet:
-// four custom analyzers that check, at vet time, the invariants the
+// five custom analyzers that check, at vet time, the invariants the
 // test matrix can only check dynamically — bitwise determinism (no map
 // iteration order leaking into results), virtual-clock purity (no wall
-// clock or ambient randomness), allocation-free hot paths, and the
-// absence of unsharded package-level mutable state.
+// clock or ambient randomness), allocation-free hot paths, the absence
+// of unsharded package-level mutable state, and the acquire→use→release
+// protocol of the pooled communication buffers.
+//
+// Two of the analyzers are dataflow passes built on reusable layers in
+// this package: BuildCFG turns a function body into a control-flow
+// graph (basic blocks with distinct return and panic exits, straight
+// from the AST), and buildCallGraph links the module's function
+// declarations by their statically-resolvable call sites. The poolown
+// analyzer runs a forward may-dataflow over the CFG; the noalloc check
+// is additionally a module pass (Analyzer.ModuleRun) that walks the
+// call graph from every //adasum:noalloc-marked function and requires
+// the whole call closure to be marked, annotated, or provably
+// allocation-free, reporting violations with the full call path.
+// Dynamic calls the graph cannot resolve are findings of their own,
+// vouched for per-site with //adasum:dyncall ok <reason>.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // shape (Analyzer, Pass, Reportf) but is built entirely on the standard
@@ -25,7 +39,10 @@ import (
 // An Analyzer is one named static check. Run inspects a typechecked
 // package through its Pass and reports findings with Pass.Reportf;
 // findings carrying the analyzer's SuppressKey can be silenced line by
-// line with an `//adasum:<key> ok <reason>` annotation.
+// line with an `//adasum:<key> ok <reason>` annotation. An analyzer
+// with a ModuleRun additionally (or instead) sees the whole loaded
+// module at once — the hook behind the interprocedural checks, which
+// need the cross-package call graph rather than one package's AST.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -36,6 +53,10 @@ type Analyzer struct {
 	// (IsDeterministic); annotation-driven analyzers run everywhere.
 	DetOnly bool
 	Run     func(*Pass) error
+	// ModuleRun runs once per build configuration over every loaded
+	// module package (analyzed packages plus their module
+	// dependencies).
+	ModuleRun func(*ModulePass) error
 }
 
 // A Pass carries one typechecked package through one analyzer under one
@@ -93,9 +114,49 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// A ModulePass carries the whole loaded module through one
+// module-scoped analyzer under one build configuration.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Analyze holds the packages the caller asked to analyze: the
+	// packages whose marked functions seed the interprocedural
+	// traversals and whose findings the run is accountable for.
+	Analyze []*Package
+	// All holds every loaded module package — Analyze plus module
+	// dependencies pulled in by the typechecker — so closures can be
+	// followed across package boundaries.
+	All    []*Package
+	Config string
+	// Annot indexes the //adasum: directives of every package in All,
+	// so suppressions apply wherever a finding lands.
+	Annot *Annotations
+
+	diags *[]Diagnostic
+}
+
+// ReportfKey records a finding at pos under the given suppression key
+// (module-scoped analyzers report under more than one: the transitive
+// noalloc check uses "alloc" for allocation findings and "dyncall" for
+// unresolvable call sites). It returns true when the diagnostic was
+// recorded, false when a matching annotation suppressed it.
+func (mp *ModulePass) ReportfKey(key string, pos token.Pos, format string, args ...any) bool {
+	position := mp.Fset.Position(pos)
+	if key != "" && mp.Annot.suppress(key, position.Filename, position.Line) {
+		return false
+	}
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: mp.Analyzer.Name,
+		Config:   mp.Config,
+		Message:  fmt.Sprintf(format, args...),
+	})
+	return true
+}
+
 // Analyzers returns the adasum-vet suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetMap, WallClock, NoAlloc, GlobalMut}
+	return []*Analyzer{DetMap, WallClock, NoAlloc, GlobalMut, PoolOwn}
 }
 
 // detSuffixes are the deterministic packages: every package whose

@@ -49,6 +49,14 @@ func TestDetMapFixture(t *testing.T)    { runFixtureTest(t, DetMap, "detmap", de
 func TestWallClockFixture(t *testing.T) { runFixtureTest(t, WallClock, "wallclock", detFixturePath) }
 func TestGlobalMutFixture(t *testing.T) { runFixtureTest(t, GlobalMut, "globalmut", detFixturePath) }
 func TestNoAllocFixture(t *testing.T)   { runFixtureTest(t, NoAlloc, "noalloc", "fixture/noalloc") }
+func TestPoolOwnFixture(t *testing.T)   { runFixtureTest(t, PoolOwn, "poolown", detFixturePath) }
+
+// TestNoAllocTransitiveFixture runs the noalloc analyzer in module mode
+// (per-package pass plus the ModuleRun closure walk) over a fixture
+// whose violations only an interprocedural analysis can see.
+func TestNoAllocTransitiveFixture(t *testing.T) {
+	runModuleFixtureTest(t, NoAlloc, "noalloctrans", "fixture/noalloctrans")
+}
 
 // TestDetOnlySkipsOtherPackages reruns the detmap fixture under a
 // non-deterministic import path: DetOnly must gate the analyzer off
@@ -79,6 +87,30 @@ func runFixtureTest(t *testing.T, az *Analyzer, dir, importPath string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkFixture(t, pkg, diags, annot)
+}
+
+// runModuleFixtureTest is runFixtureTest for analyzers with a ModuleRun
+// hook: the fixture package plays both the analyze set and the full
+// module, so a call path that stays inside it exercises the
+// interprocedural traversal end to end.
+func runModuleFixtureTest(t *testing.T, az *Analyzer, dir, importPath string) {
+	t.Helper()
+	ld := fixtureLoader(t)
+	pkg, err := ld.CheckDir(filepath.Join("testdata", dir), importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []*Package{pkg}
+	diags, annots, err := RunModule(pkgs, pkgs, Config{Name: "default"}, []*Analyzer{az})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, pkg, diags, annots[importPath])
+}
+
+func checkFixture(t *testing.T, pkg *Package, diags []Diagnostic, annot *Annotations) {
+	t.Helper()
 	wants := collectWants(t, pkg)
 	for _, d := range diags {
 		lw := wants[d.Pos.Filename][d.Pos.Line]

@@ -20,11 +20,15 @@ import (
 //	//adasum:wallclock ok <reason>
 //	//adasum:global ok <reason>
 //	//adasum:alloc ok <reason>
+//	//adasum:dyncall ok <reason>
+//	//adasum:poolown ok <reason>
 //	    Suppresses the corresponding analyzer (detmap, wallclock,
-//	    globalmut, noalloc) on the directive's own line and, when the
-//	    comment stands alone on its line, on the line below it. The
-//	    reason is mandatory: an unexplained suppression is itself a
-//	    finding.
+//	    globalmut, noalloc — with dyncall silencing the transitive
+//	    noalloc check at an unresolvable interface or function-value
+//	    call site, and poolown silencing the buffer-ownership checker)
+//	    on the directive's own line and, when the comment stands alone
+//	    on its line, on the line below it. The reason is mandatory: an
+//	    unexplained suppression is itself a finding.
 //
 // Directives that are misspelled, carry an unknown key, or omit the
 // reason are reported as "annotation" diagnostics rather than silently
@@ -37,6 +41,8 @@ var suppressionKeys = map[string]bool{
 	"wallclock": true,
 	"global":    true,
 	"alloc":     true,
+	"dyncall":   true,
+	"poolown":   true,
 }
 
 // A Directive is one parsed //adasum: annotation.
@@ -142,7 +148,7 @@ func (a *Annotations) collect(fset *token.FileSet, c *ast.Comment, code map[int]
 		}
 		a.add(&Directive{Key: key, Reason: reason, Pos: pos, lines: lines})
 	default:
-		malformed("unknown //adasum: directive %q (want noalloc, nondet, wallclock, global, alloc)", key)
+		malformed("unknown //adasum: directive %q (want noalloc, nondet, wallclock, global, alloc, dyncall, poolown)", key)
 	}
 }
 
@@ -185,6 +191,25 @@ func (a *Annotations) NoallocAt(file string, line int) *Directive {
 
 // Directives returns every well-formed directive, in file order.
 func (a *Annotations) Directives() []*Directive { return a.all }
+
+// MergeAnnotations combines per-package annotation indexes into one
+// module-wide index for the module-scoped analyzers. The Directive
+// pointers are shared, not copied, so a suppression consumed through
+// the merged view still marks the original directive used for the
+// driver's stale-annotation check.
+func MergeAnnotations(as ...*Annotations) *Annotations {
+	m := &Annotations{byKey: make(map[string]map[string]map[int]*Directive)}
+	for _, a := range as {
+		if a == nil {
+			continue
+		}
+		for _, d := range a.all {
+			m.add(d)
+		}
+		m.Malformed = append(m.Malformed, a.Malformed...)
+	}
+	return m
+}
 
 // Used reports whether the directive suppressed at least one finding
 // (or, for noalloc, marked at least one checked function).

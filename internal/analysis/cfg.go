@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A CFG is the control-flow graph of one function body, built purely
+// from the AST: the dataflow layer behind the poolown analyzer (and any
+// future path-sensitive check). Each Block holds the statements and
+// control expressions that execute straight-line, in evaluation order,
+// and the Succs edges say where control can go next. Two kinds of exit
+// exist: the synthetic Exit block, reached by every return statement
+// and by falling off the end of the body, and panic blocks (Panics ==
+// true, no successors), ended by an explicit panic(...) statement.
+// Deferred calls are not given edges — they appear as *ast.DeferStmt
+// nodes in their block, and a dataflow interprets them as effects that
+// run on every later exit, normal or panicking.
+//
+// The builder handles the full statement grammar: if/else chains,
+// for and for-range loops (with init/cond/post edges and back edges),
+// expression/type switches with fallthrough, select, labeled
+// statements with labeled break/continue, goto (forward and backward),
+// and return. Unreachable code after a terminating statement lands in
+// a fresh block with no predecessors, which a worklist seeded at Entry
+// simply never visits.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// A Block is one straight-line run of nodes. Nodes holds simple
+// statements and bare control expressions (an if condition, a switch
+// tag, a range operand) in the order they execute.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	// Panics marks a block ended by an explicit panic(...) statement:
+	// control leaves the function unwinding, running deferred calls.
+	Panics bool
+}
+
+// A RangeIter stands in for the per-iteration key/value assignment of
+// a for-range loop: it lives in the loop-head block so a dataflow sees
+// the assignment once per iteration, without re-embedding the loop
+// body (which has its own blocks). It is the one non-go/ast node a CFG
+// can contain; consumers must type-switch on it before calling
+// ast.Inspect.
+type RangeIter struct{ Range *ast.RangeStmt }
+
+func (r *RangeIter) Pos() token.Pos { return r.Range.For }
+func (r *RangeIter) End() token.Pos { return r.Range.X.Pos() }
+
+// cfgBuilder carries the under-construction graph.
+type cfgBuilder struct {
+	cfg  *CFG
+	cur  *Block
+	info *types.Info
+	// break/continue targets of the innermost enclosing loop/switch.
+	breakTo, continueTo *Block
+	// labels maps a label name to its targets; goto creates the entry
+	// on first (possibly forward) reference.
+	labels map[string]*labelBlocks
+	// pendingLabel is the label naming the *next* loop/switch statement,
+	// so its labeled break/continue resolve to that statement's targets.
+	pendingLabel string
+}
+
+type labelBlocks struct {
+	start *Block // where goto label jumps
+	brk   *Block // where break label jumps (filled when the stmt builds)
+	cont  *Block // where continue label jumps (loops only)
+}
+
+// BuildCFG constructs the CFG of body. info may be nil; it is only
+// used to recognize calls to the predeclared panic.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		info:   info,
+		labels: make(map[string]*labelBlocks),
+	}
+	b.cfg.Exit = b.newBlock() // Index 0 reserved for Exit, created first
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body returns.
+	b.jump(b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur -> dst (if cur is still open) and leaves the
+// builder in a fresh, detached block for any unreachable code after a
+// terminator.
+func (b *cfgBuilder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = b.newBlock()
+}
+
+// edge adds cur -> dst without closing cur.
+func (b *cfgBuilder) edge(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+}
+
+// startBlock moves the builder to blk.
+func (b *cfgBuilder) startBlock(blk *Block) { b.cur = blk }
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil && b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall reports whether e is a direct call of the predeclared
+// panic.
+func (b *cfgBuilder) isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if b.info == nil {
+		return true // untyped fixture: trust the name
+	}
+	return b.info.Uses[id] == types.Universe.Lookup("panic")
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.isPanicCall(s.X) {
+			if b.cur != nil {
+				b.cur.Panics = true
+			}
+			b.cur = b.newBlock() // no successors: unwind
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.LabeledStmt:
+		lb := b.label(s.Label.Name)
+		if lb.start == nil {
+			lb.start = b.newBlock()
+		}
+		b.edge(lb.start)
+		b.startBlock(lb.start)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				b.jump(b.label(s.Label.Name).brk)
+			} else {
+				b.jump(b.breakTo)
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				b.jump(b.label(s.Label.Name).cont)
+			} else {
+				b.jump(b.continueTo)
+			}
+		case token.GOTO:
+			lb := b.label(s.Label.Name)
+			if lb.start == nil {
+				lb.start = b.newBlock() // forward goto
+			}
+			b.jump(lb.start)
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch builder; the edge to
+			// the next case body is added there.
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		condBlk.Succs = append(condBlk.Succs, thenBlk)
+		b.startBlock(thenBlk)
+		b.stmt(s.Body)
+		b.edge(after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			condBlk.Succs = append(condBlk.Succs, elseBlk)
+			b.startBlock(elseBlk)
+			b.stmt(s.Else)
+			b.edge(after)
+		} else {
+			condBlk.Succs = append(condBlk.Succs, after)
+		}
+		b.startBlock(after)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.registerLoop(after, post)
+		b.edge(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(after)
+		}
+		body := b.newBlock()
+		b.edge(body)
+		savedBrk, savedCont := b.breakTo, b.continueTo
+		b.breakTo, b.continueTo = after, post
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.edge(post)
+		b.breakTo, b.continueTo = savedBrk, savedCont
+		b.startBlock(post)
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(head)
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		b.add(s.X) // the ranged operand evaluates once
+		head := b.newBlock()
+		after := b.newBlock()
+		b.registerLoop(after, head)
+		b.edge(head)
+		b.startBlock(head)
+		b.add(&RangeIter{Range: s}) // per-iteration key/value assignment
+		b.edge(after)
+		body := b.newBlock()
+		b.edge(body)
+		savedBrk, savedCont := b.breakTo, b.continueTo
+		b.breakTo, b.continueTo = after, head
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.edge(head)
+		b.breakTo, b.continueTo = savedBrk, savedCont
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			c := cc.(*ast.CaseClause)
+			nodes := make([]ast.Node, len(c.List))
+			for i, e := range c.List {
+				nodes[i] = e
+			}
+			return nodes, c.Body, c.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			c := cc.(*ast.CaseClause)
+			return nil, c.Body, c.List == nil
+		})
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.registerLoop(after, nil) // break in select body
+		savedBrk := b.breakTo
+		b.breakTo = after
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CommClause)
+			clause := b.newBlock()
+			head.Succs = append(head.Succs, clause)
+			b.startBlock(clause)
+			if c.Comm != nil {
+				b.stmt(c.Comm)
+			}
+			b.stmtList(c.Body)
+			b.edge(after)
+		}
+		b.breakTo = savedBrk
+		if len(s.Body.List) == 0 {
+			// Empty select blocks forever: no successor.
+			b.cur = b.newBlock()
+			return
+		}
+		b.startBlock(after)
+
+	default:
+		// Simple statements: assignments, declarations, send, inc/dec,
+		// defer, go, empty. They execute straight-line.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+// switchClauses builds the shared shape of expression and type
+// switches: the dispatch block fans out to every clause; a clause with
+// no terminator flows to after; fallthrough (always the last statement
+// of a clause body) edges into the next clause's body block.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, split func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool)) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.registerLoop(after, nil)
+	savedBrk := b.breakTo
+	b.breakTo = after
+	hasDefault := false
+	bodyBlocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodyBlocks[i] = b.newBlock()
+	}
+	for i, cc := range clauses {
+		guards, body, isDefault := split(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		entry := b.newBlock()
+		dispatch.Succs = append(dispatch.Succs, entry)
+		b.startBlock(entry)
+		for _, g := range guards {
+			b.add(g)
+		}
+		b.edge(bodyBlocks[i])
+		b.startBlock(bodyBlocks[i])
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(bodyBlocks[i+1])
+			b.cur = b.newBlock()
+		} else {
+			b.edge(after)
+		}
+	}
+	if !hasDefault {
+		dispatch.Succs = append(dispatch.Succs, after)
+	}
+	b.breakTo = savedBrk
+	b.startBlock(after)
+}
+
+// registerLoop points the pending label (if the statement being built
+// was labeled) at this statement's break/continue targets.
+func (b *cfgBuilder) registerLoop(brk, cont *Block) {
+	if b.pendingLabel == "" {
+		return
+	}
+	lb := b.label(b.pendingLabel)
+	lb.brk, lb.cont = brk, cont
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) label(name string) *labelBlocks {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+// Reachable returns the blocks reachable from Entry in a deterministic
+// (index) order — the worklist seed for any dataflow over the graph.
+func (c *CFG) Reachable() []*Block {
+	seen := make([]bool, len(c.Blocks))
+	var out []*Block
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if seen[blk.Index] {
+			return
+		}
+		seen[blk.Index] = true
+		out = append(out, blk)
+		for _, s := range blk.Succs {
+			visit(s)
+		}
+	}
+	visit(c.Entry)
+	// Deterministic order regardless of DFS shape.
+	for i, j := 0, 0; i < len(c.Blocks); i++ {
+		if seen[i] {
+			out[j] = c.Blocks[i]
+			j++
+		}
+	}
+	return out
+}
+
+// String renders the graph compactly for tests and debugging:
+// "b1[n=2] -> b3 b4; b3[panic] ; ...".
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.Reachable() {
+		fmt.Fprintf(&sb, "b%d[n=%d", blk.Index, len(blk.Nodes))
+		if blk.Panics {
+			sb.WriteString(" panic")
+		}
+		if blk == c.Exit {
+			sb.WriteString(" exit")
+		}
+		sb.WriteString("]")
+		for i, s := range blk.Succs {
+			if i == 0 {
+				sb.WriteString(" ->")
+			}
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("; ")
+	}
+	return strings.TrimSuffix(sb.String(), " ")
+}

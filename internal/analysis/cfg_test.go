@@ -1,0 +1,346 @@
+package analysis
+
+// CFG builder unit tests on the control-flow shapes the poolown
+// dataflow leans on: labeled break/continue, goto loops, for-range
+// early returns, panic blocks, defer placement, and switch
+// fallthrough. Assertions are structural (which statements can reach
+// which), not index-based, so block numbering can change freely.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses src (a single function declaration, wrapped in a
+// package clause here) and builds the CFG of its body with no type
+// info.
+func buildTestCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return BuildCFG(fd.Body, nil)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// blockWith returns the unique reachable block containing a node
+// matching pred.
+func blockWith(t *testing.T, c *CFG, what string, pred func(ast.Node) bool) *Block {
+	t.Helper()
+	var found *Block
+	for _, blk := range c.Reachable() {
+		for _, n := range blk.Nodes {
+			hit := false
+			if ri, ok := n.(*RangeIter); ok {
+				hit = pred(ri)
+			} else {
+				ast.Inspect(n, func(m ast.Node) bool {
+					if m != nil && pred(m) {
+						hit = true
+					}
+					return !hit
+				})
+			}
+			if hit {
+				if found != nil && found != blk {
+					t.Fatalf("%s found in two blocks (b%d, b%d)", what, found.Index, blk.Index)
+				}
+				found = blk
+				break
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("%s not found in any reachable block", what)
+	}
+	return found
+}
+
+// callTo matches a direct call of the named function.
+func callTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// reaches reports whether dst is reachable from src (src included).
+func reaches(src, dst *Block) bool {
+	seen := map[*Block]bool{}
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		if b == dst {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(src)
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 5 {
+				break outer
+			}
+			if j == 6 {
+				continue outer
+			}
+			inner(j)
+		}
+	}
+	done()
+}`)
+	brk := blockWith(t, c, "break outer", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.BREAK && br.Label != nil
+	})
+	cont := blockWith(t, c, "continue outer", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.CONTINUE && br.Label != nil
+	})
+	inner := blockWith(t, c, "inner call", callTo("inner"))
+	done := blockWith(t, c, "done call", callTo("done"))
+	outerPost := blockWith(t, c, "i++", func(n ast.Node) bool {
+		inc, ok := n.(*ast.IncDecStmt)
+		if !ok {
+			return false
+		}
+		id, ok := inc.X.(*ast.Ident)
+		return ok && id.Name == "i"
+	})
+
+	// break outer jumps straight past both loops: done is reachable,
+	// the inner body and the outer post are not.
+	if len(brk.Succs) != 1 {
+		t.Fatalf("break outer block has %d successors, want 1", len(brk.Succs))
+	}
+	if !reaches(brk.Succs[0], done) {
+		t.Error("break outer cannot reach the statement after the loops")
+	}
+	if reaches(brk.Succs[0], inner) {
+		t.Error("break outer can re-enter the inner loop body")
+	}
+	// continue outer jumps to the outer post (i++), not the inner body's
+	// continuation — and from there the loop head can re-enter inner.
+	if len(cont.Succs) != 1 {
+		t.Fatalf("continue outer block has %d successors, want 1", len(cont.Succs))
+	}
+	if cont.Succs[0] != outerPost && !reaches(cont.Succs[0], outerPost) {
+		t.Error("continue outer does not reach the outer post statement")
+	}
+	if !reaches(outerPost, inner) {
+		t.Error("outer post cannot re-enter the inner loop (missing back edge)")
+	}
+}
+
+func TestCFGGotoLoop(t *testing.T) {
+	c := buildTestCFG(t, `
+func g(n int) {
+	i := 0
+loop:
+	if i < n {
+		body(i)
+		i++
+		goto loop
+	}
+	after()
+}`)
+	gotoBlk := blockWith(t, c, "goto loop", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.GOTO
+	})
+	body := blockWith(t, c, "body call", callTo("body"))
+	after := blockWith(t, c, "after call", callTo("after"))
+	// The backward goto forms a loop: from the goto both the body (next
+	// iteration) and the after statement (loop exit) are reachable.
+	if len(gotoBlk.Succs) != 1 {
+		t.Fatalf("goto block has %d successors, want 1", len(gotoBlk.Succs))
+	}
+	if !reaches(gotoBlk.Succs[0], body) {
+		t.Error("goto loop does not loop back to the body")
+	}
+	if !reaches(gotoBlk.Succs[0], after) {
+		t.Error("goto loop cannot exit to the statement after")
+	}
+}
+
+func TestCFGForwardGoto(t *testing.T) {
+	c := buildTestCFG(t, `
+func g2(b bool) {
+	if b {
+		goto out
+	}
+	middle()
+out:
+	final()
+}`)
+	gotoBlk := blockWith(t, c, "goto out", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.GOTO
+	})
+	middle := blockWith(t, c, "middle call", callTo("middle"))
+	final := blockWith(t, c, "final call", callTo("final"))
+	if reaches(gotoBlk.Succs[0], middle) {
+		t.Error("forward goto should skip the middle statement")
+	}
+	if !reaches(gotoBlk.Succs[0], final) {
+		t.Error("forward goto does not reach its label")
+	}
+	if !reaches(middle, final) {
+		t.Error("fallthrough path does not reach the labeled statement")
+	}
+}
+
+func TestCFGRangeEarlyReturn(t *testing.T) {
+	c := buildTestCFG(t, `
+func h(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		if v < 0 {
+			return -1
+		}
+		s += v
+	}
+	return s
+}`)
+	early := blockWith(t, c, "return -1", func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return false
+		}
+		u, ok := ret.Results[0].(*ast.UnaryExpr)
+		return ok && u.Op == token.SUB
+	})
+	head := blockWith(t, c, "range head", func(n ast.Node) bool {
+		_, ok := n.(*RangeIter)
+		return ok
+	})
+	accum := blockWith(t, c, "s += v", func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Tok == token.ADD_ASSIGN
+	})
+	last := blockWith(t, c, "return s", func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return false
+		}
+		id, ok := ret.Results[0].(*ast.Ident)
+		return ok && id.Name == "s"
+	})
+	// The early return leaves the function directly: exit only.
+	if len(early.Succs) != 1 || early.Succs[0] != c.Exit {
+		t.Errorf("early return block should edge only to Exit, got %v", early.Succs)
+	}
+	if reaches(early.Succs[0], accum) {
+		t.Error("early return can reach the accumulation statement")
+	}
+	// The loop still iterates: body back to head, head out to return s.
+	if !reaches(accum, head) {
+		t.Error("loop body has no back edge to the range head")
+	}
+	if !reaches(head, last) {
+		t.Error("range head cannot exit to the final return")
+	}
+}
+
+func TestCFGPanicAndDefer(t *testing.T) {
+	c := buildTestCFG(t, `
+func p(x int) {
+	defer cleanup()
+	if x < 0 {
+		panic("neg")
+	}
+	work()
+}`)
+	panicBlk := blockWith(t, c, "panic stmt", func(n ast.Node) bool {
+		return callTo("panic")(n)
+	})
+	if !panicBlk.Panics {
+		t.Error("panic block not marked Panics")
+	}
+	if len(panicBlk.Succs) != 0 {
+		t.Errorf("panic block has successors %v, want none", panicBlk.Succs)
+	}
+	deferBlk := blockWith(t, c, "defer stmt", func(n ast.Node) bool {
+		_, ok := n.(*ast.DeferStmt)
+		return ok
+	})
+	work := blockWith(t, c, "work call", callTo("work"))
+	if !reaches(deferBlk, work) {
+		t.Error("defer does not dominate the body")
+	}
+	if !reaches(deferBlk, panicBlk) {
+		t.Error("defer does not reach the panic path")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildTestCFG(t, `
+func s(x int) {
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		other()
+	}
+	end()
+}`)
+	one := blockWith(t, c, "one call", callTo("one"))
+	two := blockWith(t, c, "two call", callTo("two"))
+	other := blockWith(t, c, "other call", callTo("other"))
+	end := blockWith(t, c, "end call", callTo("end"))
+	if !reaches(one, two) {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+	if reaches(two, other) {
+		t.Error("case 2 should not reach default")
+	}
+	for _, blk := range []*Block{one, two, other} {
+		if !reaches(blk, end) {
+			t.Errorf("case block b%d cannot reach the statement after the switch", blk.Index)
+		}
+	}
+}
+
+// TestCFGStringSmoke pins that the debug rendering stays parseable-ish
+// and covers exit/panic tags.
+func TestCFGStringSmoke(t *testing.T) {
+	c := buildTestCFG(t, `
+func q() {
+	panic("boom")
+}`)
+	s := c.String()
+	if !strings.Contains(s, "panic") {
+		t.Errorf("String() = %q, want a panic tag", s)
+	}
+}

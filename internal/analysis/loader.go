@@ -298,14 +298,28 @@ func (l *Loader) CheckDir(dir, importPath string) (*Package, error) {
 	return &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files, Types: tp, Info: info}, nil
 }
 
-// RunPackage applies the analyzers to one loaded package, honoring
-// DetOnly, and returns the diagnostics (malformed-annotation findings
-// included).
+// LoadedModulePackages returns every module package the loader has
+// typechecked so far — the packages asked for via Load plus any module
+// dependencies their imports pulled in — sorted by import path for
+// deterministic traversal.
+func (l *Loader) LoadedModulePackages() []*Package {
+	out := make([]*Package, 0, len(l.mod))
+	for _, p := range l.mod {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// RunPackage applies the analyzers' per-package checks to one loaded
+// package, honoring DetOnly, and returns the diagnostics
+// (malformed-annotation findings included). Module-scoped checks
+// (Analyzer.ModuleRun) do not run here — use RunModule.
 func RunPackage(p *Package, cfg Config, analyzers []*Analyzer) ([]Diagnostic, *Annotations, error) {
 	annot := CollectAnnotations(p.Fset, p.Files, cfg.Name)
 	diags := append([]Diagnostic(nil), annot.Malformed...)
 	for _, az := range analyzers {
-		if az.DetOnly && !IsDeterministic(p.Path) {
+		if az.Run == nil || (az.DetOnly && !IsDeterministic(p.Path)) {
 			continue
 		}
 		pass := &Pass{
@@ -323,4 +337,83 @@ func RunPackage(p *Package, cfg Config, analyzers []*Analyzer) ([]Diagnostic, *A
 		}
 	}
 	return diags, annot, nil
+}
+
+// RunModule applies the analyzers to the analyze packages under one
+// configuration: first the per-package checks on each analyze package
+// (exactly RunPackage's behavior), then every ModuleRun hook once over
+// all — the full set of loaded module packages, analyze plus the
+// dependencies their imports pulled in — so interprocedural analyses
+// can follow calls across package boundaries. Suppressions consumed by
+// module passes may live in any package of all; the returned
+// annotation indexes (one per package, keyed by import path) feed the
+// driver's stale-directive check.
+func RunModule(analyze, all []*Package, cfg Config, analyzers []*Analyzer) ([]Diagnostic, map[string]*Annotations, error) {
+	annots := make(map[string]*Annotations)
+	collect := func(p *Package) *Annotations {
+		if a, ok := annots[p.Path]; ok {
+			return a
+		}
+		a := CollectAnnotations(p.Fset, p.Files, cfg.Name)
+		annots[p.Path] = a
+		return a
+	}
+
+	var diags []Diagnostic
+	for _, p := range analyze {
+		annot := collect(p)
+		diags = append(diags, annot.Malformed...)
+		for _, az := range analyzers {
+			if az.Run == nil || (az.DetOnly && !IsDeterministic(p.Path)) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: az,
+				Fset:     p.Fset,
+				Files:    p.Files,
+				Pkg:      p.Types,
+				Info:     p.Info,
+				Config:   cfg.Name,
+				Annot:    annot,
+				diags:    &diags,
+			}
+			if err := az.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %w", az.Name, p.Path, err)
+			}
+		}
+	}
+
+	perPkg := make([]*Annotations, 0, len(all))
+	for _, p := range all {
+		perPkg = append(perPkg, collect(p))
+	}
+	merged := MergeAnnotations(perPkg...)
+	for _, az := range analyzers {
+		if az.ModuleRun == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer: az,
+			Fset:     fsetOf(analyze, all),
+			Analyze:  analyze,
+			All:      all,
+			Config:   cfg.Name,
+			Annot:    merged,
+			diags:    &diags,
+		}
+		if err := az.ModuleRun(mp); err != nil {
+			return nil, nil, fmt.Errorf("analysis: %s (module pass): %w", az.Name, err)
+		}
+	}
+	return diags, annots, nil
+}
+
+func fsetOf(analyze, all []*Package) *token.FileSet {
+	if len(analyze) > 0 {
+		return analyze[0].Fset
+	}
+	if len(all) > 0 {
+		return all[0].Fset
+	}
+	return token.NewFileSet()
 }

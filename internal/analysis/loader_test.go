@@ -52,10 +52,11 @@ func TestLoaderCrossArch(t *testing.T) {
 	}
 }
 
-// TestRepoIsClean runs the full suite over every deterministic package
-// under the default configuration: the committed tree must produce zero
-// diagnostics, so a violation introduced without running adasum-vet
-// still fails `go test`.
+// TestRepoIsClean runs the full suite — per-package passes over every
+// deterministic package plus the module passes (transitive noalloc)
+// over the whole loaded module — under the default configuration: the
+// committed tree must produce zero diagnostics, so a violation
+// introduced without running adasum-vet still fails `go test`.
 func TestRepoIsClean(t *testing.T) {
 	root, err := FindModuleRoot(".")
 	if err != nil {
@@ -69,7 +70,7 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checked := 0
+	var analyze []*Package
 	for _, path := range paths {
 		if !IsDeterministic(path) {
 			continue
@@ -78,16 +79,23 @@ func TestRepoIsClean(t *testing.T) {
 		if err != nil {
 			t.Fatalf("load %s: %v", path, err)
 		}
-		diags, _, err := RunPackage(pkg, Config{Name: "default"}, Analyzers())
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
-		checked++
+		analyze = append(analyze, pkg)
 	}
-	if checked < 8 {
-		t.Fatalf("only %d deterministic packages found; the detSuffixes list and the module tree have diverged", checked)
+	if len(analyze) < 8 {
+		t.Fatalf("only %d deterministic packages found; the detSuffixes list and the module tree have diverged", len(analyze))
+	}
+	// Load the remaining module packages too: the noalloc closure must
+	// be able to follow calls out of the deterministic core.
+	for _, path := range paths {
+		if _, err := ld.Load(path); err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+	}
+	diags, _, err := RunModule(analyze, ld.LoadedModulePackages(), Config{Name: "default"}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

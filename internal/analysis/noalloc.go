@@ -31,19 +31,21 @@ import (
 // executes in steady state.
 var NoAlloc = &Analyzer{
 	Name:        "noalloc",
-	Doc:         "flags allocation-introducing constructs in //adasum:noalloc functions",
+	Doc:         "flags allocation-introducing constructs in //adasum:noalloc functions and their full call closure",
 	SuppressKey: "alloc",
 	Run:         runNoAlloc,
+	ModuleRun:   runNoAllocModule,
 }
 
 func runNoAlloc(pass *Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isNoallocMarked(pass, fd) {
+			if !ok || fd.Body == nil || !isNoallocMarked(pass.Fset, pass.Annot, fd) {
 				continue
 			}
-			(&noallocWalk{pass: pass, fn: fd}).walk()
+			w := &noallocWalk{info: pass.Info, pkg: pass.Pkg, fn: fd, report: pass.Reportf}
+			w.walk()
 		}
 	}
 	return nil
@@ -52,10 +54,10 @@ func runNoAlloc(pass *Pass) error {
 // isNoallocMarked reports whether fd carries the //adasum:noalloc
 // directive, probing its declaration line and every doc-comment line
 // (and marking the directive used).
-func isNoallocMarked(pass *Pass, fd *ast.FuncDecl) bool {
+func isNoallocMarked(fset *token.FileSet, annot *Annotations, fd *ast.FuncDecl) bool {
 	probe := func(p token.Pos) bool {
-		pos := pass.Fset.Position(p)
-		return pass.Annot.NoallocAt(pos.Filename, pos.Line) != nil
+		pos := fset.Position(p)
+		return annot.NoallocAt(pos.Filename, pos.Line) != nil
 	}
 	if probe(fd.Pos()) {
 		return true
@@ -70,13 +72,28 @@ func isNoallocMarked(pass *Pass, fd *ast.FuncDecl) bool {
 	return false
 }
 
+// noallocWalk is the intraprocedural allocation scan of one function
+// body. It reports through a callback so the same walk serves two
+// masters: the per-package pass (report = Pass.Reportf, honoring
+// suppressions) and the module pass's probe of unmarked callees
+// (report = collect, findings attributed to the call path that reached
+// the function).
 type noallocWalk struct {
-	pass *Pass
-	fn   *ast.FuncDecl
+	info   *types.Info
+	pkg    *types.Package
+	fn     *ast.FuncDecl
+	report func(pos token.Pos, format string, args ...any)
 	// panicArgs are the argument ranges of direct panic(...) calls;
 	// constructs inside them are exempt (never executed in steady
 	// state).
 	panicArgs []posRange
+}
+
+func (w *noallocWalk) typeOf(e ast.Expr) types.Type {
+	if w.info == nil {
+		return nil
+	}
+	return w.info.TypeOf(e)
 }
 
 type posRange struct{ lo, hi token.Pos }
@@ -85,7 +102,7 @@ func (w *noallocWalk) walk() {
 	// Prepass: collect panic(...) argument ranges.
 	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && w.pass.Info.Uses[id] == types.Universe.Lookup("panic") {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && w.info.Uses[id] == types.Universe.Lookup("panic") {
 				for _, arg := range call.Args {
 					w.panicArgs = append(w.panicArgs, posRange{arg.Pos(), arg.End()})
 				}
@@ -110,7 +127,7 @@ func (w *noallocWalk) reportf(pos token.Pos, format string, args ...any) {
 	if w.exempt(pos) {
 		return
 	}
-	w.pass.Reportf(pos, format, args...)
+	w.report(pos, format, args...)
 }
 
 func (w *noallocWalk) visit(n ast.Node) bool {
@@ -133,21 +150,21 @@ func (w *noallocWalk) visit(n ast.Node) bool {
 		w.reportf(n.Pos(), "go statement allocates a goroutine in %s", w.fn.Name.Name)
 	case *ast.BinaryExpr:
 		if n.Op == token.ADD {
-			if t := w.pass.TypeOf(n); t != nil && isString(t) {
+			if t := w.typeOf(n); t != nil && isString(t) {
 				w.reportf(n.Pos(), "string concatenation allocates in %s", w.fn.Name.Name)
 			}
 		}
 	case *ast.AssignStmt:
 		for i := range n.Lhs {
 			if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
-				if lt := w.pass.TypeOf(n.Lhs[i]); lt != nil {
+				if lt := w.typeOf(n.Lhs[i]); lt != nil {
 					w.checkBoxing(n.Rhs[i], lt, "assignment")
 				}
 			}
 		}
 	case *ast.ValueSpec:
 		if n.Type != nil {
-			if lt := w.pass.TypeOf(n.Type); lt != nil {
+			if lt := w.typeOf(n.Type); lt != nil {
 				for _, v := range n.Values {
 					w.checkBoxing(v, lt, "assignment")
 				}
@@ -161,11 +178,11 @@ func (w *noallocWalk) visitCall(call *ast.CallExpr) {
 	// Builtins and conversions first.
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		if w.visitBuiltinOrConv(call, fun.Name, w.pass.Info.Uses[fun]) {
+		if w.visitBuiltinOrConv(call, fun.Name, w.info.Uses[fun]) {
 			return
 		}
 	case *ast.SelectorExpr:
-		if obj := w.pass.Info.Uses[fun.Sel]; obj != nil && w.pass.Info.Selections[fun] == nil {
+		if obj := w.info.Uses[fun.Sel]; obj != nil && w.info.Selections[fun] == nil {
 			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
 				switch path := fn.Pkg().Path(); {
 				case path == "fmt":
@@ -179,11 +196,11 @@ func (w *noallocWalk) visitCall(call *ast.CallExpr) {
 		}
 	}
 	// Conversion via qualified or local type name, e.g. string(b).
-	if tv, ok := w.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
 		w.visitConversion(call, tv.Type)
 		return
 	}
-	sig, ok := w.pass.TypeOf(call.Fun).(*types.Signature)
+	sig, ok := w.typeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return
 	}
@@ -217,7 +234,7 @@ func (w *noallocWalk) visitConversion(call *ast.CallExpr, to types.Type) {
 	if len(call.Args) != 1 {
 		return
 	}
-	from := w.pass.TypeOf(call.Args[0])
+	from := w.typeOf(call.Args[0])
 	if from == nil {
 		return
 	}
@@ -232,7 +249,7 @@ func (w *noallocWalk) visitConversion(call *ast.CallExpr, to types.Type) {
 }
 
 func (w *noallocWalk) visitCompositeLit(lit *ast.CompositeLit) {
-	t := w.pass.TypeOf(lit)
+	t := w.typeOf(lit)
 	if t == nil {
 		return
 	}
@@ -297,7 +314,7 @@ func (w *noallocWalk) checkReturns() {
 }
 
 func (w *noallocWalk) fnResults() *types.Tuple {
-	obj, ok := w.pass.Info.Defs[w.fn.Name].(*types.Func)
+	obj, ok := w.info.Defs[w.fn.Name].(*types.Func)
 	if !ok {
 		return nil
 	}
@@ -310,7 +327,7 @@ func (w *noallocWalk) checkBoxing(expr ast.Expr, dst types.Type, context string)
 	if !types.IsInterface(dst) {
 		return
 	}
-	tv, ok := w.pass.Info.Types[expr]
+	tv, ok := w.info.Types[expr]
 	if !ok || tv.Value != nil || tv.Type == nil {
 		return // untyped constants box via the runtime's static cells
 	}
@@ -319,8 +336,8 @@ func (w *noallocWalk) checkBoxing(expr ast.Expr, dst types.Type, context string)
 		return
 	}
 	w.reportf(expr.Pos(), "%s boxes %s into %s (allocates) in %s",
-		context, types.TypeString(src, types.RelativeTo(w.pass.Pkg)),
-		types.TypeString(dst, types.RelativeTo(w.pass.Pkg)), w.fn.Name.Name)
+		context, types.TypeString(src, types.RelativeTo(w.pkg)),
+		types.TypeString(dst, types.RelativeTo(w.pkg)), w.fn.Name.Name)
 }
 
 // capturedVar returns a variable the closure captures from its
@@ -336,7 +353,7 @@ func (w *noallocWalk) capturedVar(lit *ast.FuncLit) *types.Var {
 		if !ok {
 			return true
 		}
-		v, ok := w.pass.Info.Uses[id].(*types.Var)
+		v, ok := w.info.Uses[id].(*types.Var)
 		if !ok || v.IsField() {
 			return true
 		}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// The module half of the noalloc analyzer: the `//adasum:noalloc`
+// property is transitive. A marked function may only call
+//
+//   - other marked functions (checked by their own intraprocedural
+//     pass),
+//   - assembly stubs (no Go body to allocate in),
+//   - standard-library functions from the allocation-free allowlist
+//     below,
+//   - unmarked module functions that the closure walk can prove clean:
+//     their bodies are probed with the same intraprocedural scan, and
+//     their own callees checked recursively.
+//
+// Everything else is a finding, attributed to the call path that
+// reached it from a marked root: an allocation inside an unmarked
+// callee reports at the offending construct with the path appended
+// (`make allocates in slot (noalloc call path: Engine.Step → launch →
+// slot)`), an unresolvable interface or function-value call reports at
+// the call site under the "dyncall" suppression key, and a call into
+// unvetted stdlib reports at the call site under "alloc".
+//
+// Suppression is edge-granular: an `//adasum:alloc ok <reason>` on a
+// call-site line cuts that edge out of the closure (the idiom for
+// warmup paths that mint on first use), and an `//adasum:dyncall ok
+// <reason>` vouches for every implementation that can flow into a
+// dynamic call site.
+
+// noallocExternAllow lists standard-library packages whose exported
+// functions and methods are accepted as allocation-free leaves of a
+// noalloc closure. Deliberately small: fmt and errors are handled by
+// the intraprocedural scan, and anything not listed reports at the
+// call site (suppressible with a reasoned `//adasum:alloc ok`).
+var noallocExternAllow = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync":        true,
+	"sync/atomic": true,
+	"runtime":     true,
+}
+
+func runNoAllocModule(mp *ModulePass) error {
+	analyzeSet := make(map[string]bool, len(mp.Analyze))
+	for _, p := range mp.Analyze {
+		analyzeSet[p.Path] = true
+	}
+	c := &noallocClosure{
+		mp:      mp,
+		g:       buildCallGraph(mp.All),
+		checked: make(map[string]bool),
+	}
+	for _, n := range c.g.sortedFuncs(mp.Fset) {
+		if !analyzeSet[n.pkg.Path] || n.decl.Body == nil || !c.marked(n) {
+			continue
+		}
+		// The root's own body is covered by the per-package pass; the
+		// closure walk starts at its call sites.
+		c.checked[funcKey(n)] = true
+		c.checkCalls(n, []string{funcDisplayName(n.fn, n.pkg.Types)})
+	}
+	return nil
+}
+
+type noallocClosure struct {
+	mp *ModulePass
+	g  *callGraph
+	// checked guards against both cycles and re-probing a helper shared
+	// by several marked roots: each function's body and call sites are
+	// inspected once, attributed to the first (deterministically
+	// ordered) path that reached it. Keyed by position-independent
+	// identity so the same helper reached via a generic instantiation
+	// and its origin dedupes.
+	checked map[string]bool
+}
+
+func funcKey(n *funcNode) string {
+	return n.pkg.Path + "." + n.fn.FullName()
+}
+
+func (c *noallocClosure) marked(n *funcNode) bool {
+	return isNoallocMarked(c.mp.Fset, c.mp.Annot, n.decl)
+}
+
+// checkCalls vets every call site of node, where path names the chain
+// of functions from a marked root to node inclusive.
+func (c *noallocClosure) checkCalls(node *funcNode, path []string) {
+	rel := node.pkg.Types
+	for _, site := range node.calls {
+		switch site.kind {
+		case callFuncLit:
+			// The literal's body is part of node's own scan.
+			continue
+		case callDynamic:
+			c.mp.ReportfKey("dyncall", site.pos,
+				"%s cannot be verified allocation-free (noalloc call path: %s)",
+				site.desc, strings.Join(path, " → "))
+		case callStatic:
+			callee := c.g.node(site.callee)
+			if callee == nil {
+				// External (standard library): allowlisted packages are
+				// accepted; fmt/errors.New are the intraprocedural
+				// scan's findings, not ours.
+				pkg := site.callee.Pkg()
+				if pkg == nil || noallocExternAllow[pkg.Path()] {
+					continue
+				}
+				if pkg.Path() == "fmt" || (pkg.Path() == "errors" && site.callee.Name() == "New") {
+					continue
+				}
+				c.mp.ReportfKey("alloc", site.pos,
+					"call to %s is not allocation-checked (noalloc call path: %s)",
+					funcDisplayName(site.callee, rel),
+					strings.Join(append(path, funcDisplayName(site.callee, rel)), " → "))
+				continue
+			}
+			if callee.decl.Body == nil || c.marked(callee) {
+				// Assembly stub, or a marked function with its own pass.
+				continue
+			}
+			// An alloc suppression on the call-site line cuts the edge:
+			// the warmup idiom for lazily-minting calls.
+			pos := c.mp.Fset.Position(site.pos)
+			if c.mp.Annot.suppress("alloc", pos.Filename, pos.Line) {
+				continue
+			}
+			c.probe(callee, append(path, funcDisplayName(callee.fn, rel)))
+		}
+	}
+}
+
+// probe scans the body of an unmarked function reached from a marked
+// root, reporting its allocation-introducing constructs with the call
+// path appended, then recurses into its own call sites.
+func (c *noallocClosure) probe(node *funcNode, path []string) {
+	key := funcKey(node)
+	if c.checked[key] {
+		return
+	}
+	c.checked[key] = true
+	pathStr := strings.Join(path, " → ")
+	w := &noallocWalk{
+		info: node.pkg.Info,
+		pkg:  node.pkg.Types,
+		fn:   node.decl,
+		report: func(pos token.Pos, format string, args ...any) {
+			c.mp.ReportfKey("alloc", pos,
+				"%s (noalloc call path: %s)", fmt.Sprintf(format, args...), pathStr)
+		},
+	}
+	w.walk()
+	c.checkCalls(node, path)
+}

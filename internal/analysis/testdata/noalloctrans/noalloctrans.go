@@ -1,0 +1,83 @@
+// Package fixture exercises the transitive half of the noalloc
+// analyzer (the module pass): a marked function's full call closure
+// must be marked, annotated, or provably allocation-free, and
+// violations print the call path that reached them.
+package fixture
+
+import (
+	"math"
+	"sort"
+)
+
+// --- the two-hop shape: Root → hop1 → hop2, allocation in hop2 ---
+
+//adasum:noalloc
+func Root(n int) int {
+	return hop1(n)
+}
+
+func hop1(n int) int {
+	return hop2(n) + 1
+}
+
+func hop2(n int) int {
+	s := make([]int, n) // want `make allocates in hop2 \(noalloc call path: Root → hop1 → hop2\)`
+	return len(s)
+}
+
+// --- dynamic calls are flagged at the call site unless vouched for ---
+
+type codec interface{ encode(int) int }
+
+//adasum:noalloc
+func RootDyn(c codec, n int) int {
+	return c.encode(n) // want `interface method .*codec\.encode cannot be verified allocation-free \(noalloc call path: RootDyn\)`
+}
+
+//adasum:noalloc
+func RootFuncVal(f func(int) int, n int) int {
+	return f(n) // want `function value f cannot be verified allocation-free \(noalloc call path: RootFuncVal\)`
+}
+
+//adasum:noalloc
+func RootDynVouched(c codec, n int) int {
+	//adasum:dyncall ok fixture: every codec implementation is allocation-free by construction
+	return c.encode(n)
+}
+
+// --- unvetted stdlib reports at the call site; the allowlist does not ---
+
+//adasum:noalloc
+func RootExternal(s []int) {
+	sort.Ints(s) // want `call to sort\.Ints is not allocation-checked \(noalloc call path: RootExternal → sort\.Ints\)`
+}
+
+//adasum:noalloc
+func RootMath(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// --- an alloc suppression on the call-site line cuts the edge: the
+// warmup idiom for lazily-minting calls ---
+
+//adasum:noalloc
+func RootWarmup(n int) {
+	//adasum:alloc ok fixture: warmup mints once on first use, off the steady-state path
+	warmup(n)
+}
+
+func warmup(n int) {
+	_ = make([]int, n)
+}
+
+// --- a marked callee ends the traversal: its own pass checks it ---
+
+//adasum:noalloc
+func RootCallsMarked(n int) int {
+	return markedLeaf(n)
+}
+
+//adasum:noalloc
+func markedLeaf(n int) int {
+	return n * 2
+}

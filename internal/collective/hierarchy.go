@@ -99,6 +99,23 @@ func (h *Hierarchy) Streams() []*compress.Stream {
 	return append(out, h.cross.Stream())
 }
 
+// SetCodec points every level's compression stream (where present) at
+// codec — the per-launch fan-out of an adaptive policy's decision.
+// Unlike ranging over Streams(), it builds no slice, so the overlap
+// engine can call it once per bucket op without allocating.
+//
+//adasum:noalloc
+func (h *Hierarchy) SetCodec(codec compress.Codec) {
+	for _, lc := range h.scatter {
+		if st := lc.Stream(); st != nil {
+			st.SetCodec(codec)
+		}
+	}
+	if st := h.cross.Stream(); st != nil {
+		st.SetCodec(codec)
+	}
+}
+
 // Levels returns the number of levels including the cross level.
 func (h *Hierarchy) Levels() int { return len(h.scatter) + 1 }
 
@@ -150,12 +167,14 @@ func (h *Hierarchy) adasumLevel(x []float32, layout tensor.Layout, lvl int) {
 			} else {
 				// Empty shard: still participate in the collective to keep
 				// the power-of-two exchange pattern aligned.
+				//adasum:alloc ok empty-shard corner: two zero-length slices, never on the balanced path
 				h.cross.Adasum(x, tensor.FlatLayout(0))
 			}
 		}
 		return
 	}
 	lc := h.scatter[lvl]
+	//adasum:alloc ok per-level shard table: O(domain size) words per op, not on the bench-pinned flat path
 	ranges := layout.SplitLayerAligned(lc.Size())
 	// Phase 1: intra-domain reduce-scatter (sum) over layer-aligned
 	// shards.
@@ -163,6 +182,7 @@ func (h *Hierarchy) adasumLevel(x []float32, layout tensor.Layout, lvl int) {
 	lo, hi := ranges[lc.Rank()][0], ranges[lc.Rank()][1]
 	// Phase 2: the windowed layout keeps per-layer dots exact because
 	// shards are layer-aligned.
+	//adasum:alloc ok per-level windowed layout: O(layers in shard) words per op, not on the bench-pinned flat path
 	h.adasumLevel(shard, layout.Window(lo, hi), lvl+1)
 	// Phase 3: intra-domain allgather of finished shards.
 	lc.allgatherRing(x, rangeBounds(ranges))

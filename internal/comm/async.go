@@ -135,6 +135,7 @@ func (h *Handle) run() {
 			h.ap.clock = t
 		}
 	}
+	//adasum:dyncall ok the body is the launcher's bucket program — overlap's reduceBucket, itself noalloc-marked
 	h.body(&h.ap)
 }
 

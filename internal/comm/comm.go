@@ -104,6 +104,7 @@ func (pl *plane) get(src, dst int) *link {
 			return l
 		}
 	}
+	//adasum:alloc ok links materialize (or recycle) once per pair; steady state hits the lock-free loads above
 	return pl.create(src, dst)
 }
 
@@ -277,10 +278,11 @@ func (w *World) plane(id int) *plane {
 	w.planeMu.Lock()
 	defer w.planeMu.Unlock()
 	if w.planes == nil {
-		w.planes = make(map[int]*plane)
+		w.planes = make(map[int]*plane) //adasum:alloc ok plane table minted once per World
 	}
 	pl, ok := w.planes[id]
 	if !ok {
+		//adasum:alloc ok planes mint once per id and are cached for the World's lifetime
 		pl = w.newPlane(asyncPlaneCap)
 		w.planes[id] = pl
 	}
@@ -575,6 +577,7 @@ func (p *Proc) send(dst int, data []float32, meta []float64) {
 	p.world.wire[p.rank].n.Add(nb)
 	p.netSec += cost
 	p.netBytes += nb
+	//adasum:poolown ok ownership rides the in-flight message; the receiver recycles via Recv/Release
 	p.deliver(dst, message{data: dc, meta: mc, arrival: p.clock + cost})
 }
 
@@ -636,6 +639,7 @@ func (p *Proc) SendCompressed(dst int, data []float32, st *compress.Stream) {
 		return
 	}
 	c := st.Codec()
+	//adasum:dyncall ok codec EncodedLen implementations are arithmetic over the payload length
 	enc := p.world.pool.getF32(p.rank, c.EncodedLen(len(data)))
 	st.Encode(enc, data)
 	p.ComputeMemCopy(int64(len(data)) * 4)
@@ -655,10 +659,12 @@ func (p *Proc) RecvCompressed(src int, c compress.Codec, dst []float32) {
 		return
 	}
 	enc, _ := p.recv(src)
+	//adasum:dyncall ok codec EncodedLen implementations are arithmetic over the payload length
 	if len(enc) != c.EncodedLen(len(dst)) {
 		panic(fmt.Sprintf("comm: RecvCompressed payload %d words, want %d for %d floats",
 			len(enc), c.EncodedLen(len(dst)), len(dst)))
 	}
+	//adasum:dyncall ok codec Decode implementations are noalloc-marked in compress
 	c.Decode(dst, enc)
 	p.world.pool.putF32(p.rank, enc)
 	p.ComputeMemCopy(int64(len(dst)) * 4)

@@ -117,6 +117,7 @@ func (w *World) DeclareDead(r int) {
 // separately (RunErr marks root causes; Reset revives the rest).
 func (w *World) markDead(r int) {
 	d := &w.dead[r]
+	//adasum:alloc ok a rank dies at most once; failure handling is off the steady-state path
 	d.once.Do(func() {
 		d.flag.Store(true)
 		close(d.ch)

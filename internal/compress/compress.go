@@ -73,7 +73,7 @@ type Codec interface {
 // IsNone reports whether c is absent or the identity codec — the
 // configurations that must leave the communication paths bitwise (and
 // virtual-clock) identical to the uncompressed substrate.
-func IsNone(c Codec) bool { return c == nil || c.Kind() == KindNone }
+func IsNone(c Codec) bool { return c == nil || c.Kind() == KindNone } //adasum:dyncall ok Kind implementations return constants
 
 // Workspace is reusable scratch for Encode calls (top-k selection). It
 // must not be shared between goroutines.
@@ -84,14 +84,14 @@ type Workspace struct {
 
 func (ws *Workspace) magBuf(n int) []uint32 {
 	if cap(ws.mag) < n {
-		ws.mag = make([]uint32, n)
+		ws.mag = make([]uint32, n) //adasum:alloc ok workspace grows on first use (or payload growth) and is reused
 	}
 	return ws.mag[:n]
 }
 
 func (ws *Workspace) idxBuf(n int) []int {
 	if cap(ws.idx) < n {
-		ws.idx = make([]int, n)
+		ws.idx = make([]int, n) //adasum:alloc ok workspace grows on first use (or payload growth) and is reused
 	}
 	return ws.idx[:n]
 }
@@ -549,7 +549,9 @@ func (s *Stream) Begin() { s.pos = 0 }
 //
 //adasum:noalloc
 func (s *Stream) Encode(dst, src []float32) {
+	//adasum:dyncall ok ErrorFeedback implementations return constants
 	if !s.codec.ErrorFeedback() {
+		//adasum:dyncall ok codec Encode implementations are noalloc-marked in this package
 		s.codec.Encode(dst, src, &s.ws)
 		return
 	}
@@ -558,8 +560,10 @@ func (s *Stream) Encode(dst, src []float32) {
 	for i := range src {
 		eff[i] = src[i] + r[i]
 	}
+	//adasum:dyncall ok codec Encode implementations are noalloc-marked in this package
 	s.codec.Encode(dst, eff, &s.ws)
 	dec := growF32(&s.dec, len(src))
+	//adasum:dyncall ok codec Decode implementations are noalloc-marked in this package
 	s.codec.Decode(dec, dst)
 	for i := range r {
 		r[i] = eff[i] - dec[i]
@@ -573,11 +577,14 @@ func (s *Stream) Encode(dst, src []float32) {
 // way a real fp16 fusion buffer casts the gradient before the
 // collective. Lossless codecs leave x untouched.
 func (s *Stream) Quantize(x []float32) {
+	//adasum:dyncall ok Lossy implementations return constants
 	if !s.codec.Lossy() {
 		return
 	}
+	//adasum:dyncall ok codec EncodedLen implementations are arithmetic over the payload length
 	enc := growF32(&s.enc, s.codec.EncodedLen(len(x)))
 	s.Encode(enc, x)
+	//adasum:dyncall ok codec Decode implementations are noalloc-marked in this package
 	s.codec.Decode(x, enc)
 }
 
@@ -609,10 +616,10 @@ func (s *Stream) Restore(res [][]float32) {
 	s.res = s.res[:0]
 	for _, r := range res {
 		if r == nil {
-			s.res = append(s.res, nil)
+			s.res = append(s.res, nil) //adasum:alloc ok restore runs once at resume, off the steady-state path
 			continue
 		}
-		s.res = append(s.res, append([]float32(nil), r...))
+		s.res = append(s.res, append([]float32(nil), r...)) //adasum:alloc ok restore runs once at resume, off the steady-state path
 	}
 }
 
@@ -620,10 +627,10 @@ func (s *Stream) Restore(res [][]float32) {
 // first use, and advances the cursor.
 func (s *Stream) site(n int) []float32 {
 	for len(s.res) <= s.pos {
-		s.res = append(s.res, nil)
+		s.res = append(s.res, nil) //adasum:alloc ok per-site residual slots mint on the first step
 	}
 	if cap(s.res[s.pos]) < n {
-		s.res[s.pos] = make([]float32, n)
+		s.res[s.pos] = make([]float32, n) //adasum:alloc ok per-site residuals mint on the first step
 	} else if len(s.res[s.pos]) != n {
 		// A site's payload length is fixed across steps; a mismatch means
 		// the step program changed under the stream.
@@ -637,7 +644,7 @@ func (s *Stream) site(n int) []float32 {
 
 func growF32(buf *[]float32, n int) []float32 {
 	if cap(*buf) < n {
-		*buf = make([]float32, n)
+		*buf = make([]float32, n) //adasum:alloc ok scratch grows on first use (or payload growth) and is reused
 	}
 	*buf = (*buf)[:n]
 	return *buf

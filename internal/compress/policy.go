@@ -248,6 +248,7 @@ func (a *adaptive) rung(i int) Codec {
 				if tk, isTK := c.(topKCodec); isTK {
 					// Boxed (inside TopK) once per (rung, frac);
 					// steady-state decisions hit the cache.
+					//adasum:alloc ok rung codecs box once per (rung, frac); Decide hits the byFrac cache thereafter
 					cached[j] = TopK(a.frac, tk.ef)
 				} else {
 					cached[j] = c
@@ -367,6 +368,7 @@ func HeaderWord(c Codec) float32 {
 	if param < 0 || param > headerParamMax {
 		panic(fmt.Sprintf("compress: codec parameter %d does not fit a wire header", param))
 	}
+	//adasum:dyncall ok Kind implementations return constants
 	return math.Float32frombits(uint32(c.Kind())<<24 | uint32(param))
 }
 
@@ -404,4 +406,4 @@ func DecodeFromWire(dst, wire []float32) {
 
 // WireWords returns the self-describing wire length of an n-element
 // payload under c: the header word plus the encoded words.
-func WireWords(c Codec, n int) int { return 1 + c.EncodedLen(n) }
+func WireWords(c Codec, n int) int { return 1 + c.EncodedLen(n) } //adasum:dyncall ok codec EncodedLen implementations are arithmetic over the payload length

@@ -327,6 +327,7 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 		panic(fmt.Sprintf("overlap: x has %d elements, layout covers %d", len(x), layout.TotalSize()))
 	}
 	if e.proto == nil {
+		//adasum:alloc ok the prototype communicator mints once, on the first step
 		e.proto = collective.New(p, e.opt.Group, collective.Config{
 			Strategy:    e.strategy,
 			Compression: e.opt.Compression,
@@ -358,10 +359,12 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 	// Backward walk: the last layer's gradient materializes first.
 	for l := layout.NumLayers() - 1; l >= 0; l-- {
 		p.Compute(e.layerSec[l] * scale)
+		//adasum:alloc ok packer skeletons amortize: stable bucket shapes reuse cached Groups (0 allocs/op bench-pinned)
 		if g := e.packer.Ready(l, layout.Name(l), e.slices[l]); g != nil {
 			e.launch(p, g)
 		}
 	}
+	//adasum:alloc ok packer skeletons amortize: stable bucket shapes reuse cached Groups (0 allocs/op bench-pinned)
 	if g := e.packer.Flush(); g != nil {
 		e.launch(p, g)
 	}
@@ -399,6 +402,7 @@ func (e *Engine) Step(p *comm.Proc, x []float32) {
 //adasum:noalloc
 func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 	p.ComputeMemCopy(g.Bytes())
+	//adasum:alloc ok slots mint on first use and are reused for the rank's lifetime
 	sl := e.slot(p, len(e.pending))
 	if pol := sl.c.Policy(); pol != nil {
 		st := sl.c.Stream()
@@ -406,6 +410,7 @@ func (e *Engine) launch(p *comm.Proc, g *fusion.Group) {
 		if m := p.Model(); m != nil {
 			encSec = m.MemCopy(g.Bytes())
 		}
+		//adasum:dyncall ok Decide implementations (adaptive ladder, static tables) are arithmetic over the value-typed Telemetry; the rung cache keeps them allocation-free
 		st.SetCodec(pol.Decide(compress.Telemetry{
 			Slot:        sl.idx,
 			Step:        e.stepIdx - 1,
@@ -483,6 +488,7 @@ func (e *Engine) savedStream(slot, stream int) [][]float32 {
 func (e *Engine) reduceBucket(sl *slotState, ap *comm.Proc, g *fusion.Group) {
 	c := sl.cOn
 	if c == nil || sl.boundAp != ap {
+		//adasum:alloc ok rebind materializes only when the op endpoint changes; steady state hits the cOn cache
 		c = sl.c.OnProc(ap)
 		sl.cOn, sl.boundAp = c, ap
 		sl.hierOn = nil
@@ -491,7 +497,9 @@ func (e *Engine) reduceBucket(sl *slotState, ap *comm.Proc, g *fusion.Group) {
 		h := sl.hierOn
 		if h == nil {
 			if sl.hier == nil {
+				//adasum:alloc ok the slot's hierarchy builds once, on its first op
 				sl.hier = collective.NewHierarchy(c, e.hier...)
+				//adasum:alloc ok the stream walk runs only inside the first-use build above
 				for li, st := range sl.hier.Streams() {
 					if st == nil {
 						continue
@@ -502,6 +510,7 @@ func (e *Engine) reduceBucket(sl *slotState, ap *comm.Proc, g *fusion.Group) {
 				}
 				h = sl.hier
 			} else {
+				//adasum:alloc ok rebind materializes only when the op endpoint changes; steady state hits the hierOn cache
 				h = sl.hier.OnProc(ap)
 			}
 			sl.hierOn = h
@@ -515,12 +524,7 @@ func (e *Engine) reduceBucket(sl *slotState, ap *comm.Proc, g *fusion.Group) {
 			// the uninterrupted run did. Safe: the level streams are only
 			// touched by this slot's op, and join-before-relaunch orders
 			// successive ops.
-			dec := sl.c.Stream().Codec()
-			for _, st := range sl.hier.Streams() {
-				if st != nil {
-					st.SetCodec(dec)
-				}
-			}
+			sl.hier.SetCodec(sl.c.Stream().Codec())
 		}
 		if c.Strategy() == collective.StrategyRing {
 			h.AllreduceMean(g.Data)
